@@ -1,0 +1,28 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+experiment once under ``benchmark.pedantic`` (the timing pytest-benchmark
+reports is host wall time; the *results* are simulated metrics), prints
+the paper-style rows, and asserts the paper's qualitative claims — who
+wins, by roughly what factor, where crossovers fall.
+
+Scale with ``REPRO_BENCH_SCALE`` (default 0.2; 1.0 approaches paper-size
+inputs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(autouse=True)
+def _newline_before_output(capsys):
+    """Keep printed tables readable amid pytest progress dots."""
+    print()
+    yield

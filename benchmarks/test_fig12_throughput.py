@@ -1,0 +1,62 @@
+"""Fig 12: ML-prediction throughput, resource usage and latency CDF.
+
+Paper claims reproduced:
+
+* saturated cluster (upper row): RMMAP's peak throughput is 1.2-1.6x the
+  other approaches' (lower per-invocation busy time);
+* fixed request rate (lower row): all approaches sustain the same
+  throughput, but RMMAP occupies a fraction of the pods (64.3-86.3% in
+  the paper) and delivers much lower p50/p90/p99 latency.
+"""
+
+from repro.analysis.report import Table
+from repro.bench.figures_platform import fig12_fixed_rate, fig12_saturated
+
+from .conftest import run_once
+
+
+def test_fig12_saturated(benchmark):
+    results = run_once(benchmark, fig12_saturated)
+
+    table = Table("Fig 12 (upper): saturated throughput",
+                  ["transport", "tput/s", "p50_ms", "p99_ms"])
+    for tname, d in results.items():
+        table.add_row(tname, d["throughput_per_s"], d["stats"].p50_ms,
+                      d["stats"].p99_ms)
+    table.print()
+
+    rmmap = results["rmmap"]["throughput_per_s"]
+    for tname in ("messaging", "storage-rdma"):
+        other = results[tname]["throughput_per_s"]
+        ratio = rmmap / other
+        assert ratio > 1.05, f"peak tput vs {tname}: {ratio:.2f}x"
+        assert ratio < 4.0, f"implausible ratio vs {tname}: {ratio:.2f}x"
+
+
+def test_fig12_fixed_rate(benchmark):
+    results = run_once(benchmark, fig12_fixed_rate)
+
+    table = Table("Fig 12 (lower): fixed request rate",
+                  ["transport", "tput/s", "mean-pods", "peak-pods",
+                   "p50_ms", "p90_ms", "p99_ms"])
+    for tname, d in results.items():
+        s = d["stats"]
+        table.add_row(tname, d["throughput_per_s"], d["mean_pods"],
+                      d["peak_pods"], s.p50_ms, s.p90_ms, s.p99_ms)
+    table.print()
+
+    rmmap = results["rmmap"]
+    for tname in ("messaging", "storage-rdma"):
+        other = results[tname]
+        # same offered load is absorbed by everyone
+        assert abs(rmmap["throughput_per_s"]
+                   - other["throughput_per_s"]) \
+            < 0.5 * other["throughput_per_s"]
+        # ...but RMMAP needs fewer busy pods and has lower tails
+        assert rmmap["mean_pods"] < other["mean_pods"], tname
+        assert rmmap["stats"].p50_ms < other["stats"].p50_ms, tname
+        assert rmmap["stats"].p99_ms < other["stats"].p99_ms, tname
+    # CDF points are monotone and end at 1.0
+    cdf = rmmap["cdf"]
+    assert all(b >= a for (_x, a), (_y, b) in zip(cdf, cdf[1:]))
+    assert abs(cdf[-1][1] - 1.0) < 1e-9

@@ -1,0 +1,31 @@
+"""Fig 13 (epochs): ML-training sensitivity to training epochs.
+
+Paper claim reproduced: raising epochs from 5 to 30 shrinks RMMAP's
+improvement over storage (RDMA) — from 23.9% toward 8% — because longer
+function execution amortizes the (de)serialization the transfer saves.
+"""
+
+from repro.analysis.report import Table
+from repro.bench.figures_workflow import fig13a_epochs
+
+from .conftest import run_once
+
+
+def test_fig13a(benchmark):
+    results = run_once(benchmark, fig13a_epochs)
+
+    table = Table("Fig 13 (epochs): ML training",
+                  ["epochs", "storage-rdma_ms", "rmmap_ms",
+                   "improvement"])
+    for epochs, d in sorted(results.items()):
+        table.add_row(epochs, d["storage-rdma"], d["rmmap"],
+                      d["improvement"])
+    table.print()
+
+    epochs = sorted(results)
+    # RMMAP wins at every point
+    for e in epochs:
+        assert results[e]["improvement"] > 0.0, e
+    # the improvement shrinks as epochs grow (amortization)
+    assert results[epochs[0]]["improvement"] > \
+        results[epochs[-1]]["improvement"]

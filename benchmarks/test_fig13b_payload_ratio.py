@@ -1,0 +1,26 @@
+"""Fig 13 (payload): ML-training sensitivity to transferred data size.
+
+Paper claim reproduced: growing the transferred tensors does not
+monotonically grow or shrink RMMAP's improvement — more data is costlier
+to (de)serialize, but it also lengthens function execution, which
+amortizes the savings.
+"""
+
+from repro.analysis.report import Table
+from repro.bench.figures_workflow import fig13b_payload
+
+from .conftest import run_once
+
+
+def test_fig13b(benchmark):
+    results = run_once(benchmark, fig13b_payload)
+
+    table = Table("Fig 13 (payload): ML training",
+                  ["images", "storage-rdma_ms", "rmmap_ms", "improvement"])
+    for n, d in sorted(results.items()):
+        table.add_row(n, d["storage-rdma"], d["rmmap"], d["improvement"])
+    table.print()
+
+    for n, d in results.items():
+        assert d["improvement"] > 0.0, n
+        assert d["improvement"] < 0.9, n

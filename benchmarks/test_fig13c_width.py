@@ -1,0 +1,24 @@
+"""Fig 13 (width): ML-prediction sensitivity to workflow width.
+
+Paper claim reproduced: RMMAP keeps its edge across fan-out widths; the
+magnitude varies non-monotonically (wider fan-out means more transfers to
+save on, but also more parallelism hiding them).
+"""
+
+from repro.analysis.report import Table
+from repro.bench.figures_workflow import fig13c_width
+
+from .conftest import run_once
+
+
+def test_fig13c(benchmark):
+    results = run_once(benchmark, fig13c_width)
+
+    table = Table("Fig 13 (width): ML prediction",
+                  ["width", "storage-rdma_ms", "rmmap_ms", "improvement"])
+    for w, d in sorted(results.items()):
+        table.add_row(w, d["storage-rdma"], d["rmmap"], d["improvement"])
+    table.print()
+
+    for w, d in results.items():
+        assert d["improvement"] > 0.0, w

@@ -1,0 +1,39 @@
+"""Fig 14: end-to-end latency of the four workflows, five transports.
+
+Paper claims reproduced:
+
+* RMMAP is the fastest approach on every workflow (14-97.8% reductions);
+* the ordering messaging > storage > storage-rdma holds;
+* against the strongest baseline (storage-rdma) RMMAP's win comes from the
+  eliminated (de)serialization share.
+"""
+
+from repro.analysis.report import Table, ascii_bar_chart
+from repro.bench.figures_workflow import fig14_end_to_end
+
+from .conftest import run_once
+
+ORDER = ["messaging", "storage", "storage-rdma", "rmmap", "rmmap-prefetch"]
+
+
+def test_fig14(benchmark):
+    results = run_once(benchmark, fig14_end_to_end)
+
+    table = Table("Fig 14: workflow E2E latency (ms)",
+                  ["workflow"] + ORDER)
+    for wf, row in results.items():
+        table.add_row(wf, *[row[t] for t in ORDER])
+    table.print()
+    for wf, row in results.items():
+        print(ascii_bar_chart(f"Fig 14: {wf}", ORDER,
+                              [row[t] for t in ORDER], unit=" ms"))
+        print()
+
+    for wf, row in results.items():
+        best_rmmap = min(row["rmmap"], row["rmmap-prefetch"])
+        # RMMAP variants beat every (de)serializing transport
+        assert best_rmmap < row["messaging"], wf
+        assert best_rmmap < row["storage"], wf
+        assert best_rmmap < row["storage-rdma"], wf
+        # baseline ordering matches the paper
+        assert row["storage-rdma"] < row["storage"] < row["messaging"], wf

@@ -1,0 +1,28 @@
+"""Fig 16b: comparison with Naos on its (Integer, char[5]) map benchmark.
+
+Paper claim reproduced: RMMAP outperforms Naos (by 42-64% in the paper)
+because Naos still traverses the object graph and rewrites every pointer
+on both sides, while RMMAP ships none of the objects eagerly.
+"""
+
+from repro.analysis.report import Table, format_ns
+from repro.bench.figures_micro import fig16b_naos
+
+from .conftest import run_once
+
+
+def test_fig16b(benchmark):
+    results = run_once(benchmark, fig16b_naos)
+
+    table = Table("Fig 16b: RMMAP vs Naos, (Integer, char[5]) map",
+                  ["pairs", "naos", "rmmap", "rmmap faster by"])
+    for count, d in sorted(results.items()):
+        faster = 1.0 - d["rmmap"] / d["naos"]
+        table.add_row(count, format_ns(d["naos"]), format_ns(d["rmmap"]),
+                      f"{faster:.0%}")
+    table.print()
+
+    for count, d in results.items():
+        faster = 1.0 - d["rmmap"] / d["naos"]
+        assert faster > 0.15, (count, faster)   # paper band: 42-64%
+        assert faster < 0.90, (count, faster)

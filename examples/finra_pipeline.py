@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""FINRA trade validation on the serverless platform (Figure 1).
+
+Deploys the four-function FINRA workflow — FetchPrivateData and
+FetchPublicData feeding N concurrent RunAuditRule instances whose reports
+MergeResults gathers — on a 10-machine simulated Knative cluster, and runs
+it under every transport the paper compares.
+
+Run:  python examples/finra_pipeline.py [width]
+"""
+
+import sys
+
+from repro.analysis.report import Table, ascii_bar_chart
+from repro.platform.cluster import ServerlessPlatform
+from repro.transfer import (MessagingTransport, RmmapTransport,
+                            StorageRdmaTransport, StorageTransport)
+from repro.workloads.finra import build_finra
+
+
+def main(width: int = 24) -> None:
+    params = {"n_rows": 8_000, "width": width}
+    print(f"FINRA: {width} concurrent audit rules over "
+          f"{params['n_rows']} trades\n")
+
+    table = Table("FINRA end-to-end", ["transport", "latency_ms",
+                                       "violations", "transfer_ms"])
+    latencies = {}
+    for name, factory in (
+            ("messaging", MessagingTransport),
+            ("storage", StorageTransport),
+            ("storage-rdma", StorageRdmaTransport),
+            ("rmmap", lambda: RmmapTransport(prefetch=False)),
+            ("rmmap-prefetch", RmmapTransport)):
+        platform = ServerlessPlatform(n_machines=10)
+        platform.deploy(build_finra(width=width), factory())
+        platform.prewarm("finra", dict(params, n_rows=500))
+        record = platform.run_once("finra", params)
+        table.add_row(name, record.latency_ns / 1e6,
+                      record.result["total_violations"],
+                      record.transfer_ns / 1e6)
+        latencies[name] = record.latency_ns / 1e6
+    table.print()
+    print(ascii_bar_chart("FINRA latency (lower is better)",
+                          list(latencies), list(latencies.values()),
+                          unit=" ms"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 24)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: transfer a Python object between two functions with RMMAP.
+
+Builds a two-machine simulated cluster, boxes a pandas-like dataframe into
+the producer's managed heap, and moves it to a consumer on another machine
+two ways:
+
+1. the classic path — pickle-style serialization over messaging;
+2. RMMAP — ``register_mem`` at the producer, ``rmap`` at the consumer, and
+   the consumer just chases the producer's pointers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.report import Table, format_ns
+from repro.bench.microbench import make_pair, measure_transfer
+from repro.transfer import MessagingTransport, RmmapTransport
+from repro.workloads.data import make_trades
+
+
+def main() -> None:
+    trades = make_trades(n_rows=10_000)
+    print(f"state: a {trades.nrows}x{trades.ncols} trades dataframe "
+          f"(every cell is a boxed object)")
+
+    table = Table("Quickstart: one state transfer, two ways",
+                  ["approach", "transform", "network", "reconstruct",
+                   "end-to-end"])
+    results = {}
+    for name, transport in (
+            ("messaging+pickle", MessagingTransport()),
+            ("rmmap", RmmapTransport(prefetch=True))):
+        _engine, producer, consumer = make_pair()
+        result = measure_transfer(transport, producer, consumer, trades)
+        assert result.value == trades  # delivered intact
+        b = result.breakdown
+        table.add_row(name, format_ns(b.transform_ns),
+                      format_ns(b.network_ns), format_ns(b.reconstruct_ns),
+                      format_ns(b.e2e_ns))
+        results[name] = result
+    table.print()
+
+    speedup = (results["messaging+pickle"].e2e_ns
+               / results["rmmap"].e2e_ns)
+    print(f"RMMAP is {speedup:.1f}x faster end-to-end: no serialization "
+          f"at the producer, no deserialization at the consumer —")
+    print("the consumer mapped the producer's memory and read the same "
+          "pointers directly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — a reproduction of RMMAP (EuroSys 2024).
+
+"Serialization/Deserialization-free State Transfer in Serverless
+Workflows": an OS primitive that maps a remote function container's memory
+into a local one over RDMA so serverless functions pass pointers instead
+of pickled bytes, rebuilt here as a fully-functional discrete-event
+simulated datacenter in pure Python.
+
+Layers (bottom-up): :mod:`repro.sim` (event engine), :mod:`repro.mem`
+(pages/PTEs/VMAs/CoW), :mod:`repro.net` (RDMA/RPC), :mod:`repro.kernel`
+(the RMMAP syscalls), :mod:`repro.runtime` (managed heap + serializer +
+hybrid GC), :mod:`repro.transfer` (the five transports),
+:mod:`repro.platform` (Knative-equivalent), :mod:`repro.workloads`
+(FINRA / ML / WordCount), :mod:`repro.analysis` and :mod:`repro.bench`
+(experiments).  See DESIGN.md and EXPERIMENTS.md.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,115 @@
+"""Latency/throughput statistics for invocation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.units import seconds, to_ms, to_seconds
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The *p*-th percentile (0-100) by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile {p} out of range")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    # this form is exact when ordered[lo] == ordered[hi] (no float drift
+    # past the max) and monotone in p
+    return float(ordered[lo] + (ordered[hi] - ordered[lo]) * frac)
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) points for plotting a CDF."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(float(v), (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def throughput_timeline(completion_times_ns: Iterable[int],
+                        bucket_s: float = 1.0) -> List[Tuple[float, float]]:
+    """(time_s, completions/s) per bucket — the Fig 12 timelines."""
+    bucket_ns = seconds(bucket_s)
+    counts: Dict[int, int] = {}
+    for t in completion_times_ns:
+        counts[t // bucket_ns] = counts.get(t // bucket_ns, 0) + 1
+    if not counts:
+        return []
+    out = []
+    for bucket in range(0, max(counts) + 1):
+        out.append((bucket * bucket_s,
+                    counts.get(bucket, 0) / bucket_s))
+    return out
+
+
+@dataclass
+class LatencyStats:
+    """Summary of a latency distribution (milliseconds)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    min_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_ns(cls, latencies_ns: Sequence[int]) -> "LatencyStats":
+        ms_values = [to_ms(v) for v in latencies_ns]
+        return cls(
+            count=len(ms_values),
+            mean_ms=sum(ms_values) / len(ms_values),
+            p50_ms=percentile(ms_values, 50),
+            p90_ms=percentile(ms_values, 90),
+            p99_ms=percentile(ms_values, 99),
+            min_ms=min(ms_values),
+            max_ms=max(ms_values),
+        )
+
+
+def summarize_invocations(records) -> Dict[str, float]:
+    """Aggregate one experiment's invocation records.
+
+    Returns mean latency, stage shares and throughput — the numbers the
+    workflow figures report.
+    """
+    if not records:
+        raise ValueError("no invocation records")
+    latencies = [r.latency_ns for r in records]
+    stats = LatencyStats.from_ns(latencies)
+    total_e2e = sum(latencies)
+    stage = {"transform": 0, "network": 0, "reconstruct": 0}
+    compute = platform = 0
+    for r in records:
+        s = r.stage_totals()
+        for k in stage:
+            stage[k] += s[k]
+        compute += r.compute_ns
+        platform += r.platform_ns
+    span_ns = (max(r.end_ns for r in records)
+               - min(r.start_ns for r in records)) or 1
+    transfer = sum(stage.values())
+    return {
+        "count": len(records),
+        "mean_ms": stats.mean_ms,
+        "p50_ms": stats.p50_ms,
+        "p90_ms": stats.p90_ms,
+        "p99_ms": stats.p99_ms,
+        "throughput_per_s": len(records) / to_seconds(span_ns),
+        "serialize_share": stage["transform"] / total_e2e,
+        "network_share": stage["network"] / total_e2e,
+        "reconstruct_share": stage["reconstruct"] / total_e2e,
+        "transfer_share": transfer / total_e2e,
+        "compute_share": compute / total_e2e,
+        "platform_share": platform / total_e2e,
+    }

@@ -1,0 +1,97 @@
+"""Experiment-result export: JSON and CSV series for plotting.
+
+The benchmark harnesses print text tables; users regenerating the paper's
+figures with their own plotting stack can export the same data as
+machine-readable files instead::
+
+    from repro.analysis.results import ResultSink
+    sink = ResultSink("out/")
+    sink.write_json("fig14", fig14_end_to_end())
+    sink.write_csv("fig11b", fig11b_payload_sweep(), index_name="entries")
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Optional
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert experiment outputs to JSON-encodable data."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if hasattr(value, "breakdown"):  # MicrobenchResult
+        return {
+            "transport": getattr(value, "transport", None),
+            "breakdown": _jsonable(value.breakdown),
+            "wire_bytes": getattr(value, "wire_bytes", None),
+            "object_count": getattr(value, "object_count", None),
+        }
+    return repr(value)
+
+
+def to_json(result: Any, indent: int = 2) -> str:
+    """Serialize any experiment result to a JSON string."""
+    return json.dumps(_jsonable(result), indent=indent, sort_keys=True)
+
+
+def to_csv(table: Dict[Any, Dict[str, Any]],
+           index_name: str = "key") -> str:
+    """Render a {row-key: {column: value}} mapping as CSV text.
+
+    Columns are the union of all row keys, in first-seen order; missing
+    cells are empty.  Nested values are JSON-encoded inline.
+    """
+    columns: list = []
+    for row in table.values():
+        for col in row:
+            if col not in columns:
+                columns.append(col)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([index_name] + columns)
+    for key, row in table.items():
+        cells = [key]
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, (dict, list)):
+                value = json.dumps(_jsonable(value))
+            elif is_dataclass(value) and not isinstance(value, type):
+                value = json.dumps(_jsonable(value))
+            cells.append(value)
+        writer.writerow(cells)
+    return buf.getvalue()
+
+
+class ResultSink:
+    """Writes experiment results under one output directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, name: str, ext: str) -> str:
+        return os.path.join(self.directory, f"{name}.{ext}")
+
+    def write_json(self, name: str, result: Any) -> str:
+        path = self._path(name, "json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(to_json(result))
+        return path
+
+    def write_csv(self, name: str, table: Dict[Any, Dict[str, Any]],
+                  index_name: str = "key") -> str:
+        path = self._path(name, "csv")
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            fh.write(to_csv(table, index_name=index_name))
+        return path

@@ -1,0 +1,86 @@
+"""Span-based execution tracing for workflow invocations.
+
+A :class:`Tracer` collects (name, start, end, depth) spans emitted by the
+coordinator; :func:`render_gantt` draws a text timeline.  Tracing is
+opt-in (``ServerlessPlatform.enable_tracing()``) and has zero simulated
+cost — it observes the clock, never advances it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.units import to_ms
+
+
+@dataclass
+class Span:
+    """One traced interval."""
+
+    name: str
+    start_ns: int
+    end_ns: int = -1
+    parent: Optional[str] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns < 0:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end_ns - self.start_ns
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ns >= 0
+
+
+class Tracer:
+    """Collects spans; cheap no-op methods when disabled."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: List[Span] = []
+
+    def begin(self, name: str, now_ns: int,
+              parent: Optional[str] = None, **attributes) -> Optional[Span]:
+        if not self.enabled:
+            return None
+        span = Span(name=name, start_ns=now_ns, parent=parent,
+                    attributes=dict(attributes))
+        self.spans.append(span)
+        return span
+
+    @staticmethod
+    def end(span: Optional[Span], now_ns: int) -> None:
+        if span is not None:
+            span.end_ns = now_ns
+
+    def finished_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.finished]
+
+    def by_name(self, prefix: str) -> List[Span]:
+        return [s for s in self.finished_spans()
+                if s.name.startswith(prefix)]
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+def render_gantt(tracer: Tracer, width: int = 60) -> str:
+    """A text Gantt chart of all finished spans, ordered by start."""
+    spans = sorted(tracer.finished_spans(), key=lambda s: s.start_ns)
+    if not spans:
+        return "(no spans)"
+    t0 = min(s.start_ns for s in spans)
+    t1 = max(s.end_ns for s in spans)
+    total = max(1, t1 - t0)
+    label_w = max(len(s.name) for s in spans)
+    lines = []
+    for span in spans:
+        lo = int(width * (span.start_ns - t0) / total)
+        hi = max(lo + 1, int(width * (span.end_ns - t0) / total))
+        bar = " " * lo + "#" * (hi - lo)
+        lines.append(f"{span.name.ljust(label_w)} |{bar.ljust(width)}| "
+                     f"{to_ms(span.duration_ns):8.3f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Benchmark harnesses shared by ``benchmarks/`` and ``examples/``.
+
+One experiment function per paper figure lives in:
+
+* :mod:`repro.bench.figures_micro` — Fig 11a/11b/16b, Section 2.4;
+* :mod:`repro.bench.figures_workflow` — Fig 3/5/13/14;
+* :mod:`repro.bench.figures_platform` — Fig 12/15/16a;
+* :mod:`repro.bench.ablations` — design-choice ablations.
+"""
+
+from repro.bench.config import bench_scale, scaled
+from repro.bench.microbench import (MicrobenchResult, make_pair,
+                                    measure_transfer, standard_transports)
+
+__all__ = [
+    "MicrobenchResult",
+    "make_pair",
+    "measure_transfer",
+    "standard_transports",
+    "bench_scale",
+    "scaled",
+]

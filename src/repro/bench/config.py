@@ -1,0 +1,26 @@
+"""Benchmark scaling knobs.
+
+Experiments default to scaled-down inputs so the whole harness finishes in
+minutes on a laptop; set ``REPRO_BENCH_SCALE=1.0`` (or higher) to approach
+the paper's input sizes.  Scaling changes absolute numbers, not the shapes
+the reproduction validates (who wins, by roughly what factor, where
+crossovers fall).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale(default: float = 0.2) -> float:
+    """Global scale factor from ``REPRO_BENCH_SCALE`` (default 0.2)."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", default))
+    except ValueError:
+        return default
+
+
+def scaled(n: int, scale: float = None, minimum: int = 1) -> int:
+    """Scale an input size, clamped below by *minimum*."""
+    factor = bench_scale() if scale is None else scale
+    return max(minimum, int(n * factor))

@@ -1,0 +1,239 @@
+"""Workflow-level experiments: Fig 3, Fig 5, Fig 13, Fig 14.
+
+Each experiment deploys scaled-down versions of the four workloads on a
+fresh simulated cluster per transport and reports end-to-end latency and
+state-transfer shares.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import summarize_invocations
+from repro.bench.config import bench_scale, scaled
+from repro.platform.cluster import ServerlessPlatform
+from repro.platform.dag import Workflow
+from repro.transfer import (MessagingTransport, RmmapTransport,
+                            StateTransport, StorageRdmaTransport,
+                            StorageTransport)
+from repro.workloads.finra import build_finra
+from repro.workloads.ml_prediction import build_ml_prediction
+from repro.workloads.ml_training import build_ml_training
+from repro.workloads.wordcount import build_wordcount
+
+
+def workflow_configs(scale: Optional[float] = None
+                     ) -> Dict[str, Tuple[Callable[[], Workflow], dict]]:
+    """(builder, params) for the four evaluated workflows, scaled.
+
+    Paper-scale inputs: FINRA 3.5 MB trades x 200 rules; ML training 10 k
+    images; ML prediction 30 MB images / 16 predictors; WordCount 13 MB
+    text / 8 mappers.
+    """
+    s = bench_scale() if scale is None else scale
+    finra_width = scaled(200, s, minimum=8)
+    predict_width = scaled(16, s, minimum=4)
+    map_width = 8
+    # the trades dataframe shrinks slower than the fan-out width: its
+    # (de)serialization cost is the phenomenon under study
+    finra_rows = scaled(25_000, min(1.0, s ** 0.5), minimum=1_000)
+    return {
+        "finra": (
+            lambda: build_finra(width=finra_width),
+            {"n_rows": finra_rows, "width": finra_width},
+        ),
+        "ml-training": (
+            lambda: build_ml_training(),
+            {"n_images": scaled(10_000, s, minimum=8_000),
+             "epochs": 5, "n_trees": 32},
+        ),
+        "ml-prediction": (
+            lambda: build_ml_prediction(width=predict_width),
+            {"n_images": scaled(1_280, s, minimum=128),
+             "predict_width": predict_width, "n_trees": 32},
+        ),
+        "wordcount": (
+            lambda: build_wordcount(width=map_width),
+            {"n_bytes": scaled(13 << 20, s, minimum=256 << 10),
+             "map_width": map_width},
+        ),
+    }
+
+
+def transport_factories() -> Dict[str, Callable[[], StateTransport]]:
+    return {
+        "messaging": MessagingTransport,
+        "storage": StorageTransport,
+        "storage-rdma": StorageRdmaTransport,
+        "rmmap": lambda: RmmapTransport(prefetch=False),
+        "rmmap-prefetch": RmmapTransport,
+    }
+
+
+def _light_params(params: dict) -> dict:
+    """Shrink payload knobs for the pre-warming run (same widths, so the
+    same containers get warmed, but far less host CPU)."""
+    light = dict(params)
+    if "n_rows" in light:
+        light["n_rows"] = min(light["n_rows"], 500)
+    if "n_images" in light:
+        light["n_images"] = min(light["n_images"],
+                                4 * light.get("predict_width", 16))
+    if "n_bytes" in light:
+        light["n_bytes"] = min(light["n_bytes"], 64 << 10)
+    if "epochs" in light:
+        light["epochs"] = 1
+    return light
+
+
+def run_workflow_once(builder: Callable[[], Workflow], params: dict,
+                      transport: StateTransport,
+                      n_machines: int = 10, prewarm: bool = True):
+    """Deploy, optionally pre-warm, run one invocation, return its record."""
+    platform = ServerlessPlatform(n_machines=n_machines)
+    workflow = builder()
+    platform.deploy(workflow, transport)
+    if prewarm:
+        platform.prewarm(workflow.name, _light_params(params))
+    return platform.run_once(workflow.name, params)
+
+
+# --- Fig 3 / Fig 5: state-transfer cost shares --------------------------------------
+
+def fig3_transfer_share(scale: Optional[float] = None,
+                        null_network: bool = False
+                        ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Breakdown of workflow E2E time under messaging and shared storage.
+
+    With ``null_network=True`` this becomes the Fig 5 emulation: the
+    messaging/storage software path is zeroed (a zero-byte message; no
+    storage reads/writes) and only (de)serialization remains.
+    """
+    configs = workflow_configs(scale)
+    transports = {
+        "messaging": lambda: MessagingTransport(null_network=null_network),
+        "storage": lambda: StorageTransport(null_network=null_network),
+    }
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for wf_name, (builder, params) in configs.items():
+        row = {}
+        for tname, factory in transports.items():
+            record = run_workflow_once(builder, params, factory())
+            cp = record.critical_path_totals()
+            serdes = cp["transform"] + cp["reconstruct"]
+            software = cp["network"]
+            # shares of the critical path, matching the paper's stacked
+            # end-to-end breakdown; platform scheduling overhead is
+            # orthogonal (the paper's Source #1) and reported separately
+            busy = (cp["compute"] + serdes + software) or 1
+            row[tname] = {
+                "e2e_ms": record.latency_ns / 1e6,
+                "func_share": cp["compute"] / busy,
+                "platform_share": cp["platform"] / busy,
+                "serdes_share": serdes / busy,
+                "software_share": software / busy,
+                "transfer_share": (serdes + software) / busy,
+            }
+        out[wf_name] = row
+    return out
+
+
+def fig5_serialization_share(scale: Optional[float] = None):
+    """Fig 5: (de)serialization share with zero software overhead."""
+    return fig3_transfer_share(scale, null_network=True)
+
+
+# --- Fig 14: end-to-end latency across all transports -------------------------------
+
+def fig14_end_to_end(scale: Optional[float] = None,
+                     workflows: Optional[List[str]] = None
+                     ) -> Dict[str, Dict[str, float]]:
+    """Mean E2E latency (ms) of every workflow under every transport."""
+    configs = workflow_configs(scale)
+    if workflows is not None:
+        configs = {k: v for k, v in configs.items() if k in workflows}
+    out: Dict[str, Dict[str, float]] = {}
+    for wf_name, (builder, params) in configs.items():
+        row = {}
+        for tname, factory in transport_factories().items():
+            record = run_workflow_once(builder, params, factory())
+            row[tname] = record.latency_ns / 1e6
+        out[wf_name] = row
+    return out
+
+
+# --- Fig 13: sensitivity analyses ------------------------------------------------------
+
+def fig13a_epochs(epochs_list: Optional[List[int]] = None,
+                  scale: Optional[float] = None
+                  ) -> Dict[int, Dict[str, float]]:
+    """ML-training latency vs epochs: longer functions amortize
+    (de)serialization, shrinking RMMAP's edge (23.9% -> 8% in the paper)."""
+    epochs_list = epochs_list or [5, 10, 20, 30]
+    s = bench_scale() if scale is None else scale
+    out: Dict[int, Dict[str, float]] = {}
+    for epochs in epochs_list:
+        params = {"n_images": scaled(10_000, s, minimum=8_000),
+                  "epochs": epochs, "n_trees": 32}
+        row = {}
+        for tname, factory in (("storage-rdma", StorageRdmaTransport),
+                               ("rmmap", RmmapTransport)):
+            record = run_workflow_once(build_ml_training, params, factory())
+            row[tname] = record.latency_ns / 1e6
+        row["improvement"] = 1.0 - row["rmmap"] / row["storage-rdma"]
+        out[epochs] = row
+    return out
+
+
+def fig13b_payload(image_counts: Optional[List[int]] = None
+                   ) -> Dict[int, Dict[str, float]]:
+    """ML-training latency vs transferred tensor size (non-monotone
+    improvement: more data costs more to (de)serialize but also extends
+    function execution)."""
+    image_counts = image_counts or [scaled(n, minimum=2_000)
+                                    for n in (10_000, 20_000, 40_000)]
+    out: Dict[int, Dict[str, float]] = {}
+    for n_images in image_counts:
+        params = {"n_images": n_images, "epochs": 10, "n_trees": 32}
+        row = {}
+        for tname, factory in (("storage-rdma", StorageRdmaTransport),
+                               ("rmmap", RmmapTransport)):
+            record = run_workflow_once(build_ml_training, params, factory())
+            row[tname] = record.latency_ns / 1e6
+        row["improvement"] = 1.0 - row["rmmap"] / row["storage-rdma"]
+        out[n_images] = row
+    return out
+
+
+def fig13c_width(widths: Optional[List[int]] = None
+                 ) -> Dict[int, Dict[str, float]]:
+    """ML-prediction latency vs workflow width (parallel predictors)."""
+    widths = widths or [4, 8, 16]
+    out: Dict[int, Dict[str, float]] = {}
+    for width in widths:
+        params = {"n_images": scaled(1_280, minimum=128),
+                  "predict_width": width, "n_trees": 32}
+        row = {}
+        for tname, factory in (("storage-rdma", StorageRdmaTransport),
+                               ("rmmap", RmmapTransport)):
+            record = run_workflow_once(
+                lambda: build_ml_prediction(width=width), params,
+                factory())
+            row[tname] = record.latency_ns / 1e6
+        row["improvement"] = 1.0 - row["rmmap"] / row["storage-rdma"]
+        out[width] = row
+    return out
+
+
+def fig13d_java(scale: Optional[float] = None) -> Dict[str, float]:
+    """Java WordCount under every transport (Section 5.7)."""
+    s = bench_scale() if scale is None else scale
+    params = {"n_bytes": scaled(13 << 20, s, minimum=256 << 10),
+              "map_width": 8}
+    out: Dict[str, float] = {}
+    for tname, factory in transport_factories().items():
+        record = run_workflow_once(
+            lambda: build_wordcount(width=8, runtime="java"), params,
+            factory())
+        out[tname] = record.latency_ns / 1e6
+    return out

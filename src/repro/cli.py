@@ -1,0 +1,219 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig14
+    python -m repro fig11b --scale 1.0
+    python -m repro quickstart
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict
+
+from repro.analysis.report import Table, format_ns
+
+
+def _fig3() -> None:
+    from repro.bench.figures_workflow import fig3_transfer_share
+    results = fig3_transfer_share()
+    table = Table("Fig 3: state-transfer cost breakdown",
+                  ["workflow", "transport", "e2e_ms", "func", "serdes",
+                   "software", "transfer-ratio"])
+    for wf, row in results.items():
+        for tname, d in row.items():
+            table.add_row(wf, tname, d["e2e_ms"], d["func_share"],
+                          d["serdes_share"], d["software_share"],
+                          d["transfer_share"])
+    table.print()
+
+
+def _fig5() -> None:
+    from repro.bench.figures_workflow import fig5_serialization_share
+    results = fig5_serialization_share()
+    table = Table("Fig 5: (de)serialization share (zero software path)",
+                  ["workflow", "transport", "e2e_ms", "serdes-share"])
+    for wf, row in results.items():
+        for tname, d in row.items():
+            table.add_row(wf, tname, d["e2e_ms"], d["serdes_share"])
+    table.print()
+
+
+def _fig11a() -> None:
+    from repro.bench.figures_micro import fig11a_datatypes
+    results = fig11a_datatypes()
+    table = Table("Fig 11a: per-type T/N/R",
+                  ["type", "transport", "T", "N", "R", "E2E"])
+    for type_name, row in results.items():
+        for tname, res in row.items():
+            b = res.breakdown
+            table.add_row(type_name, tname, format_ns(b.transform_ns),
+                          format_ns(b.network_ns),
+                          format_ns(b.reconstruct_ns), format_ns(b.e2e_ns))
+    table.print()
+
+
+def _fig11b() -> None:
+    from repro.bench.figures_micro import fig11b_payload_sweep
+    results = fig11b_payload_sweep()
+    names = list(next(iter(results.values())))
+    table = Table("Fig 11b: E2E vs list(int) entries", ["entries"] + names)
+    for count, row in sorted(results.items()):
+        table.add_row(count, *[format_ns(row[n]) for n in names])
+    table.print()
+
+
+def _fig12() -> None:
+    from repro.bench.figures_platform import (fig12_fixed_rate,
+                                              fig12_saturated)
+    saturated = fig12_saturated()
+    table = Table("Fig 12 (upper): saturated",
+                  ["transport", "tput/s", "p50_ms", "p99_ms"])
+    for tname, d in saturated.items():
+        table.add_row(tname, d["throughput_per_s"], d["stats"].p50_ms,
+                      d["stats"].p99_ms)
+    table.print()
+    fixed = fig12_fixed_rate()
+    table = Table("Fig 12 (lower): fixed rate",
+                  ["transport", "tput/s", "mean-pods", "p50_ms", "p99_ms"])
+    for tname, d in fixed.items():
+        table.add_row(tname, d["throughput_per_s"], d["mean_pods"],
+                      d["stats"].p50_ms, d["stats"].p99_ms)
+    table.print()
+
+
+def _fig13() -> None:
+    from repro.bench.figures_workflow import (fig13a_epochs, fig13b_payload,
+                                              fig13c_width, fig13d_java)
+    for title, results, key in (
+            ("epochs", fig13a_epochs(), "epochs"),
+            ("payload (images)", fig13b_payload(), "images"),
+            ("width", fig13c_width(), "width")):
+        table = Table(f"Fig 13 ({title})",
+                      [key, "storage-rdma_ms", "rmmap_ms", "improvement"])
+        for knob, d in sorted(results.items()):
+            table.add_row(knob, d["storage-rdma"], d["rmmap"],
+                          d["improvement"])
+        table.print()
+    java = fig13d_java()
+    table = Table("Fig 13d: Java WordCount", ["transport", "latency_ms"])
+    for tname, latency in java.items():
+        table.add_row(tname, latency)
+    table.print()
+
+
+def _fig14() -> None:
+    from repro.bench.figures_workflow import fig14_end_to_end
+    results = fig14_end_to_end()
+    names = list(next(iter(results.values())))
+    table = Table("Fig 14: workflow E2E latency (ms)",
+                  ["workflow"] + names)
+    for wf, row in results.items():
+        table.add_row(wf, *[row[n] for n in names])
+    table.print()
+
+
+def _fig15() -> None:
+    from repro.bench.figures_platform import fig15_factor_analysis
+    results = fig15_factor_analysis()
+    table = Table("Fig 15: factor analysis",
+                  ["variant", "setup_ms", "read_ms", "compute_ms",
+                   "e2e_ms"])
+    for name, d in results.items():
+        table.add_row(name, d["setup_ms"], d["read_ms"], d["compute_ms"],
+                      d["e2e_ms"])
+    table.print()
+
+
+def _fig16a() -> None:
+    from repro.bench.figures_platform import fig16a_memory
+    results = fig16a_memory()
+    table = Table("Fig 16a: peak memory (MB)",
+                  ["entries", "optimal", "rmmap", "messaging", "storage"])
+    for count, d in sorted(results.items()):
+        table.add_row(count, d["optimal"], d["rmmap"], d["messaging"],
+                      d["storage"])
+    table.print()
+
+
+def _fig16b() -> None:
+    from repro.bench.figures_micro import fig16b_naos
+    results = fig16b_naos()
+    table = Table("Fig 16b: RMMAP vs Naos",
+                  ["pairs", "naos", "rmmap", "rmmap faster by"])
+    for count, d in sorted(results.items()):
+        table.add_row(count, format_ns(d["naos"]), format_ns(d["rmmap"]),
+                      f"{1.0 - d['rmmap'] / d['naos']:.0%}")
+    table.print()
+
+
+def _ablations() -> None:
+    from repro.bench import ablations as ab
+    print("planning:", ab.ablation_planning())
+    print("conflict:", ab.ablation_rmap_conflict_demo())
+    print("registration:", ab.ablation_registration_mode())
+    print("prefetch threshold:", ab.ablation_prefetch_threshold())
+    print("page-table mode:", ab.ablation_page_table_mode())
+    print("compression:", ab.ablation_compression())
+
+
+def _calibration() -> None:
+    from repro.bench.figures_micro import section24_calibration
+    result = section24_calibration()
+    table = Table("Section 2.4 calibration", ["metric", "value"])
+    for key, value in result.items():
+        table.add_row(key, value)
+    table.print()
+
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fig3": _fig3,
+    "fig5": _fig5,
+    "fig11a": _fig11a,
+    "fig11b": _fig11b,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16a": _fig16a,
+    "fig16b": _fig16b,
+    "ablations": _ablations,
+    "calibration": _calibration,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the RMMAP paper's experiments "
+                    "(EuroSys 2024).")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["list", "all"],
+                        help="experiment to run (or 'list' / 'all')")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="input scale factor (sets REPRO_BENCH_SCALE; "
+                             "1.0 approaches paper-size inputs)")
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name, fn in sorted(EXPERIMENTS.items()):
+            print(f"### {name}")
+            fn()
+        return 0
+    EXPERIMENTS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the RMMAP reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """A violation of discrete-event-simulation invariants."""
+
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory errors.
+
+    The trailing underscore avoids shadowing the builtin ``MemoryError``.
+    """
+
+
+class OutOfMemory(MemoryError_):
+    """No free physical frames (or heap space) remain."""
+
+
+class SegmentationFault(MemoryError_):
+    """Access to an unmapped or protection-violating virtual address."""
+
+    def __init__(self, vaddr: int, reason: str = "unmapped"):
+        super().__init__(f"segfault at {vaddr:#x} ({reason})")
+        self.vaddr = vaddr
+        self.reason = reason
+
+
+class AddressConflict(MemoryError_):
+    """A requested virtual range overlaps an existing mapping."""
+
+
+class NetworkError(ReproError):
+    """Base class for fabric/RDMA/RPC errors."""
+
+
+class Disconnected(NetworkError):
+    """The remote endpoint is unreachable."""
+
+
+class KernelError(ReproError):
+    """Base class for simulated-kernel/syscall errors."""
+
+
+class AuthenticationFailed(KernelError):
+    """register_mem/rmap (id, key) validation failed."""
+
+
+class RegistrationNotFound(KernelError):
+    """No registered memory matches the given (id, key)."""
+
+
+class RmapFailed(KernelError):
+    """rmap could not map the remote range (e.g. address conflict)."""
+
+
+class RuntimeHeapError(ReproError):
+    """Base class for managed-runtime errors."""
+
+
+class SerializationError(RuntimeHeapError):
+    """Object graph could not be serialized or deserialized."""
+
+
+class DanglingRemoteReference(RuntimeHeapError):
+    """A local object points into a remote heap that has been unmapped."""
+
+
+class PlatformError(ReproError):
+    """Base class for serverless-platform errors."""
+
+
+class PlanningError(PlatformError):
+    """The virtual-memory address planner could not produce a valid plan."""
+
+
+class WorkflowError(PlatformError):
+    """Invalid workflow DAG or failed workflow execution."""

@@ -1,0 +1,277 @@
+"""The RMMAP kernel: Table 1 syscalls plus lifecycle management.
+
+Execution flow follows Figure 8: ``register_mem`` marks the producer's page
+tables CoW and records auth info in the kernel; ``rmap`` issues an
+authentication RPC to the producer's kernel, retrieves the page-table
+snapshot piggybacked on the reply, connects a kernel-space RDMA QP, and
+installs a :class:`~repro.kernel.remote_pager.RemoteVMA` in the consumer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import (AddressConflict, AuthenticationFailed, KernelError,
+                          RmapFailed)
+from repro.mem.address_space import AddressSpace
+from repro.mem.layout import AddressRange, SegmentLayout, page_number
+from repro.kernel.registry import (Registration, RegistrationRegistry,
+                                   VmMeta)
+from repro.kernel.remote_pager import (FETCH_RDMA, PteSource, RemoteVMA)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.machine import Machine
+
+MAP_WHOLE_SPACE = "whole"
+MAP_HEAP_ONLY = "heap"
+
+AUTH_RPC = "rmmap.auth"
+FETCH_PTES_RPC = "rmmap.fetch_ptes"
+DEREGISTER_RPC = "rmmap.deregister"
+
+PT_EAGER = "eager"      # snapshot piggybacked on the auth RPC (the paper)
+PT_ONDEMAND = "ondemand"  # 2 MB-region PTE fetch on first fault (Section 6
+#                           future work, on-demand page-table access)
+
+# AWS-style maximum function lifetime (15 min) plus grace, used by the
+# lease-based orphan scan (Section 4.2).
+DEFAULT_LEASE_NS = 15 * 60 * 1_000_000_000
+DEFAULT_GRACE_NS = 60 * 1_000_000_000
+
+
+class RmapHandle:
+    """What a successful ``rmap`` returns to the caller.
+
+    The language runtime wraps this in a remote-root proxy; destroying that
+    proxy calls :meth:`unmap` (the hybrid GC of Section 4.3).
+    """
+
+    def __init__(self, kernel: "Kernel", space: AddressSpace,
+                 vma: RemoteVMA, meta: VmMeta):
+        self.kernel = kernel
+        self.space = space
+        self.vma = vma
+        self.meta = meta
+        self.unmapped = False
+
+    def prefetch(self, vaddrs, doorbell: bool = True) -> int:
+        """Doorbell-batch fetch the pages covering *vaddrs* (Section 4.4)."""
+        self._check_live()
+        return self.vma.prefetch(self.space, vaddrs, doorbell=doorbell)
+
+    def unmap(self) -> None:
+        """Remove the remote mapping and free its local frames."""
+        if self.unmapped:
+            return
+        self.space.unmap_vma(self.vma)
+        self.unmapped = True
+
+    def _check_live(self) -> None:
+        if self.unmapped:
+            raise KernelError("rmap handle already unmapped")
+
+
+class Kernel:
+    """Per-machine RMMAP kernel state and syscall implementations."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self.cost = machine.cost
+        self.registry = RegistrationRegistry(machine.physical)
+        self.framework_key = hash((machine.mac_addr, "framework")) & 0xFFFF
+        machine.rpc.register_handler(AUTH_RPC, self._handle_auth_rpc)
+        machine.rpc.register_handler(FETCH_PTES_RPC,
+                                     self._handle_fetch_ptes_rpc)
+        machine.rpc.register_handler(DEREGISTER_RPC,
+                                     self._handle_deregister_rpc)
+
+    # --- register_mem (producer side) ----------------------------------------
+
+    def register_mem(self, space: AddressSpace, fid: str, key: int,
+                     vm_start: Optional[int] = None,
+                     vm_end: Optional[int] = None,
+                     mode: str = MAP_WHOLE_SPACE) -> VmMeta:
+        """Register a virtual range of *space*, marking it copy-on-write.
+
+        With no explicit range, registers the whole address space
+        (``mode=MAP_WHOLE_SPACE``, the paper's final design) or just the heap
+        segment (``MAP_HEAP_ONLY``, the initial design Section 6 discusses).
+        """
+        space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
+        rng = self._resolve_range(space, vm_start, vm_end, mode)
+        pages = 0
+        snapshot: Dict[int, int] = {}
+        for vma in space.vmas():
+            if isinstance(vma, RemoteVMA):
+                continue  # never re-register someone else's mapped memory
+            if not vma.range.overlaps(rng):
+                continue
+            sub = AddressRange(max(vma.range.start, rng.start),
+                               min(vma.range.end, rng.end))
+            pages += space.mark_range_cow(sub)
+            snapshot.update(space.page_table.snapshot(
+                page_number(sub.start), page_number(sub.end - 1)))
+        extra_pages = 0
+        if mode == MAP_WHOLE_SPACE and vm_start is None:
+            # whole-space registration also marks the interpreter/library
+            # resident set — the paper's "unnecessary marked copy-on-write
+            # pages" cost of mapping the whole address space (Section 6)
+            extra_pages = space.extra_resident_pages
+            space.ledger.charge(
+                extra_pages * self.cost.cow_mark_per_page_ns, "cow-mark")
+        reg = Registration(fid=fid, key=key, rng=rng, snapshot=snapshot,
+                           registered_at=self.machine.engine.now,
+                           owner=space.name, extra_pages=extra_pages)
+        self.registry.add(reg)
+        return VmMeta(mac_addr=self.machine.mac_addr, fid=fid, key=key,
+                      vm_start=rng.start, vm_end=rng.end,
+                      pages_registered=len(snapshot))
+
+    def _resolve_range(self, space: AddressSpace, vm_start, vm_end,
+                       mode: str) -> AddressRange:
+        if vm_start is not None and vm_end is not None:
+            return AddressRange(vm_start, vm_end)
+        if mode == MAP_HEAP_ONLY:
+            if space.segments is None:
+                raise KernelError("heap-only registration needs segments")
+            return space.segments.heap
+        # "whole address space" means the container's own planned range —
+        # its segments when set, else the span of its own (non-remote) VMAs
+        if space.segments is not None:
+            return AddressRange(space.segments.text.start,
+                                space.segments.stack.end)
+        own = [v for v in space.vmas() if not isinstance(v, RemoteVMA)]
+        if not own:
+            raise KernelError("cannot register an empty address space")
+        return AddressRange(own[0].range.start, own[-1].range.end)
+
+    # --- rmap (consumer side) ---------------------------------------------------
+
+    def rmap(self, space: AddressSpace, mac_addr: str, fid: str, key: int,
+             vm_start: Optional[int] = None, vm_end: Optional[int] = None,
+             fetch_mode: str = FETCH_RDMA,
+             page_table_mode: str = PT_EAGER) -> RmapHandle:
+        """Map remote registered memory into *space* at its original address.
+
+        Follows Figure 8: auth RPC (snapshot piggybacked), kernel-space QP
+        setup, then VMA installation.  With ``page_table_mode=PT_ONDEMAND``
+        the auth reply omits the snapshot and PTEs arrive lazily per 2 MB
+        region on first fault.  Raises
+        :class:`~repro.errors.AuthenticationFailed` on bad (id, key) and
+        :class:`~repro.errors.RmapFailed` on address conflicts.
+        """
+        space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
+        lazy = page_table_mode == PT_ONDEMAND
+        reply = self.machine.rpc.call(
+            mac_addr, AUTH_RPC,
+            {"fid": fid, "key": key, "with_snapshot": not lazy},
+            space.ledger, category="rmap-auth")
+        snapshot: Dict[int, int] = reply["snapshot"]
+        space.ledger.charge(
+            (len(snapshot)
+             + (0 if lazy else reply.get("extra_pages", 0)))
+            * self.cost.page_table_fetch_per_page_ns,
+            "rmap-auth")
+        pte_source = None
+        if lazy:
+            pte_source = PteSource(
+                lambda first, last: self._fetch_remote_ptes(
+                    space, mac_addr, fid, key, first, last))
+        rng = AddressRange(reply["vm_start"], reply["vm_end"])
+        if vm_start is not None and vm_end is not None:
+            sub = AddressRange(vm_start, vm_end)
+            if not rng.contains_range(sub):
+                raise RmapFailed(
+                    f"requested {sub!r} outside registered {rng!r}")
+            rng = sub
+            first, last = page_number(sub.start), page_number(sub.end - 1)
+            snapshot = {vpn: pfn for vpn, pfn in snapshot.items()
+                        if first <= vpn <= last}
+        if mac_addr == self.machine.mac_addr:
+            qp = None  # same machine: plain shared memory, no QP
+        else:
+            qp = self.machine.nic.connect(mac_addr, space.ledger,
+                                          kernel_space=True)
+        vma = RemoteVMA(rng, snapshot, qp, name=f"rmap:{fid}",
+                        fetch_mode=fetch_mode, pte_source=pte_source)
+        try:
+            space.map_vma(vma)
+        except AddressConflict as err:
+            raise RmapFailed(str(err)) from err
+        meta = VmMeta(mac_addr=mac_addr, fid=fid, key=key,
+                      vm_start=rng.start, vm_end=rng.end,
+                      pages_registered=len(snapshot))
+        return RmapHandle(self, space, vma, meta)
+
+    def _handle_auth_rpc(self, payload) -> dict:
+        reg = self.registry.lookup(payload["fid"], payload["key"])
+        reg.check_key(payload["key"])
+        reg.rmap_count += 1
+        with_snapshot = payload.get("with_snapshot", True)
+        return {"vm_start": reg.rng.start, "vm_end": reg.rng.end,
+                "snapshot": dict(reg.snapshot) if with_snapshot else {},
+                "extra_pages": reg.extra_pages}
+
+    def _fetch_remote_ptes(self, space: AddressSpace, mac_addr: str,
+                           fid: str, key: int, first_vpn: int,
+                           last_vpn: int) -> Dict[int, int]:
+        """Consumer-side: pull one region's PTEs from the producer."""
+        reply = self.machine.rpc.call(
+            mac_addr, FETCH_PTES_RPC,
+            {"fid": fid, "key": key, "first": first_vpn, "last": last_vpn},
+            space.ledger, category="rmap-auth")
+        space.ledger.charge(
+            len(reply) * self.cost.page_table_fetch_per_page_ns,
+            "rmap-auth")
+        return reply
+
+    def _handle_fetch_ptes_rpc(self, payload) -> Dict[int, int]:
+        reg = self.registry.lookup(payload["fid"], payload["key"])
+        return {vpn: pfn for vpn, pfn in reg.snapshot.items()
+                if payload["first"] <= vpn <= payload["last"]}
+
+    # --- deregister_mem (framework side) -----------------------------------------
+
+    def deregister_mem(self, fid: str, key: int,
+                       framework_key: Optional[int] = None) -> None:
+        """Reclaim registered memory.  Requires either the registration key
+        or the framework credential (the call may target memory owned by a
+        different process, Section 4.1)."""
+        if framework_key is not None and framework_key != self.framework_key:
+            raise AuthenticationFailed("bad framework credential")
+        self.registry.remove(fid, key)
+
+    def deregister_remote(self, mac_addr: str, fid: str, key: int,
+                          ledger) -> None:
+        """Coordinator-side helper: RPC a pod to reclaim a registration."""
+        self.machine.rpc.call(mac_addr, DEREGISTER_RPC,
+                              {"fid": fid, "key": key}, ledger,
+                              category="reclaim")
+
+    def _handle_deregister_rpc(self, payload) -> bool:
+        self.registry.remove(payload["fid"], payload["key"])
+        return True
+
+    # --- set_segment ------------------------------------------------------------
+
+    def set_segment(self, space: AddressSpace, layout: SegmentLayout) -> None:
+        """Pin heap/stack placement so the container conforms to its plan
+        (Section 4.2 "Realizing the plan")."""
+        space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
+        space.set_segments(layout)
+
+    # --- lease-based orphan reclamation (Section 4.2) ---------------------------
+
+    def scan_expired(self, lease_ns: int = DEFAULT_LEASE_NS,
+                     grace_ns: int = DEFAULT_GRACE_NS) -> List[str]:
+        """Reclaim registrations older than max-lifetime + grace.
+
+        Run periodically by each pod so coordinator failure cannot leak
+        registered memory forever.  Returns the reclaimed fids.
+        """
+        now = self.machine.engine.now
+        reclaimed = []
+        for reg in self.registry.expired(now, lease_ns + grace_ns):
+            self.registry.remove(reg.fid, reg.key)
+            reclaimed.append(reg.fid)
+        return reclaimed

@@ -1,0 +1,53 @@
+"""One physical machine: memory, NIC, RPC endpoint, kernel, CPU cores."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.physical import PhysicalMemory
+from repro.net.fabric import Fabric
+from repro.net.rdma import RdmaNic
+from repro.net.rpc import RpcEndpoint
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+from repro.units import GB, CostModel, DEFAULT_COST_MODEL
+
+
+class Machine:
+    """A worker node on the fabric.
+
+    Matches the paper's testbed shape (Section 5.1): multi-core servers with
+    one RDMA NIC each.  Containers/pods run on machines via the platform
+    layer; the kernel layer only needs memory, networking and cores.
+    """
+
+    def __init__(self, mac_addr: str, engine: Engine, fabric: Fabric,
+                 cost: CostModel = DEFAULT_COST_MODEL,
+                 memory_bytes: int = 64 * GB, cores: int = 24):
+        from repro.kernel.kernel import Kernel  # avoid import cycle
+
+        self.mac_addr = mac_addr
+        self.engine = engine
+        self.fabric = fabric
+        self.cost = cost
+        self.physical = PhysicalMemory(memory_bytes)
+        self.nic = RdmaNic(mac_addr, fabric, cost)
+        self.rpc = RpcEndpoint(mac_addr, fabric, cost)
+        self.cpu = Resource(engine, cores, name=f"{mac_addr}.cpu")
+        self.kernel = Kernel(self)
+        fabric.attach(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Machine {self.mac_addr}>"
+
+
+def make_cluster(engine: Engine, n_machines: int,
+                 cost: CostModel = DEFAULT_COST_MODEL,
+                 memory_bytes: int = 64 * GB, cores: int = 24,
+                 fabric: Optional[Fabric] = None):
+    """Convenience: build *n_machines* attached to one fabric."""
+    fabric = fabric if fabric is not None else Fabric()
+    machines = [Machine(f"mac{i}", engine, fabric, cost,
+                        memory_bytes=memory_bytes, cores=cores)
+                for i in range(n_machines)]
+    return fabric, machines

@@ -1,0 +1,111 @@
+"""Registered-memory registry: (id, key) auth, snapshots, shadow pins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AuthenticationFailed, RegistrationNotFound
+from repro.mem.layout import AddressRange
+from repro.mem.physical import PhysicalMemory
+
+
+@dataclass(frozen=True)
+class VmMeta:
+    """What a successful ``register_mem`` returns (Table 1).
+
+    The producer forwards this to the coordinator, which routes it to the
+    consumer so it can call ``rmap`` (Figure 6, step 2).
+    """
+
+    mac_addr: str
+    fid: str
+    key: int
+    vm_start: int
+    vm_end: int
+    pages_registered: int
+
+    @property
+    def range(self) -> AddressRange:
+        return AddressRange(self.vm_start, self.vm_end)
+
+
+@dataclass
+class Registration:
+    """Kernel-side record of one registered memory range.
+
+    ``snapshot`` is the vpn -> pfn map at registration time: the remote
+    kernel ships it during the rmap authentication RPC so the consumer can
+    issue one-sided reads by physical address (Section 4.1).  Each snapshot
+    frame holds one shadow-copy reference, keeping pages alive after the
+    producer exits or overwrites them.
+    """
+
+    fid: str
+    key: int
+    rng: AddressRange
+    snapshot: Dict[int, int]
+    registered_at: int
+    owner: str = ""
+    extra_pages: int = 0
+    deregistered: bool = False
+    rmap_count: int = 0
+
+    def check_key(self, key: int) -> None:
+        if key != self.key:
+            raise AuthenticationFailed(
+                f"bad key for registration {self.fid!r}")
+
+
+class RegistrationRegistry:
+    """All live registrations on one machine's kernel."""
+
+    def __init__(self, physical: PhysicalMemory):
+        self.physical = physical
+        self._by_id: Dict[Tuple[str, int], Registration] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def add(self, reg: Registration) -> None:
+        ident = (reg.fid, reg.key)
+        if ident in self._by_id:
+            raise AuthenticationFailed(
+                f"registration {reg.fid!r} already exists with this key")
+        # take the shadow-copy pins
+        for pfn in reg.snapshot.values():
+            self.physical.get(pfn)
+        self._by_id[ident] = reg
+
+    def lookup(self, fid: str, key: int) -> Registration:
+        reg = self._by_id.get((fid, key))
+        if reg is None:
+            # distinguish wrong-key from unknown-id for better errors
+            if any(f == fid for f, _k in self._by_id):
+                raise AuthenticationFailed(f"bad key for {fid!r}")
+            raise RegistrationNotFound(f"no registration {fid!r}")
+        return reg
+
+    def remove(self, fid: str, key: int) -> Registration:
+        """Drop a registration, releasing its shadow-copy pins."""
+        reg = self.lookup(fid, key)
+        del self._by_id[(fid, key)]
+        for pfn in reg.snapshot.values():
+            self.physical.put(pfn)
+        reg.deregistered = True
+        return reg
+
+    def expired(self, now_ns: int, lifetime_ns: int) -> List[Registration]:
+        """Registrations older than *lifetime_ns* (lease scan, Section 4.2)."""
+        return [reg for reg in self._by_id.values()
+                if now_ns - reg.registered_at > lifetime_ns]
+
+    def all(self) -> List[Registration]:
+        return list(self._by_id.values())
+
+    def pinned_bytes(self) -> int:
+        """Bytes held alive solely for registrations (snapshot frames)."""
+        pfns = set()
+        for reg in self._by_id.values():
+            pfns.update(reg.snapshot.values())
+        return len(pfns) * 4096

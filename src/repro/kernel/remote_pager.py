@@ -1,0 +1,185 @@
+"""The remote-pager device: VMAs whose faults read pages over the fabric.
+
+This is the paper's "special (logical) device" (Figure 8, step 3-4): rmap
+creates a VMA hooked to this device; touching a page inside it triggers a
+fault that fetches the remote physical page with a one-sided RDMA READ, or —
+for the factor-analysis baseline (Section 5.5) — with a two-sided RPC.
+
+Page-table metadata arrives either *eagerly* (the full snapshot piggybacked
+on the auth RPC — the paper's design, whose cost Section 6 calls out for
+fat address spaces) or *on demand* at 2 MB-region granularity (the paper's
+cited future-work direction), via a :class:`PteSource`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import SegmentationFault
+from repro.mem.layout import AddressRange, page_number
+from repro.mem.pagetable import PTE, PTE_COW, PTE_PRESENT
+from repro.mem.vma import VMA
+from repro.net.rdma import QueuePair, ReadRequest
+from repro.units import PAGE_SIZE, transfer_time_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mem.address_space import AddressSpace
+
+FETCH_RDMA = "rdma"
+FETCH_RPC = "rpc"
+
+#: on-demand PTE fetch granularity: 2 MB regions (512 pages)
+REGION_PAGES = 512
+
+
+class PteSource:
+    """Lazily materializes PTE snapshots at region granularity.
+
+    ``fetch(first_vpn, last_vpn)`` returns the producer-side vpn -> pfn
+    entries for that region, charging the caller's ledger for the RPC.
+    """
+
+    def __init__(self, fetch: Callable[[int, int], Dict[int, int]]):
+        self._fetch = fetch
+        self.regions_fetched = 0
+
+    def fetch_region(self, vpn: int) -> Dict[int, int]:
+        first = (vpn // REGION_PAGES) * REGION_PAGES
+        self.regions_fetched += 1
+        return self._fetch(first, first + REGION_PAGES - 1)
+
+
+class RemoteVMA(VMA):
+    """A consumer-side mapping of a producer's registered memory.
+
+    Pages are mapped CoW: the consumer reads shared snapshot frames fetched
+    on demand; a consumer *write* breaks CoW into a private local frame, so
+    producers never observe consumer modifications (coherency model of
+    Section 4.1).
+
+    ``qp=None`` marks a *same-machine* mapping: faults map the producer's
+    snapshot frames directly (shared memory), with no network involved.
+    """
+
+    def __init__(self, rng: AddressRange, snapshot: Dict[int, int],
+                 qp: Optional[QueuePair], name: str = "rmap",
+                 fetch_mode: str = FETCH_RDMA,
+                 pte_source: Optional[PteSource] = None):
+        super().__init__(rng, name=name, writable=True)
+        self.snapshot = snapshot
+        self.qp = qp
+        self.fetch_mode = fetch_mode
+        self.pte_source = pte_source
+        self._fetched_regions: set = set()
+        self.remote_faults = 0
+        self.pages_fetched = 0
+        self.zero_fill_faults = 0
+
+    def _ensure_pte(self, vpn: int) -> Optional[int]:
+        """Producer pfn for *vpn*, fetching its PTE region if lazy."""
+        pfn = self.snapshot.get(vpn)
+        if pfn is not None or self.pte_source is None:
+            return pfn
+        region = vpn // REGION_PAGES
+        if region in self._fetched_regions:
+            return None  # fetched, genuinely absent at the producer
+        self._fetched_regions.add(region)
+        self.snapshot.update(self.pte_source.fetch_region(vpn))
+        return self.snapshot.get(vpn)
+
+    # --- fault path -----------------------------------------------------------
+
+    def handle_fault(self, space: "AddressSpace", vpn: int,
+                     write: bool) -> PTE:
+        space.ledger.charge(space.cost.page_fault_ns, "remote-fault")
+        remote_pfn = self._ensure_pte(vpn)
+        if remote_pfn is None:
+            # never materialized at the producer: demand-zero locally
+            self.zero_fill_faults += 1
+            frame = space.physical.allocate()
+        elif self.qp is None:
+            # same machine: share the producer's frame directly (CoW)
+            self.remote_faults += 1
+            frame = space.physical.get(remote_pfn)
+        else:
+            self.remote_faults += 1
+            self.pages_fetched += 1
+            data = self._fetch_page(space, remote_pfn)
+            frame = space.physical.allocate()
+            frame.data[:] = data
+        return space.page_table.map(vpn, frame.pfn, PTE_PRESENT | PTE_COW)
+
+    def _fetch_page(self, space: "AddressSpace", remote_pfn: int) -> bytes:
+        if self.fetch_mode == FETCH_RDMA:
+            return self.qp.read(ReadRequest(remote_pfn), space.ledger,
+                                category="rdma-read")
+        # RPC baseline: two-sided message through the remote CPU, with the
+        # extra copies a messaging path implies (Section 3.1 / Section 5.5).
+        remote = self.qp.nic.fabric.machine(self.qp.remote_mac)
+        data = remote.physical.read_frame(remote_pfn)
+        cost = space.cost
+        wire = transfer_time_ns(PAGE_SIZE, cost.rdma_bandwidth_gbps)
+        copies = 2 * transfer_time_ns(PAGE_SIZE, cost.serialize_copy_gbps)
+        space.ledger.charge(cost.rpc_roundtrip_ns + wire + copies,
+                            "rpc-page-read")
+        return data
+
+    # --- prefetch (Section 4.4) -------------------------------------------------
+
+    def prefetch(self, space: "AddressSpace", vaddrs: Iterable[int],
+                 doorbell: bool = True) -> int:
+        """Fetch the pages covering *vaddrs* ahead of demand.
+
+        With ``doorbell=True`` (the design) all pages travel in one
+        doorbell-batched request; ``doorbell=False`` issues one READ per
+        page — the ablation showing why batching matters (Section 4.4).
+        Returns the number of pages installed.  Pages already present are
+        skipped; addresses outside the mapping raise
+        :class:`SegmentationFault` (the producer sent a bogus page list).
+        """
+        wanted: List[int] = []
+        seen = set()
+        for vaddr in vaddrs:
+            vpn = page_number(vaddr)
+            if vpn in seen:
+                continue
+            seen.add(vpn)
+            if vaddr not in self.range:
+                raise SegmentationFault(vaddr, "prefetch outside rmap range")
+            if space.page_table.lookup(vpn) is not None:
+                continue
+            if self._ensure_pte(vpn) is not None:
+                wanted.append(vpn)
+        if not wanted:
+            return 0
+        if self.qp is None:
+            # same machine: map the shared frames, no network
+            for vpn in wanted:
+                frame = space.physical.get(self.snapshot[vpn])
+                space.page_table.map(vpn, frame.pfn,
+                                     PTE_PRESENT | PTE_COW)
+            return len(wanted)
+        if self.fetch_mode == FETCH_RDMA and doorbell:
+            requests = [ReadRequest(self.snapshot[vpn]) for vpn in wanted]
+            pages = self.qp.read_batch(requests, space.ledger,
+                                       category="rdma-prefetch")
+        elif self.fetch_mode == FETCH_RDMA:
+            pages = [self.qp.read(ReadRequest(self.snapshot[vpn]),
+                                  space.ledger, category="rdma-prefetch")
+                     for vpn in wanted]
+        else:
+            pages = [self._fetch_page(space, self.snapshot[vpn])
+                     for vpn in wanted]
+        for vpn, data in zip(wanted, pages):
+            frame = space.physical.allocate()
+            frame.data[:] = data
+            space.page_table.map(vpn, frame.pfn, PTE_PRESENT | PTE_COW)
+        self.pages_fetched += len(wanted)
+        return len(wanted)
+
+    def prefetch_all(self, space: "AddressSpace") -> int:
+        """Fetch every snapshot page (used by tests/ablations, not the
+        production path — the paper's point is to avoid this)."""
+        return self.prefetch(space,
+                             (vpn << 12 for vpn in self.snapshot
+                              if (vpn << 12) in self.range))

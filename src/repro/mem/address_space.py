@@ -1,0 +1,169 @@
+"""Per-container address spaces: VMAs + page table + byte-level access."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import AddressConflict, SegmentationFault
+from repro.mem.layout import (AddressRange, SegmentLayout, page_number,
+                              page_offset)
+from repro.mem.pagetable import (PTE, PTE_COW, PTE_PRESENT, PTE_WRITE,
+                                 PageTable)
+from repro.mem.physical import PhysicalMemory
+from repro.mem.vma import VMA
+from repro.sim.ledger import Ledger
+from repro.units import PAGE_SIZE, CostModel, DEFAULT_COST_MODEL
+
+
+class AddressSpace:
+    """The virtual memory of one container (process).
+
+    Byte-level :meth:`read`/:meth:`write` walk the page table, dispatching
+    misses and CoW breaks to the owning VMA; every hardware-visible effect
+    charges the space's :class:`~repro.sim.ledger.Ledger`.
+    """
+
+    def __init__(self, physical: PhysicalMemory, name: str = "as",
+                 cost: CostModel = DEFAULT_COST_MODEL,
+                 ledger: Optional[Ledger] = None):
+        self.physical = physical
+        self.name = name
+        self.cost = cost
+        self.ledger = ledger if ledger is not None else Ledger()
+        self.page_table = PageTable()
+        self._vmas: List[VMA] = []
+        self.segments: Optional[SegmentLayout] = None
+        self.fault_count = 0
+        self.cow_break_count = 0
+        # Resident pages of the interpreter + imported libraries, modeled as
+        # pure accounting (no frames): whole-address-space registration must
+        # CoW-mark them and ship their PTEs (Section 6 "Map the heap vs.
+        # Map the whole address space").
+        self.extra_resident_pages = 0
+
+    # --- VMA management -------------------------------------------------------
+
+    def map_vma(self, vma: VMA) -> VMA:
+        """Install *vma*; raises :class:`AddressConflict` on overlap."""
+        for existing in self._vmas:
+            if existing.range.overlaps(vma.range):
+                raise AddressConflict(
+                    f"{vma!r} overlaps {existing!r} in {self.name}")
+        self._vmas.append(vma)
+        self._vmas.sort(key=lambda v: v.range.start)
+        return vma
+
+    def unmap_vma(self, vma: VMA, free_frames: bool = True) -> None:
+        """Remove *vma*, dropping frame references for its present pages."""
+        self._vmas.remove(vma)
+        for vpn in list(vma.range.pages()):
+            pte = self.page_table.lookup(vpn)
+            if pte is not None:
+                self.page_table.unmap(vpn)
+                if free_frames:
+                    self.physical.put(pte.pfn)
+        vma.on_unmap(self)
+
+    def find_vma(self, vaddr: int) -> Optional[VMA]:
+        for vma in self._vmas:
+            if vaddr in vma.range:
+                return vma
+        return None
+
+    def vmas(self) -> List[VMA]:
+        return list(self._vmas)
+
+    def set_segments(self, layout: SegmentLayout) -> None:
+        """Pin the segment layout (the ``set_segment`` syscall's effect)."""
+        self.segments = layout
+
+    # --- translation ---------------------------------------------------------
+
+    def translate(self, vaddr: int, write: bool = False) -> PTE:
+        """Resolve *vaddr* to a PTE, faulting in the page if needed."""
+        vpn = page_number(vaddr)
+        pte = self.page_table.lookup(vpn)
+        self.ledger.charge(self.cost.page_table_walk_ns, "mmu")
+        if pte is None:
+            vma = self.find_vma(vaddr)
+            if vma is None:
+                raise SegmentationFault(vaddr)
+            self.fault_count += 1
+            pte = vma.handle_fault(self, vpn, write)
+        if write:
+            if pte.cow:
+                pte = self._break_cow(vpn, pte)
+            elif not pte.writable:
+                raise SegmentationFault(vaddr, "write to read-only page")
+        return pte
+
+    def _break_cow(self, vpn: int, pte: PTE) -> PTE:
+        """Copy-on-write break: private copy of a shared frame."""
+        self.cow_break_count += 1
+        old_pfn = pte.pfn
+        frame = self.physical.duplicate(old_pfn)
+        self.physical.put(old_pfn)
+        self.ledger.charge(self.cost.page_fault_ns, "cow-break")
+        return self.page_table.remap(vpn, frame.pfn, PTE_PRESENT | PTE_WRITE)
+
+    # --- byte access -----------------------------------------------------------
+
+    def read(self, vaddr: int, length: int) -> bytes:
+        """Read *length* bytes, crossing page boundaries as needed."""
+        out = bytearray()
+        while length > 0:
+            pte = self.translate(vaddr)
+            off = page_offset(vaddr)
+            chunk = min(length, PAGE_SIZE - off)
+            out += self.physical.frame(pte.pfn).data[off:off + chunk]
+            vaddr += chunk
+            length -= chunk
+        return bytes(out)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        """Write *data*, breaking CoW and crossing pages as needed."""
+        pos = 0
+        remaining = len(data)
+        while remaining > 0:
+            pte = self.translate(vaddr, write=True)
+            off = page_offset(vaddr)
+            chunk = min(remaining, PAGE_SIZE - off)
+            frame = self.physical.frame(pte.pfn)
+            frame.data[off:off + chunk] = data[pos:pos + chunk]
+            vaddr += chunk
+            pos += chunk
+            remaining -= chunk
+
+    def read_u64(self, vaddr: int) -> int:
+        return int.from_bytes(self.read(vaddr, 8), "little")
+
+    def write_u64(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+
+    # --- CoW marking (register_mem's producer-side step) ----------------------
+
+    def mark_range_cow(self, rng: AddressRange) -> int:
+        """Mark all present pages in *rng* CoW; returns pages marked.
+
+        Flag-flip only: the shadow-copy references that keep pages alive
+        after the producer exits (Section 4.1) are taken by the kernel's
+        registration via ``PhysicalMemory.get``, so independent registrations
+        can be deregistered independently.
+        """
+        marked = 0
+        first = page_number(rng.start)
+        last = page_number(rng.end - 1)
+        for _vpn, pte in self.page_table.entries_in(first, last):
+            if not pte.cow:
+                pte.mark_cow()
+                marked += 1
+        self.ledger.charge(marked * self.cost.cow_mark_per_page_ns, "cow-mark")
+        return marked
+
+    # --- introspection -----------------------------------------------------------
+
+    def resident_pages(self) -> int:
+        return len(self.page_table)
+
+    def resident_bytes(self) -> int:
+        return self.resident_pages() * PAGE_SIZE

@@ -1,0 +1,122 @@
+"""Physical memory: bytearray-backed frames with ``page_t`` refcounts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import MemoryError_, OutOfMemory
+from repro.units import PAGE_SIZE
+
+
+class Frame:
+    """One 4 KB physical frame.
+
+    ``refcount`` mirrors Linux's ``page_t`` counter: CoW sharing and the
+    kernel's shadow-copy pinning (Section 4.1) both bump it.
+    """
+
+    __slots__ = ("pfn", "data", "refcount")
+
+    def __init__(self, pfn: int):
+        self.pfn = pfn
+        self.data = bytearray(PAGE_SIZE)
+        self.refcount = 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Frame pfn={self.pfn} rc={self.refcount}>"
+
+
+class PhysicalMemory:
+    """Frame allocator for one machine.
+
+    Frames are lazily materialized; ``capacity_frames`` bounds the resident
+    set so memory-consumption experiments (Fig 16a) can observe peaks.
+    """
+
+    def __init__(self, capacity_bytes: int = 64 << 30):
+        if capacity_bytes < PAGE_SIZE:
+            raise MemoryError_("capacity below one page")
+        self.capacity_frames = capacity_bytes // PAGE_SIZE
+        self._frames: Dict[int, Frame] = {}
+        self._free_pfns: List[int] = []
+        self._next_pfn = 0
+        self.peak_frames = 0
+
+    # --- accounting ---------------------------------------------------------
+
+    @property
+    def used_frames(self) -> int:
+        return len(self._frames)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_frames * PAGE_SIZE
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.peak_frames * PAGE_SIZE
+
+    def reset_peak(self) -> None:
+        self.peak_frames = self.used_frames
+
+    # --- allocation -----------------------------------------------------------
+
+    def allocate(self) -> Frame:
+        """Allocate a zeroed frame with refcount 1."""
+        if self.used_frames >= self.capacity_frames:
+            raise OutOfMemory(
+                f"physical memory exhausted ({self.capacity_frames} frames)")
+        if self._free_pfns:
+            pfn = self._free_pfns.pop()
+        else:
+            pfn = self._next_pfn
+            self._next_pfn += 1
+        frame = Frame(pfn)
+        self._frames[pfn] = frame
+        if self.used_frames > self.peak_frames:
+            self.peak_frames = self.used_frames
+        return frame
+
+    def frame(self, pfn: int) -> Frame:
+        try:
+            return self._frames[pfn]
+        except KeyError:
+            raise MemoryError_(f"no frame with pfn {pfn}") from None
+
+    def get(self, pfn: int) -> Frame:
+        """Bump *pfn*'s refcount (CoW share / shadow-copy pin)."""
+        frame = self.frame(pfn)
+        frame.refcount += 1
+        return frame
+
+    def put(self, pfn: int) -> None:
+        """Drop one reference; frees the frame at zero."""
+        frame = self.frame(pfn)
+        if frame.refcount <= 0:
+            raise MemoryError_(f"refcount underflow on pfn {pfn}")
+        frame.refcount -= 1
+        if frame.refcount == 0:
+            del self._frames[pfn]
+            self._free_pfns.append(pfn)
+
+    def duplicate(self, pfn: int) -> Frame:
+        """CoW break: copy *pfn* into a fresh frame (refcount 1)."""
+        src = self.frame(pfn)
+        dst = self.allocate()
+        dst.data[:] = src.data
+        return dst
+
+    # --- raw access (physical addressing, used by the RDMA NIC) -------------
+
+    def read_frame(self, pfn: int, offset: int = 0,
+                   length: Optional[int] = None) -> bytes:
+        if length is None:
+            length = PAGE_SIZE - offset
+        if not (0 <= offset and offset + length <= PAGE_SIZE):
+            raise MemoryError_("frame read out of bounds")
+        return bytes(self.frame(pfn).data[offset:offset + length])
+
+    def write_frame(self, pfn: int, data: bytes, offset: int = 0) -> None:
+        if offset + len(data) > PAGE_SIZE:
+            raise MemoryError_("frame write out of bounds")
+        self.frame(pfn).data[offset:offset + len(data)] = data

@@ -1,0 +1,74 @@
+"""Virtual memory areas with pluggable fault handlers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SegmentationFault
+from repro.mem.layout import AddressRange
+from repro.mem.pagetable import PTE, PTE_PRESENT, PTE_WRITE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mem.address_space import AddressSpace
+
+
+class VMA:
+    """A mapped virtual range plus the policy for populating its pages.
+
+    Subclasses override :meth:`handle_fault` — the paper's "special (logical)
+    device" hooking the fault handler is exactly such a subclass
+    (:class:`repro.kernel.remote_pager.RemoteVMA`).
+    """
+
+    def __init__(self, rng: AddressRange, name: str = "vma",
+                 writable: bool = True):
+        self.range = rng
+        self.name = name
+        self.writable = writable
+
+    def handle_fault(self, space: "AddressSpace", vpn: int,
+                     write: bool) -> PTE:
+        raise NotImplementedError
+
+    def on_unmap(self, space: "AddressSpace") -> None:
+        """Hook invoked when the VMA is removed from its address space."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"[{self.range.start:#x},{self.range.end:#x})>")
+
+
+class AnonymousVMA(VMA):
+    """Demand-zero anonymous memory (heap, stack, bss)."""
+
+    def handle_fault(self, space: "AddressSpace", vpn: int,
+                     write: bool) -> PTE:
+        if write and not self.writable:
+            raise SegmentationFault(vpn << 12, "write to read-only vma")
+        frame = space.physical.allocate()
+        flags = PTE_PRESENT | (PTE_WRITE if self.writable else 0)
+        space.ledger.charge(space.cost.page_fault_ns, "fault")
+        return space.page_table.map(vpn, frame.pfn, flags)
+
+
+class FileVMA(VMA):
+    """A read-only mapping of immutable content (text segment, CDS archive).
+
+    Pages are populated from *content* on first touch; used to model shared
+    type-metadata segments (Section 4.3's class-data sharing).
+    """
+
+    def __init__(self, rng: AddressRange, content: bytes, name: str = "file"):
+        super().__init__(rng, name=name, writable=False)
+        self.content = content
+
+    def handle_fault(self, space: "AddressSpace", vpn: int,
+                     write: bool) -> PTE:
+        if write:
+            raise SegmentationFault(vpn << 12, "write to file-backed vma")
+        frame = space.physical.allocate()
+        offset = (vpn << 12) - self.range.start
+        chunk = self.content[offset:offset + len(frame.data)]
+        frame.data[:len(chunk)] = chunk
+        space.ledger.charge(space.cost.page_fault_ns, "fault")
+        return space.page_table.map(vpn, frame.pfn, PTE_PRESENT)

@@ -1,0 +1,53 @@
+"""The cluster fabric: a registry of machines reachable by address."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator
+
+from repro.errors import Disconnected
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.machine import Machine
+
+
+class Fabric:
+    """Connects machines; the resolution point for RDMA and RPC targets.
+
+    Mirrors an InfiniBand subnet: every NIC can reach every other NIC at a
+    uniform base latency (the testbed in Section 5.1 is a single 100 Gbps
+    IB fabric).  Partitions can be injected for failure testing.
+    """
+
+    def __init__(self):
+        self._machines: Dict[str, "Machine"] = {}
+        self._partitioned: set = set()
+
+    def attach(self, machine: "Machine") -> None:
+        if machine.mac_addr in self._machines:
+            raise Disconnected(f"duplicate machine {machine.mac_addr!r}")
+        self._machines[machine.mac_addr] = machine
+
+    def detach(self, mac_addr: str) -> None:
+        self._machines.pop(mac_addr, None)
+
+    def machine(self, mac_addr: str) -> "Machine":
+        """Resolve *mac_addr*, honouring injected partitions."""
+        if mac_addr in self._partitioned:
+            raise Disconnected(f"machine {mac_addr!r} is partitioned")
+        try:
+            return self._machines[mac_addr]
+        except KeyError:
+            raise Disconnected(f"no machine {mac_addr!r} on fabric") from None
+
+    def partition(self, mac_addr: str) -> None:
+        """Inject a network partition for failure testing."""
+        self._partitioned.add(mac_addr)
+
+    def heal(self, mac_addr: str) -> None:
+        self._partitioned.discard(mac_addr)
+
+    def machines(self) -> Iterator["Machine"]:
+        return iter(self._machines.values())
+
+    def __len__(self) -> int:
+        return len(self._machines)

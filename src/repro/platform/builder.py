@@ -1,0 +1,101 @@
+"""A fluent builder for workflow DAGs.
+
+For users assembling pipelines programmatically, this wraps
+:class:`~repro.platform.dag.Workflow` with a chainable API::
+
+    wf = (WorkflowBuilder("etl")
+          .function("extract", extract_fn)
+          .function("transform", transform_fn, width=8)
+          .function("load", load_fn)
+          .chain("extract", "transform", "load", scatter_first=True)
+          .build())
+
+The builder only sugars construction; validation still happens in
+``Workflow`` (and again at ``build()``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import WorkflowError
+from repro.platform.dag import FunctionSpec, Handler, Workflow
+from repro.units import GB, MB
+
+
+class WorkflowBuilder:
+    """Chainable construction of a :class:`Workflow`."""
+
+    def __init__(self, name: str):
+        self._workflow = Workflow(name)
+        self._built = False
+
+    # -- functions ----------------------------------------------------------------
+
+    def function(self, name: str, handler: Handler, width: int = 1,
+                 memory_budget: int = 1 * GB,
+                 lib_bytes: int = 96 * MB,
+                 runtime: str = "python") -> "WorkflowBuilder":
+        """Add a function type."""
+        self._check_open()
+        self._workflow.add_function(FunctionSpec(
+            name, handler, width=width, memory_budget=memory_budget,
+            lib_bytes=lib_bytes, runtime=runtime))
+        return self
+
+    # -- edges ----------------------------------------------------------------------
+
+    def edge(self, producer: str, consumer: str,
+             scatter: bool = False) -> "WorkflowBuilder":
+        """Add one state-transfer dependency."""
+        self._check_open()
+        self._workflow.add_edge(producer, consumer, scatter=scatter)
+        return self
+
+    def chain(self, *names: str,
+              scatter_first: bool = False) -> "WorkflowBuilder":
+        """Connect *names* sequentially: a -> b -> c -> ...
+
+        With ``scatter_first`` the first edge scatters (the producer emits
+        one partition per consumer instance); the usual map-reduce shape
+        is ``chain("split", "map", "reduce", scatter_first=True)``.
+        """
+        self._check_open()
+        if len(names) < 2:
+            raise WorkflowError("chain needs at least two functions")
+        for i, (producer, consumer) in enumerate(zip(names, names[1:])):
+            self.edge(producer, consumer,
+                      scatter=(scatter_first and i == 0))
+        return self
+
+    def fan_out(self, producer: str, *consumers: str,
+                scatter: bool = False) -> "WorkflowBuilder":
+        """Connect one producer to many consumer types (broadcast)."""
+        self._check_open()
+        if not consumers:
+            raise WorkflowError("fan_out needs at least one consumer")
+        for consumer in consumers:
+            self.edge(producer, consumer, scatter=scatter)
+        return self
+
+    def fan_in(self, consumer: str, *producers: str) -> "WorkflowBuilder":
+        """Connect many producer types to one consumer (gather)."""
+        self._check_open()
+        if not producers:
+            raise WorkflowError("fan_in needs at least one producer")
+        for producer in producers:
+            self.edge(producer, consumer)
+        return self
+
+    # -- finalization ----------------------------------------------------------------
+
+    def build(self) -> Workflow:
+        """Validate and return the workflow; the builder then closes."""
+        self._check_open()
+        self._workflow.validate()
+        self._built = True
+        return self._workflow
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise WorkflowError("builder already finalized by build()")

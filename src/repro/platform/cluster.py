@@ -1,0 +1,181 @@
+"""The user-facing platform facade: deploy workflows, invoke them."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import PlatformError
+from repro.kernel.machine import Machine, make_cluster
+from repro.net.fabric import Fabric
+from repro.platform.coordinator import InvocationRecord, WorkflowCoordinator
+from repro.platform.dag import Workflow
+from repro.platform.planner import VmPlan, plan_workflow
+from repro.platform.scheduler import Scheduler
+from repro.sim.engine import AllOf, Engine, Timeout
+from repro.sim.rng import SeededRng, make_rng
+from repro.transfer.base import StateTransport
+from repro.units import GB, CostModel, DEFAULT_COST_MODEL, seconds
+
+
+class ServerlessPlatform:
+    """A Knative-like cluster: machines + scheduler + per-workflow
+    coordinators, parameterized by the state-transfer transport.
+
+    Matches the paper's testbed shape (Section 5.1): N machines on one
+    RDMA fabric, functions pre-warmable, one transport per experiment.
+    """
+
+    def __init__(self, n_machines: int = 10,
+                 cost: CostModel = DEFAULT_COST_MODEL,
+                 containers_per_machine: int = 24,
+                 machine_memory: int = 64 * GB,
+                 engine: Optional[Engine] = None,
+                 rng: Optional[SeededRng] = None):
+        self.engine = engine if engine is not None else Engine()
+        self.cost = cost
+        self.rng = rng if rng is not None else make_rng(0)
+        self.fabric, self.machines = make_cluster(
+            self.engine, n_machines, cost=cost,
+            memory_bytes=machine_memory)
+        self.scheduler = Scheduler(self.engine, self.machines, cost,
+                                   containers_per_machine)
+        self._coordinators: Dict[str, WorkflowCoordinator] = {}
+        self._plans: Dict[str, VmPlan] = {}
+        self._autoscalers: Dict[str, "Autoscaler"] = {}
+        self.tracer = None
+
+    # -- deployment -------------------------------------------------------------
+
+    def deploy(self, workflow: Workflow,
+               transport: StateTransport) -> WorkflowCoordinator:
+        """Upload a workflow: generates its static VM plan (Section 4.2)
+        and binds it to a transport."""
+        if workflow.name in self._coordinators:
+            raise PlatformError(f"workflow {workflow.name!r} already "
+                                "deployed")
+        plan = plan_workflow(workflow)
+        coordinator = WorkflowCoordinator(self.engine, workflow, plan,
+                                          self.scheduler, transport,
+                                          self.cost, tracer=self.tracer)
+        self._coordinators[workflow.name] = coordinator
+        self._plans[workflow.name] = plan
+        return coordinator
+
+    def enable_tracing(self) -> "Tracer":
+        """Turn on span tracing for all subsequently deployed workflows."""
+        from repro.analysis.tracing import Tracer
+        if self.tracer is None:
+            self.tracer = Tracer(True)
+            for coordinator in self._coordinators.values():
+                coordinator.tracer = self.tracer
+        return self.tracer
+
+    def enable_autoscaler(self, workflow_name: str, **kwargs):
+        """Attach a KPA-style, event-driven autoscaler to a deployed
+        workflow (it observes scheduler activity; no polling process)."""
+        from repro.platform.autoscaler import Autoscaler
+        scaler = Autoscaler(self.engine, self.scheduler,
+                            self.coordinator(workflow_name).workflow,
+                            self._plans[workflow_name], **kwargs)
+        self._autoscalers[workflow_name] = scaler
+        return scaler.attach()
+
+    def stop_autoscalers(self) -> None:
+        for scaler in self._autoscalers.values():
+            scaler.detach()
+
+    def plan(self, workflow_name: str) -> VmPlan:
+        return self._plans[workflow_name]
+
+    def coordinator(self, workflow_name: str) -> WorkflowCoordinator:
+        try:
+            return self._coordinators[workflow_name]
+        except KeyError:
+            raise PlatformError(
+                f"workflow {workflow_name!r} not deployed") from None
+
+    # -- synchronous conveniences --------------------------------------------------
+
+    def run_once(self, workflow_name: str,
+                 params: Optional[Dict[str, Any]] = None
+                 ) -> InvocationRecord:
+        """Invoke once and run the simulation to completion."""
+        proc = self.coordinator(workflow_name).invoke(params)
+        self.engine.run()
+        return proc.value
+
+    def prewarm(self, workflow_name: str,
+                params: Optional[Dict[str, Any]] = None) -> None:
+        """Run one throwaway invocation so containers are warm (the paper
+        pre-warms all functions to rule out cold-start interference)."""
+        self.run_once(workflow_name, params)
+        self.scheduler.cold_starts = 0
+        self.scheduler.warm_starts = 0
+
+    # -- load generation (Fig 12) -----------------------------------------------------
+
+    def run_open_loop(self, workflow_name: str, rate_per_s: float,
+                      duration_s: float,
+                      params: Optional[Dict[str, Any]] = None,
+                      poisson: bool = False,
+                      on_complete=None) -> List[InvocationRecord]:
+        """Open-loop client: issue invocations at *rate_per_s* for
+        *duration_s* seconds; wait for all to finish; return records.
+
+        ``on_complete`` (if given) is called once every invocation has
+        finished — e.g. to stop auxiliary sampler processes.
+        """
+        coordinator = self.coordinator(workflow_name)
+        records: List[InvocationRecord] = []
+        rng = self.rng.fork(1)
+
+        def client():
+            procs = []
+            deadline = self.engine.now + seconds(duration_s)
+            mean_gap = seconds(1.0 / rate_per_s)
+            while self.engine.now < deadline:
+                procs.append(coordinator.invoke(params))
+                gap = (rng.exponential_ns(mean_gap) if poisson
+                       else mean_gap)
+                yield Timeout(gap)
+            results = yield AllOf(procs)
+            records.extend(results)
+            if on_complete is not None:
+                on_complete()
+
+        self.engine.run_process(client(), name="open-loop-client")
+        return records
+
+    def run_closed_loop(self, workflow_name: str, clients: int,
+                        requests_per_client: int,
+                        params: Optional[Dict[str, Any]] = None
+                        ) -> List[InvocationRecord]:
+        """Closed-loop clients: each issues its next request when the
+        previous completes (used to saturate the cluster)."""
+        coordinator = self.coordinator(workflow_name)
+        records: List[InvocationRecord] = []
+
+        def client(_cid):
+            for _ in range(requests_per_client):
+                record = yield coordinator.invoke(params)
+                records.append(record)
+
+        procs = [self.engine.spawn(client(c), name=f"client{c}")
+                 for c in range(clients)]
+
+        def waiter():
+            yield AllOf(procs)
+
+        self.engine.run_process(waiter(), name="closed-loop-waiter")
+        return records
+
+    # -- introspection -----------------------------------------------------------------
+
+    def pods_in_use(self) -> int:
+        return self.scheduler.containers_in_use()
+
+    def memory_in_use(self) -> int:
+        return sum(m.physical.used_bytes for m in self.machines)
+
+    def peak_memory(self) -> int:
+        return sum(m.physical.peak_bytes for m in self.machines)

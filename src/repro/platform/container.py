@@ -1,0 +1,86 @@
+"""Containers: function instances realizing the address plan."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.machine import Machine
+from repro.mem.address_space import AddressSpace
+from repro.mem.layout import SegmentLayout
+from repro.mem.vma import AnonymousVMA
+from repro.platform.dag import FunctionSpec
+from repro.platform.planner import Slot
+from repro.runtime.heap import ManagedHeap
+from repro.transfer.base import Endpoint
+from repro.units import PAGE_SIZE
+
+STATE_IDLE = "idle"
+STATE_BUSY = "busy"
+STATE_DEAD = "dead"
+
+
+class Container(Endpoint):
+    """One function instance's container on a machine.
+
+    Construction enforces the VM plan: the binary is "linked" at the slot's
+    base address and heap/stack are pinned with ``set_segment`` (Section
+    4.2 "Realizing the plan"), so an rmap from any planned peer can never
+    conflict.
+    """
+
+    def __init__(self, machine: Machine, spec: FunctionSpec, slot: Slot):
+        cost = machine.cost
+        if spec.runtime == "java":
+            from repro.runtime.java import java_cost_model
+            cost = java_cost_model(cost)
+        space = AddressSpace(machine.physical,
+                             name=f"{spec.name}#{slot.index}",
+                             cost=cost)
+        space.extra_resident_pages = spec.lib_bytes // PAGE_SIZE
+        layout = SegmentLayout.within(slot.range)
+        for seg_name, rng in layout.all_segments():
+            space.map_vma(AnonymousVMA(rng, name=seg_name))
+        machine.kernel.set_segment(space, layout)
+        if spec.runtime == "java":
+            from repro.runtime.java import JavaHeap
+            heap = JavaHeap(space, rng=layout.heap,
+                            name=f"{spec.name}#{slot.index}")
+        else:
+            heap = ManagedHeap(space, rng=layout.heap,
+                               name=f"{spec.name}#{slot.index}")
+        super().__init__(machine, heap)
+        self.spec = spec
+        self.slot = slot
+        self.state = STATE_IDLE
+        self.cached_since: Optional[int] = None
+        self.invocations_served = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}#{self.slot.index}@{self.machine.mac_addr}"
+
+    def acquire(self, now: int) -> None:
+        assert self.state == STATE_IDLE, f"{self.name} not idle"
+        self.state = STATE_BUSY
+        self.cached_since = None
+
+    def release(self, now: int) -> None:
+        """Return to the warm cache after an invocation."""
+        assert self.state == STATE_BUSY, f"{self.name} not busy"
+        self.state = STATE_IDLE
+        self.cached_since = now
+        self.invocations_served += 1
+
+    def destroy(self) -> None:
+        """Tear the container down, freeing all its frames."""
+        for vma in self.space.vmas():
+            self.space.unmap_vma(vma)
+        self.state = STATE_DEAD
+
+    def reset_heap(self) -> None:
+        """Drop all heap state between invocations (fresh sandbox)."""
+        self.heap.roots.clear()
+        self.heap.gc()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Container {self.name} {self.state}>"

@@ -1,0 +1,427 @@
+"""The workflow coordinator: invocation, routing, reclamation.
+
+One coordinator process per workflow invocation.  For each function
+instance it: waits for upstream outputs, acquires a container from the
+scheduler, routes the producers' transfer tokens to it (the Figure 6
+metadata exchange), runs the function, and forwards its token downstream.
+After every consumer of a producer's state reports completion, the
+coordinator triggers the transport's cleanup — for RMMAP, the
+``deregister_mem`` RPC of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import WorkflowError
+from repro.platform.container import Container
+from repro.platform.dag import Edge, FunctionSpec, Workflow
+from repro.platform.planner import VmPlan
+from repro.platform.scheduler import Scheduler
+from repro.sim.engine import AllOf, Engine, Timeout
+from repro.sim.ledger import Ledger
+from repro.transfer.base import (StateHandle, StateTransport, StageMeter,
+                                 TransferBreakdown, TransferToken)
+from repro.units import CostModel
+
+
+class FunctionContext:
+    """What a function handler sees while executing.
+
+    ``inputs`` maps each upstream function name to the list of values
+    produced by its instances (one element per producer instance; a single
+    value for width-1 producers is still a one-element list).
+    ``charge_compute`` adds simulated compute time for work whose host-side
+    cost is not representative (e.g. model training calibrated to the
+    paper's epochs).
+    """
+
+    def __init__(self, container: Container, inputs: Dict[str, List[Any]],
+                 instance_index: int, params: Dict[str, Any]):
+        self.container = container
+        self.inputs = inputs
+        self.instance_index = instance_index
+        self.params = params
+        self._extra_compute_ns = 0
+
+    @property
+    def heap(self):
+        return self.container.heap
+
+    def single_input(self, name: str) -> Any:
+        values = self.inputs[name]
+        if len(values) != 1:
+            raise WorkflowError(
+                f"expected one value from {name!r}, got {len(values)}")
+        return values[0]
+
+    def charge_compute(self, ns: int) -> None:
+        self._extra_compute_ns += max(0, int(ns))
+
+
+@dataclass
+class FunctionRecord:
+    """Timing record for one function instance execution."""
+
+    function: str
+    index: int
+    start_ns: int = 0
+    end_ns: int = 0
+    receive_breakdown: TransferBreakdown = field(
+        default_factory=TransferBreakdown)
+    send_breakdown: TransferBreakdown = field(
+        default_factory=TransferBreakdown)
+    compute_ns: int = 0
+    platform_ns: int = 0
+    cold_start: bool = False
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def transfer_ns(self) -> int:
+        return (self.receive_breakdown.e2e_ns
+                + self.send_breakdown.e2e_ns)
+
+
+@dataclass
+class InvocationRecord:
+    """End-to-end record of one workflow invocation."""
+
+    workflow: str
+    request_id: int
+    start_ns: int = 0
+    end_ns: int = 0
+    result: Any = None
+    functions: List[FunctionRecord] = field(default_factory=list)
+
+    @property
+    def latency_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def total(self, attr: str) -> int:
+        return sum(getattr(f, attr) for f in self.functions)
+
+    @property
+    def compute_ns(self) -> int:
+        return self.total("compute_ns")
+
+    @property
+    def platform_ns(self) -> int:
+        return self.total("platform_ns")
+
+    @property
+    def transfer_ns(self) -> int:
+        return self.total("transfer_ns")
+
+    def stage_totals(self) -> Dict[str, int]:
+        """Aggregate T/N/R across every edge of the invocation."""
+        out = {"transform": 0, "network": 0, "reconstruct": 0}
+        for f in self.functions:
+            for b in (f.receive_breakdown, f.send_breakdown):
+                out["transform"] += b.transform_ns
+                out["network"] += b.network_ns
+                out["reconstruct"] += b.reconstruct_ns
+        return out
+
+    def critical_path_totals(self) -> Dict[str, int]:
+        """Per-stage costs along the critical path, approximated as the
+        per-function-type maximum of each component (parallel instances of
+        one type overlap; consecutive types do not).  This matches how the
+        paper's stacked end-to-end breakdowns read (Fig 3/5)."""
+        by_type: Dict[str, Dict[str, int]] = {}
+        for f in self.functions:
+            slot = by_type.setdefault(
+                f.function, {"compute": 0, "platform": 0, "transform": 0,
+                             "network": 0, "reconstruct": 0})
+            transform = (f.receive_breakdown.transform_ns
+                         + f.send_breakdown.transform_ns)
+            network = (f.receive_breakdown.network_ns
+                       + f.send_breakdown.network_ns)
+            reconstruct = (f.receive_breakdown.reconstruct_ns
+                           + f.send_breakdown.reconstruct_ns)
+            slot["compute"] = max(slot["compute"], f.compute_ns)
+            slot["platform"] = max(slot["platform"], f.platform_ns)
+            slot["transform"] = max(slot["transform"], transform)
+            slot["network"] = max(slot["network"], network)
+            slot["reconstruct"] = max(slot["reconstruct"], reconstruct)
+        out = {"compute": 0, "platform": 0, "transform": 0, "network": 0,
+               "reconstruct": 0}
+        for slot in by_type.values():
+            for key in out:
+                out[key] += slot[key]
+        return out
+
+
+class _InstanceOutput:
+    """A producer instance's result: tokens per downstream edge."""
+
+    def __init__(self, function: str, index: int):
+        self.function = function
+        self.index = index
+        self.tokens: Dict[str, List[TransferToken]] = {}
+        self.value_for_sink: Any = None
+        self.producer_container: Optional[Container] = None
+
+
+class WorkflowCoordinator:
+    """Executes invocations of one deployed workflow."""
+
+    def __init__(self, engine: Engine, workflow: Workflow, plan: VmPlan,
+                 scheduler: Scheduler, transport: StateTransport,
+                 cost: CostModel, tracer=None):
+        from repro.analysis.tracing import Tracer
+
+        self.engine = engine
+        self.workflow = workflow
+        self.plan = plan
+        self.scheduler = scheduler
+        self.transport = transport
+        self.cost = cost
+        self.tracer = tracer if tracer is not None else Tracer(False)
+        self.ledger = Ledger()  # coordinator-side charges (reclamation)
+        self._next_request = 0
+        # Section 6: RMMAP cannot bridge different language runtimes
+        # (object layouts differ); mixed-runtime edges fall back to
+        # messaging.  Lazily constructed to avoid the cost when unused.
+        self._fallback_transport: Optional[StateTransport] = None
+
+    def _edge_transport(self, producer: str, consumer: str
+                        ) -> StateTransport:
+        """The transport for one edge, honouring the cross-language
+        fallback."""
+        if self.workflow.spec(producer).runtime == \
+                self.workflow.spec(consumer).runtime:
+            return self.transport
+        if not self.transport.name.startswith(("rmmap", "adaptive")):
+            return self.transport  # serializers bridge languages fine
+        if self._fallback_transport is None:
+            from repro.transfer.messaging import MessagingTransport
+            self._fallback_transport = MessagingTransport()
+        return self._fallback_transport
+
+    def _transport_for_token(self, token: TransferToken) -> StateTransport:
+        if self._fallback_transport is not None \
+                and token.transport == self._fallback_transport.name:
+            return self._fallback_transport
+        return self.transport
+
+    # -- public API -----------------------------------------------------------------
+
+    def invoke(self, params: Optional[Dict[str, Any]] = None):
+        """Spawn one invocation; returns a process yielding the record."""
+        request_id = self._next_request
+        self._next_request += 1
+        record = InvocationRecord(workflow=self.workflow.name,
+                                  request_id=request_id,
+                                  start_ns=self.engine.now)
+        return self.engine.spawn(
+            self._run_invocation(record, params or {}),
+            name=f"{self.workflow.name}#{request_id}")
+
+    # -- invocation orchestration ----------------------------------------------------
+
+    def _run_invocation(self, record: InvocationRecord,
+                        params: Dict[str, Any]):
+        wf = self.workflow
+        inv_span = self.tracer.begin(
+            f"{wf.name}#{record.request_id}", self.engine.now)
+        instance_procs: Dict[str, List] = {}
+        for fname in wf.topological_order():
+            spec = wf.spec(fname)
+            upstream_procs = [p for e in wf.upstream(fname)
+                              for p in instance_procs[e.producer]]
+            instance_procs[fname] = [
+                self.engine.spawn(
+                    self._run_instance(record, spec, i, upstream_procs,
+                                       params),
+                    name=f"{fname}#{i}")
+                for i in range(spec.width)]
+
+        sink_values: Dict[str, List[Any]] = {}
+        for sink in wf.sinks():
+            outputs = yield AllOf(instance_procs[sink])
+            sink_values[sink] = [o.value_for_sink for o in outputs]
+        # everything finished: reclaim registered memory / storage objects
+        yield from self._cleanup(instance_procs)
+        record.end_ns = self.engine.now
+        self.tracer.end(inv_span, self.engine.now)
+        if len(sink_values) == 1:
+            values = next(iter(sink_values.values()))
+            record.result = values[0] if len(values) == 1 else values
+        else:
+            record.result = sink_values
+        return record
+
+    def _run_instance(self, record: InvocationRecord, spec: FunctionSpec,
+                      index: int, upstream_procs: List, params):
+        # wait for every upstream instance to finish
+        upstream_outputs = yield AllOf(upstream_procs)
+        frec = FunctionRecord(function=spec.name, index=index,
+                              start_ns=self.engine.now)
+
+        # coordinator schedules + triggers the function (platform overhead)
+        yield Timeout(self.cost.coordinator_invoke_ns)
+        platform_start = self.engine.now
+
+        cold_before = self.scheduler.cold_starts
+        container = yield from self.scheduler.acquire(
+            self.workflow.name, spec, index, self.plan)
+        frec.cold_start = self.scheduler.cold_starts > cold_before
+        frec.platform_ns = (self.engine.now - frec.start_ns)
+
+        span = self.tracer.begin(
+            f"{spec.name}#{index}", frec.start_ns,
+            parent=f"{self.workflow.name}#{record.request_id}",
+            cold=frec.cold_start)
+        try:
+            output = yield from self._execute_in_container(
+                record, frec, spec, index, container,
+                upstream_outputs, params)
+        finally:
+            self.scheduler.release(container)
+        frec.end_ns = self.engine.now
+        self.tracer.end(span, frec.end_ns)
+        record.functions.append(frec)
+        return output
+
+    def _execute_in_container(self, record, frec, spec, index, container,
+                              upstream_outputs, params):
+        engine = self.engine
+        meter = StageMeter(container.ledger)
+        cpu = container.machine.cpu
+        yield cpu.acquire()
+        try:
+            # 1. receive upstream states
+            inputs: Dict[str, List[Any]] = {}
+            handles: List[StateHandle] = []
+            for edge in self.workflow.upstream(spec.name):
+                values = []
+                for output in self._outputs_from(upstream_outputs,
+                                                 edge.producer):
+                    token = self._route_token(output, edge, index)
+                    transport = self._transport_for_token(token)
+                    handle = transport.receive(container, token)
+                    handles.append(handle)
+                    values.append(handle.load())
+                inputs[edge.producer] = values
+            frec.receive_breakdown = meter.delta()
+            yield Timeout(container.ledger.drain())
+
+            # 2. run the function body; building the output object graph on
+            #    the local heap is function work, not transfer work
+            ctx = FunctionContext(container, inputs, index, params)
+            output_value = spec.handler(ctx)
+            downstream = self.workflow.downstream(spec.name)
+            output_root = None
+            if downstream:
+                output_root = container.heap.box(output_value)
+                container.heap.add_root(output_root)
+            meter.delta()  # fold handler + boxing charges into compute
+            compute = (container.ledger.drain() + ctx._extra_compute_ns)
+            frec.compute_ns = compute
+            yield Timeout(compute)
+
+            # 3. ship the output downstream
+            output = _InstanceOutput(spec.name, index)
+            output.producer_container = container
+            if downstream:
+                yield from self._send_outputs(container, output,
+                                              output_root, downstream)
+                frec.send_breakdown = meter.delta()
+                yield Timeout(container.ledger.drain())
+            else:
+                output.value_for_sink = output_value
+
+            # 4. inputs no longer needed: release remote maps / buffers
+            for handle in handles:
+                handle.release()
+            yield Timeout(container.ledger.drain())
+            return output
+        finally:
+            cpu.release()
+
+    # -- routing helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _outputs_from(upstream_outputs: List[_InstanceOutput],
+                      producer: str) -> List[_InstanceOutput]:
+        return sorted((o for o in upstream_outputs
+                       if o.function == producer),
+                      key=lambda o: o.index)
+
+    def _route_token(self, output: _InstanceOutput, edge: Edge,
+                     consumer_index: int) -> TransferToken:
+        tokens = output.tokens[edge.consumer]
+        if edge.scatter:
+            if consumer_index >= len(tokens):
+                raise WorkflowError(
+                    f"scatter edge {edge.producer}->{edge.consumer}: "
+                    f"no partition for instance {consumer_index}")
+            return tokens[consumer_index]
+        return tokens[0]
+
+    def _send_outputs(self, container: Container, output: _InstanceOutput,
+                      root: int, downstream: List[Edge]):
+        """Create one token (or one per partition) for the boxed output."""
+        heap = container.heap
+        scatter_edges = [e for e in downstream if e.scatter]
+        plain_edges = [e for e in downstream if not e.scatter]
+
+        # one shared token per distinct transport (cross-language edges
+        # may fall back to messaging while same-runtime ones use rmmap)
+        shared_tokens: Dict[str, TransferToken] = {}
+        for edge in plain_edges:
+            transport = self._edge_transport(edge.producer, edge.consumer)
+            token = shared_tokens.get(transport.name)
+            if token is None:
+                token = transport.send(container, root)
+                shared_tokens[transport.name] = token
+            output.tokens[edge.consumer] = [token]
+
+        for edge in scatter_edges:
+            transport = self._edge_transport(edge.producer, edge.consumer)
+            width = self.workflow.spec(edge.consumer).width
+            parts = heap.children(root)
+            if len(parts) != width:
+                raise WorkflowError(
+                    f"scatter output of {edge.producer!r} has "
+                    f"{len(parts)} partitions for width-{width} consumer")
+            if transport.name.startswith("rmmap"):
+                # one registration; per-consumer views with element roots
+                base = shared_tokens.get(transport.name)
+                if base is None:
+                    base = transport.send(container, root)
+                    shared_tokens[transport.name] = base
+                output.tokens[edge.consumer] = [
+                    TransferToken(transport=base.transport,
+                                  payload=base.payload, root_addr=part,
+                                  wire_bytes=base.wire_bytes,
+                                  extra=base.extra)
+                    for part in parts]
+            else:
+                output.tokens[edge.consumer] = [
+                    transport.send(container, part) for part in parts]
+        yield Timeout(0)  # keep this a generator even on the fast path
+
+    # -- reclamation -------------------------------------------------------------------
+
+    def _cleanup(self, instance_procs: Dict[str, List]):
+        """Reclaim every producer's transfer resources (Section 4.2)."""
+        seen = set()
+        for procs in instance_procs.values():
+            for proc in procs:
+                output = proc.value
+                if output is None:
+                    continue
+                for tokens in output.tokens.values():
+                    for token in tokens:
+                        key = id(token.payload)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        self._transport_for_token(token).cleanup(
+                            output.producer_container, token, self.ledger)
+        yield Timeout(self.ledger.drain())

@@ -1,0 +1,161 @@
+"""Workflow DAGs: function specs, edges, validation and traversal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import WorkflowError
+from repro.units import GB, MB
+
+#: handler(ctx) -> output value; ``ctx`` is a
+#: :class:`repro.platform.coordinator.FunctionContext`.
+Handler = Callable[["FunctionContext"], object]
+
+
+@dataclass
+class FunctionSpec:
+    """One function *type* in a workflow.
+
+    ``width`` is the instance concurrency the platform must plan for (e.g.
+    FINRA invokes 200 concurrent RunAuditRules); the planner conservatively
+    reserves an address range per instance (Section 4.2).
+    """
+
+    name: str
+    handler: Handler
+    width: int = 1
+    memory_budget: int = 1 * GB
+    # resident interpreter + imported-library bytes; drives the cost of
+    # whole-address-space registration (Section 6)
+    lib_bytes: int = 96 * MB
+    # "python" or "java" (Section 5.7); java containers map the shared CDS
+    # type-metadata archive
+    runtime: str = "python"
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise WorkflowError(f"{self.name}: width must be >= 1")
+        if self.memory_budget < 16 * MB:
+            raise WorkflowError(f"{self.name}: memory budget too small")
+        if self.runtime not in ("python", "java"):
+            raise WorkflowError(f"{self.name}: unknown runtime "
+                                f"{self.runtime!r}")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A state-transfer dependency between two function types.
+
+    ``scatter=True`` means the producer emits a list with one element per
+    consumer instance (partitioning); otherwise every consumer instance
+    receives the producer's whole output (broadcast).
+    """
+
+    producer: str
+    consumer: str
+    scatter: bool = False
+
+
+class Workflow:
+    """A validated DAG of function specs."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._specs: Dict[str, FunctionSpec] = {}
+        self._edges: List[Edge] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def add_function(self, spec: FunctionSpec) -> FunctionSpec:
+        if spec.name in self._specs:
+            raise WorkflowError(f"duplicate function {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def add_edge(self, producer: str, consumer: str,
+                 scatter: bool = False) -> Edge:
+        for endpoint in (producer, consumer):
+            if endpoint not in self._specs:
+                raise WorkflowError(f"unknown function {endpoint!r}")
+        if producer == consumer:
+            raise WorkflowError(f"self-edge on {producer!r}")
+        edge = Edge(producer, consumer, scatter)
+        if any(e.producer == producer and e.consumer == consumer
+               for e in self._edges):
+            raise WorkflowError(f"duplicate edge {producer}->{consumer}")
+        self._edges.append(edge)
+        self._check_acyclic()
+        return edge
+
+    def _check_acyclic(self) -> None:
+        try:
+            self.topological_order()
+        except WorkflowError:
+            self._edges.pop()
+            raise
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def functions(self) -> List[FunctionSpec]:
+        return list(self._specs.values())
+
+    @property
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def spec(self, name: str) -> FunctionSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise WorkflowError(f"unknown function {name!r}") from None
+
+    def upstream(self, name: str) -> List[Edge]:
+        """Edges feeding *name*, in insertion order."""
+        return [e for e in self._edges if e.consumer == name]
+
+    def downstream(self, name: str) -> List[Edge]:
+        return [e for e in self._edges if e.producer == name]
+
+    def sources(self) -> List[str]:
+        consumers = {e.consumer for e in self._edges}
+        return [n for n in self._specs if n not in consumers]
+
+    def sinks(self) -> List[str]:
+        producers = {e.producer for e in self._edges}
+        return [n for n in self._specs if n not in producers]
+
+    def topological_order(self) -> List[str]:
+        """Function names in dependency order; raises on cycles."""
+        in_degree = {n: 0 for n in self._specs}
+        for edge in self._edges:
+            in_degree[edge.consumer] += 1
+        ready = [n for n, d in in_degree.items() if d == 0]
+        order: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for edge in self.downstream(node):
+                in_degree[edge.consumer] -= 1
+                if in_degree[edge.consumer] == 0:
+                    ready.append(edge.consumer)
+        if len(order) != len(self._specs):
+            raise WorkflowError(f"workflow {self.name!r} has a cycle")
+        return order
+
+    def total_instances(self) -> int:
+        return sum(s.width for s in self._specs.values())
+
+    def validate(self) -> None:
+        """Full validation: acyclic, non-empty, scatter widths coherent."""
+        if not self._specs:
+            raise WorkflowError(f"workflow {self.name!r} has no functions")
+        self.topological_order()
+        for edge in self._edges:
+            if edge.scatter and self.spec(edge.consumer).width < 1:
+                raise WorkflowError("scatter edge to zero-width consumer")
+
+    def __repr__(self) -> str:
+        return (f"<Workflow {self.name!r}: {len(self._specs)} functions, "
+                f"{len(self._edges)} edges>")

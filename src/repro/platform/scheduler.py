@@ -1,0 +1,166 @@
+"""Placement, container caching and autoscaling across pods."""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import PlatformError
+from repro.kernel.machine import Machine
+from repro.platform.container import STATE_IDLE, Container
+from repro.platform.dag import FunctionSpec
+from repro.platform.planner import VmPlan
+from repro.sim.engine import Engine, Timeout
+from repro.sim.event import Event
+from repro.units import CostModel, seconds
+
+
+class Scheduler:
+    """Gives the coordinator containers to run functions in.
+
+    Implements the caching behaviour the paper leans on (Section 4.2):
+    after an invocation the container stays warm for ``cache_ttl_ns``;
+    a warm hit costs ``container_warmstart_ns``, a miss pays the cold-start
+    penalty.  Placement is least-loaded across machines with a per-machine
+    container cap (a pod-per-core approximation of the Knative testbed).
+    """
+
+    def __init__(self, engine: Engine, machines: List[Machine],
+                 cost: CostModel, containers_per_machine: int = 24,
+                 cache_ttl_ns: int = seconds(600)):
+        self.engine = engine
+        self.machines = machines
+        self.cost = cost
+        self.containers_per_machine = containers_per_machine
+        self.cache_ttl_ns = cache_ttl_ns
+        # warm pool: (workflow, function, slot-index) -> containers
+        self._pool: Dict[Tuple[str, str, int], List[Container]] = \
+            defaultdict(list)
+        self._per_machine_count: Dict[str, int] = defaultdict(int)
+        self._capacity_waiters: Deque[Event] = deque()
+        # activity listeners (e.g. the autoscaler), called with the
+        # container on every acquire and release
+        self.listeners: List = []
+        self.cold_starts = 0
+        self.warm_starts = 0
+
+    def _notify(self, container: Container) -> None:
+        for listener in self.listeners:
+            listener(container)
+
+    # -- capacity accounting -----------------------------------------------------
+
+    def total_capacity(self) -> int:
+        return self.containers_per_machine * len(self.machines)
+
+    def containers_in_use(self) -> int:
+        return sum(1 for pool in self._pool.values()
+                   for c in pool if c.state != STATE_IDLE)
+
+    def containers_alive(self) -> int:
+        return sum(len(pool) for pool in self._pool.values())
+
+    def _least_loaded_machine(self) -> Optional[Machine]:
+        best, best_count = None, None
+        for machine in self.machines:
+            count = self._per_machine_count[machine.mac_addr]
+            if count >= self.containers_per_machine:
+                continue
+            if best is None or count < best_count:
+                best, best_count = machine, count
+        return best
+
+    # -- acquisition (a sub-coroutine run inside the coordinator process) -------
+
+    def acquire(self, workflow_name: str, spec: FunctionSpec, index: int,
+                plan: VmPlan):
+        """Sub-coroutine yielding a ready :class:`Container`.
+
+        Prefers a warm cached container (same slot -> same planned range,
+        so rmap stays conflict-free); otherwise cold-starts one on the
+        least-loaded machine, waiting for capacity if the cluster is full.
+        """
+        key = (workflow_name, spec.name, index)
+        while True:
+            container = self._take_idle(key)
+            if container is not None:
+                self.warm_starts += 1
+                container.acquire(self.engine.now)  # claim before yielding
+                self._notify(container)
+                yield Timeout(self.cost.container_warmstart_ns)
+                return container
+            machine = self._least_loaded_machine()
+            if machine is None:
+                self._evict_one_idle()
+                machine = self._least_loaded_machine()
+            if machine is not None:
+                break
+            # cluster full and busy: block until a release/destroy signals
+            waiter = Event("capacity-wait")
+            self._capacity_waiters.append(waiter)
+            yield waiter
+        self.cold_starts += 1
+        self._per_machine_count[machine.mac_addr] += 1
+        yield Timeout(self.cost.container_coldstart_ns)
+        container = Container(machine, spec, plan.slot(spec.name, index))
+        self._pool[key].append(container)
+        container.acquire(self.engine.now)
+        self._notify(container)
+        return container
+
+    def _signal_capacity(self) -> None:
+        if self._capacity_waiters:
+            self.engine.schedule(0, self._capacity_waiters.popleft())
+
+    def _take_idle(self, key) -> Optional[Container]:
+        now = self.engine.now
+        for container in self._pool[key]:
+            if container.state != STATE_IDLE:
+                continue
+            if container.cached_since is not None and \
+                    now - container.cached_since > self.cache_ttl_ns:
+                continue  # stale; will be evicted lazily
+            return container
+        return None
+
+    def release(self, container: Container) -> None:
+        container.release(self.engine.now)
+        container.reset_heap()
+        self._signal_capacity()
+        self._notify(container)
+
+    # -- eviction -----------------------------------------------------------------
+
+    def _evict_one_idle(self) -> bool:
+        oldest_key, oldest = None, None
+        for key, pool in self._pool.items():
+            for c in pool:
+                if c.state != STATE_IDLE:
+                    continue
+                if oldest is None or (c.cached_since or 0) < \
+                        (oldest.cached_since or 0):
+                    oldest_key, oldest = key, c
+        if oldest is None:
+            return False
+        self._destroy(oldest_key, oldest)
+        return True
+
+    def evict_expired(self) -> int:
+        """Drop idle containers whose cache TTL lapsed; returns count."""
+        now = self.engine.now
+        evicted = 0
+        for key in list(self._pool):
+            for c in list(self._pool[key]):
+                if c.state == STATE_IDLE and c.cached_since is not None \
+                        and now - c.cached_since > self.cache_ttl_ns:
+                    self._destroy(key, c)
+                    evicted += 1
+        return evicted
+
+    def _destroy(self, key, container: Container) -> None:
+        self._pool[key].remove(container)
+        self._per_machine_count[container.machine.mac_addr] -= 1
+        container.destroy()
+        if not self._pool[key]:
+            del self._pool[key]
+        self._signal_capacity()

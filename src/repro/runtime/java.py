@@ -1,0 +1,75 @@
+"""The Java-flavoured runtime variant (Sections 4.3, 5.7).
+
+RMMAP is language-agnostic; the paper demonstrates it on JDK 11 as well as
+Python.  The differences that matter to the evaluation are modeled here:
+
+* **costs** — JVM (de)serialization (``ObjectOutputStream``-style) has higher
+  per-object transform cost than pickle, and JIT-compiled function bodies run
+  somewhat faster;
+* **class-data sharing (CDS)** — type metadata (klass structures) is mapped
+  read-only at the *same* address in every function instance, so remotely
+  mapped objects' klass pointers resolve locally without any network reads
+  (Section 4.3 "Type safety").
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.layout import AddressRange
+from repro.mem.vma import FileVMA
+from repro.runtime.heap import ManagedHeap
+from repro.units import PAGE_SIZE, CostModel, DEFAULT_COST_MODEL
+
+#: Where the shared CDS archive is mapped in *every* container — a fixed
+#: address outside all planned function ranges, like the JVM's default
+#: archive base.
+CDS_BASE = 0x8000_0000_0000
+CDS_PAGES = 16
+
+
+def java_cost_model(base: CostModel = DEFAULT_COST_MODEL) -> CostModel:
+    """Cost constants for the JDK runtime variant."""
+    return base.scaled(
+        serialize_per_object_ns=55,    # ObjectOutputStream reflection walk
+        deserialize_per_object_ns=70,
+        alloc_ns=25,                   # TLAB bump allocation
+        traverse_per_object_ns=8,
+    )
+
+
+def cds_archive_bytes() -> bytes:
+    """Deterministic stand-in content for the shared klass metadata."""
+    out = bytearray()
+    seed = b"repro-cds-archive"
+    while len(out) < CDS_PAGES * PAGE_SIZE:
+        seed = hashlib.sha256(seed).digest()
+        out += seed
+    return bytes(out[:CDS_PAGES * PAGE_SIZE])
+
+
+def map_cds_archive(space: AddressSpace) -> FileVMA:
+    """Map the shared type-metadata archive at the canonical address."""
+    vma = FileVMA(AddressRange(CDS_BASE, CDS_BASE + CDS_PAGES * PAGE_SIZE),
+                  cds_archive_bytes(), name="cds")
+    space.map_vma(vma)
+    return vma
+
+
+class JavaHeap(ManagedHeap):
+    """A managed heap whose container also maps the CDS archive.
+
+    Object layout is shared with the Python heap (both runtimes in the
+    paper box references as machine words); only costs and the CDS mapping
+    differ.
+    """
+
+    def __init__(self, space: AddressSpace, rng=None, name: str = "jheap"):
+        super().__init__(space, rng=rng, name=name, numpy_iterator=True)
+        self.cds = map_cds_archive(space)
+
+    def klass_pointer(self, tag) -> int:
+        """The shared-archive address of a type's metadata — identical in
+        every function instance thanks to CDS."""
+        return CDS_BASE + int(tag) * 64

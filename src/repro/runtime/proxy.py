@@ -1,0 +1,88 @@
+"""Remote-root proxies: the hybrid GC's handle on a remote heap.
+
+After ``rmap``, the consumer runtime wraps the producer's root pointer in a
+:class:`RemoteRoot` — the "special object on the local heap pointing to the
+root object of the state" of Section 4.3.  Destroying (releasing) it unmaps
+the whole remote heap in one step: zero-cost coarse-grained GC.
+
+Assigning a remote sub-object into a local object would dangle once the
+root is released, so :meth:`adopt` performs the paper's copy-to-local-heap
+scheme — also the mechanism for cascading state transfer (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import DanglingRemoteReference
+from repro.kernel.kernel import RmapHandle
+from repro.runtime.heap import ManagedHeap
+from repro.units import transfer_time_ns
+
+
+class RemoteRoot:
+    """A local handle to a state living on a remote, rmap'd heap."""
+
+    def __init__(self, heap: ManagedHeap, handle: RmapHandle,
+                 root_addr: int):
+        self.heap = heap
+        self.handle = handle
+        self.root_addr = root_addr
+        self.released = False
+
+    # --- access -------------------------------------------------------------
+
+    def load(self) -> Any:
+        """Materialize the remote state as a host value (reads fault pages
+        in on demand through the remote pager)."""
+        self._check_live()
+        return self.heap.load(self.root_addr)
+
+    def children(self):
+        self._check_live()
+        return self.heap.children(self.root_addr)
+
+    def adopt(self) -> int:
+        """Deep-copy the remote graph onto the local heap; returns the new
+        local root address.
+
+        This is the copy-on-local-assignment rule: after adoption the value
+        survives :meth:`release`, and can be re-registered for the next
+        function in a cascading chain.
+        """
+        self._check_live()
+        value = self.heap.load(self.root_addr)
+        local = self.heap.box(value)
+        _start, span = self.heap.object_span(local)
+        self.heap.ledger.charge(
+            transfer_time_ns(span, self.heap.cost.local_copy_gbps),
+            "adopt-copy")
+        return local
+
+    # --- lifecycle ------------------------------------------------------------
+
+    def release(self) -> None:
+        """Unmap the remote heap (frees all its local page frames).
+
+        Idempotent; the one-step release is what makes remote GC zero-cost
+        compared to tracing a remote heap over the network.
+        """
+        if self.released:
+            return
+        self.handle.unmap()
+        self.released = True
+
+    def __enter__(self) -> "RemoteRoot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def _check_live(self) -> None:
+        if self.released:
+            raise DanglingRemoteReference(
+                f"remote root {self.root_addr:#x} used after release")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "released" if self.released else "live"
+        return f"<RemoteRoot {self.root_addr:#x} {state}>"

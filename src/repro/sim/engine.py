@@ -1,0 +1,233 @@
+"""The discrete-event engine and generator-based processes."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.event import Event
+
+
+class Timeout:
+    """A yieldable command asking the engine to sleep *delay* nanoseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = int(delay)
+
+
+class AllOf:
+    """Barrier: resumes when every child event has triggered.
+
+    Yields the list of child values.  Fails fast on the first child failure.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+
+
+class AnyOf:
+    """Race: resumes when the first child event triggers, yielding its value."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf needs at least one event")
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on completion.
+
+    The generator's ``return`` value becomes the process's event value, so
+    ``result = yield some_process`` joins it.
+    """
+
+    __slots__ = ("engine", "_gen")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        super().__init__(name or getattr(gen, "__name__", "process"))
+        self.engine = engine
+        self._gen = gen
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Throw *exc* (default :class:`SimulationError`) into the process."""
+        if self.triggered:
+            return
+        exc = exc or SimulationError(f"process {self.name!r} interrupted")
+        self.engine._resume_throw(self, exc)
+
+
+class Engine:
+    """A deterministic event loop over an integer-nanosecond clock.
+
+    Determinism: ties in the event queue break by insertion order, and user
+    code must use :mod:`repro.sim.rng` (seeded) for randomness.
+    """
+
+    def __init__(self):
+        self._now = 0
+        self._seq = 0
+        self._queue: List[Tuple[int, int, Any]] = []
+        self._active = 0
+
+    # --- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # --- scheduling primitives ---------------------------------------------
+
+    def _push(self, at: int, item: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, item))
+
+    def schedule(self, delay: int, event: Event, value: Any = None) -> Event:
+        """Trigger *event* with *value* after *delay* nanoseconds."""
+        self._push(self._now + int(delay), ("trigger", event, value))
+        return event
+
+    def timeout_event(self, delay: int, value: Any = None,
+                      name: str = "timeout") -> Event:
+        """An event that triggers after *delay* nanoseconds."""
+        return self.schedule(delay, Event(name), value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process; it runs from the current time."""
+        proc = Process(self, gen, name)
+        self._active += 1
+        self._push(self._now, ("resume", proc, None, None))
+        return proc
+
+    def _resume(self, proc: Process, value: Any = None) -> None:
+        self._push(self._now, ("resume", proc, value, None))
+
+    def _resume_throw(self, proc: Process, exc: BaseException) -> None:
+        self._push(self._now, ("resume", proc, None, exc))
+
+    # --- process stepping ----------------------------------------------------
+
+    def _step_process(self, proc: Process, value: Any,
+                      exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                cmd = proc._gen.throw(exc)
+            else:
+                cmd = proc._gen.send(value)
+        except StopIteration as stop:
+            self._active -= 1
+            proc.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate via event
+            self._active -= 1
+            proc.fail(err)
+            return
+        self._dispatch(proc, cmd)
+
+    def _dispatch(self, proc: Process, cmd: Any) -> None:
+        if isinstance(cmd, Timeout):
+            ev = Event("timeout")
+            self._push(self._now + cmd.delay, ("trigger", ev, None))
+            self._wait(proc, ev)
+        elif isinstance(cmd, Event):  # includes Process
+            self._wait(proc, cmd)
+        elif isinstance(cmd, AllOf):
+            self._wait_all(proc, cmd.events)
+        elif isinstance(cmd, AnyOf):
+            self._wait_any(proc, cmd.events)
+        else:
+            self._resume_throw(
+                proc, SimulationError(f"process yielded {cmd!r}; expected "
+                                      "Timeout/Event/AllOf/AnyOf"))
+
+    def _wait(self, proc: Process, ev: Event) -> None:
+        def on_fire(fired: Event) -> None:
+            if fired.failure is not None:
+                self._resume_throw(proc, fired.failure)
+            else:
+                self._resume(proc, fired._value)
+
+        ev.add_callback(on_fire)
+
+    def _wait_all(self, proc: Process, events: List[Event]) -> None:
+        if not events:
+            self._resume(proc, [])
+            return
+        remaining = {"n": len(events)}
+        done = {"failed": False}
+
+        def on_fire(_fired: Event) -> None:
+            if done["failed"]:
+                return
+            if _fired.failure is not None:
+                done["failed"] = True
+                self._resume_throw(proc, _fired.failure)
+                return
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self._resume(proc, [e._value for e in events])
+
+        for ev in events:
+            ev.add_callback(on_fire)
+
+    def _wait_any(self, proc: Process, events: List[Event]) -> None:
+        done = {"fired": False}
+
+        def on_fire(fired: Event) -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            if fired.failure is not None:
+                self._resume_throw(proc, fired.failure)
+            else:
+                self._resume(proc, fired._value)
+
+        for ev in events:
+            ev.add_callback(on_fire)
+
+    # --- main loop -----------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains or the clock passes *until* (ns).
+
+        Returns the final simulated time.
+        """
+        while self._queue:
+            at, _seq, item = self._queue[0]
+            if until is not None and at > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            if at < self._now:
+                raise SimulationError("time went backwards")
+            self._now = at
+            kind = item[0]
+            if kind == "trigger":
+                _, event, value = item
+                if not event.triggered:
+                    event.succeed(value)
+            elif kind == "resume":
+                _, proc, value, exc = item
+                if not proc.triggered:
+                    self._step_process(proc, value, exc)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown queue item {kind!r}")
+        return self._now
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn *gen*, run to completion, and return its result."""
+        proc = self.spawn(gen, name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} deadlocked (queue drained)")
+        return proc.value

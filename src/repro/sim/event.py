@@ -1,0 +1,74 @@
+"""One-shot events with callback lists."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once with an optional value.  Waiters
+    registered after the trigger fire immediately when the engine processes
+    them (the engine handles that case; callbacks registered post-trigger via
+    :meth:`add_callback` are invoked synchronously).
+    """
+
+    __slots__ = ("name", "_triggered", "_value", "_callbacks", "_failed")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._triggered = False
+        self._failed: Optional[BaseException] = None
+        self._value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        if self._failed is not None:
+            raise self._failed
+        return self._value
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        return self._failed
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering *value* to waiters."""
+        self._trigger(value=value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with a failure; waiters re-raise *exc*."""
+        self._trigger(failure=exc)
+        return self
+
+    def _trigger(self, value: Any = None,
+                 failure: Optional[BaseException] = None) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._failed = failure
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register *cb*; runs immediately if already triggered."""
+        if self._triggered:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"

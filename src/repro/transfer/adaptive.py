@@ -1,0 +1,55 @@
+"""Adaptive transport: RMMAP with the small-object messaging fallback.
+
+Section 6: RMMAP's fixed costs (syscalls, the auth RPC, CoW marking)
+outweigh its benefits for tiny, trivially-serializable states like a single
+int.  Because RMMAP coexists with messaging, the runtime can pick per state:
+small/simple objects go through messaging, everything else through RMMAP.
+The decision uses runtime semantics (type tag + payload size) — no
+developer involvement.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.objects import TypeTag
+from repro.transfer.base import Endpoint, StateTransport, TransferToken
+from repro.transfer.messaging import MessagingTransport
+from repro.transfer.rmmap import RmmapTransport
+from repro.units import KB
+
+#: Scalar tags whose serialization cost is trivial.
+_SIMPLE_TAGS = frozenset({TypeTag.NONE, TypeTag.BOOL, TypeTag.INT,
+                          TypeTag.FLOAT})
+
+
+class AdaptiveTransport(StateTransport):
+    """Per-state choice between messaging and RMMAP."""
+
+    name = "adaptive"
+
+    def __init__(self, size_threshold: int = 1 * KB,
+                 prefetch: bool = True):
+        self.size_threshold = size_threshold
+        self.messaging = MessagingTransport()
+        self.rmmap = RmmapTransport(prefetch=prefetch)
+
+    def choose(self, producer: Endpoint, root_addr: int) -> StateTransport:
+        """Pick the transport for the state rooted at *root_addr*."""
+        tag, _flags, size = producer.heap.header_of(root_addr)
+        if tag in _SIMPLE_TAGS or size <= self.size_threshold:
+            return self.messaging
+        return self.rmmap
+
+    def send(self, producer: Endpoint, root_addr: int) -> TransferToken:
+        return self.choose(producer, root_addr).send(producer, root_addr)
+
+    def receive(self, consumer: Endpoint, token: TransferToken):
+        if token.transport == self.messaging.name:
+            return self.messaging.receive(consumer, token)
+        return self.rmmap.receive(consumer, token)
+
+    def cleanup(self, producer: Endpoint, token: TransferToken,
+                ledger=None) -> None:
+        if token.transport == self.messaging.name:
+            self.messaging.cleanup(producer, token, ledger)
+        else:
+            self.rmmap.cleanup(producer, token, ledger)

@@ -1,0 +1,190 @@
+"""Transport interface, endpoints, tokens and stage breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ReproError
+from repro.kernel.machine import Machine
+from repro.runtime.heap import ManagedHeap
+from repro.sim.ledger import Ledger
+
+# Which ledger categories roll up into Fig 11's T / N / R stages.  The
+# ``access`` stage collects plain memory-walk costs that every approach pays
+# identically when the function finally reads its input; it is reported but
+# excluded from the transfer breakdown (it is function execution time).
+STAGE_CATEGORIES: Dict[str, str] = {
+    "serialize": "transform",
+    "cow-mark": "transform",
+    "traverse": "transform",
+    "syscall": "transform",
+    "naos-fixup-send": "transform",
+    "alloc": "reconstruct",
+    "deserialize": "reconstruct",
+    "naos-fixup-recv": "reconstruct",
+    "adopt-copy": "reconstruct",
+    "fault": "reconstruct",
+    "messaging": "network",
+    "storage": "network",
+    "rdma-read": "network",
+    "rdma-prefetch": "network",
+    "rdma-write": "network",
+    "rdma-connect": "network",
+    "rmap-auth": "network",
+    "rpc": "network",
+    "rpc-page-read": "network",
+    "reclaim": "network",
+    "remote-fault": "network",
+    "cow-break": "access",
+    "mmu": "access",
+}
+
+
+@dataclass
+class TransferBreakdown:
+    """Per-stage nanoseconds for one state transfer (Fig 11's T/N/R)."""
+
+    transform_ns: int = 0
+    network_ns: int = 0
+    reconstruct_ns: int = 0
+    access_ns: int = 0
+
+    @property
+    def e2e_ns(self) -> int:
+        return self.transform_ns + self.network_ns + self.reconstruct_ns
+
+    def add(self, other: "TransferBreakdown") -> None:
+        self.transform_ns += other.transform_ns
+        self.network_ns += other.network_ns
+        self.reconstruct_ns += other.reconstruct_ns
+        self.access_ns += other.access_ns
+
+    def __repr__(self) -> str:
+        return (f"TransferBreakdown(T={self.transform_ns} N="
+                f"{self.network_ns} R={self.reconstruct_ns})")
+
+
+class StageMeter:
+    """Diffs a ledger's category totals into stage buckets."""
+
+    def __init__(self, ledger: Ledger):
+        self.ledger = ledger
+        self._last = ledger.breakdown()
+
+    def delta(self) -> TransferBreakdown:
+        """Stage totals accrued since the previous call."""
+        now = self.ledger.breakdown()
+        out = TransferBreakdown()
+        for cat, total in now.items():
+            diff = total - self._last.get(cat, 0)
+            if diff <= 0:
+                continue
+            stage = STAGE_CATEGORIES.get(cat, "network")
+            if stage == "transform":
+                out.transform_ns += diff
+            elif stage == "reconstruct":
+                out.reconstruct_ns += diff
+            elif stage == "access":
+                out.access_ns += diff
+            else:
+                out.network_ns += diff
+        self._last = now
+        return out
+
+
+class Endpoint:
+    """One side of a transfer: a machine plus a function's managed heap."""
+
+    def __init__(self, machine: Machine, heap: ManagedHeap):
+        self.machine = machine
+        self.heap = heap
+
+    @property
+    def space(self):
+        return self.heap.space
+
+    @property
+    def kernel(self):
+        return self.machine.kernel
+
+    @property
+    def ledger(self) -> Ledger:
+        return self.heap.ledger
+
+    def meter(self) -> StageMeter:
+        return StageMeter(self.ledger)
+
+
+@dataclass
+class TransferToken:
+    """What the producer hands the coordinator to route to the consumer.
+
+    For (de)serializing transports it carries the byte stream (or a storage
+    key); for RMMAP it carries only the registered-memory metadata, the root
+    pointer and an optional prefetch page list — a few hundred bytes
+    regardless of state size.
+    """
+
+    transport: str
+    payload: Any
+    root_addr: Optional[int] = None
+    wire_bytes: int = 0
+    object_count: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class StateHandle:
+    """The consumer's view of a received state.
+
+    ``root`` is a consumer-space address whose object graph can be loaded;
+    ``release`` frees transfer-related resources (remote mappings, staged
+    buffers).  For RMMAP the handle wraps a
+    :class:`~repro.runtime.proxy.RemoteRoot`.
+    """
+
+    def __init__(self, heap: ManagedHeap, root: int,
+                 on_release: Optional[Callable[[], None]] = None):
+        self.heap = heap
+        self.root = root
+        self._on_release = on_release
+        self.released = False
+
+    def load(self) -> Any:
+        return self.heap.load(self.root)
+
+    def release(self) -> None:
+        if self.released:
+            return
+        if self._on_release is not None:
+            self._on_release()
+        self.released = True
+
+
+class StateTransport:
+    """Interface implemented by every transfer mechanism.
+
+    ``send`` runs in the producer function's container; ``receive`` in the
+    consumer's.  Time is charged to the respective endpoint ledgers — the
+    caller (microbench harness or platform) drains them into simulated time.
+    """
+
+    name = "abstract"
+
+    def send(self, producer: Endpoint, root_addr: int) -> TransferToken:
+        raise NotImplementedError
+
+    def receive(self, consumer: Endpoint,
+                token: TransferToken) -> StateHandle:
+        raise NotImplementedError
+
+    def cleanup(self, producer: Endpoint, token: TransferToken,
+                ledger: Optional[Ledger] = None) -> None:
+        """Framework-side reclamation after all consumers finished."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TransportError(ReproError):
+    """A transport could not move the state."""

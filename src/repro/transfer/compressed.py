@@ -1,0 +1,66 @@
+"""Messaging with payload compression (the Section 6 discussion).
+
+Some serialization libraries aggressively compress payloads to save
+network bandwidth.  The paper argues this trades critical-path CPU for
+bytes, which is a poor deal for ephemeral serverless functions — this
+transport exists so the trade-off can be measured (see the compression
+ablation benchmark): it wins only when the network is slow relative to
+the compression throughput.
+
+Compression is real (``zlib``), so the wire byte counts are honest; the
+CPU time charged uses calibrated single-core deflate/inflate throughputs.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.runtime.serializer import SerializedState, Serializer
+from repro.transfer.base import (Endpoint, StateHandle, StateTransport,
+                                 TransferToken, TransportError)
+from repro.units import transfer_time_ns
+
+#: calibrated single-core zlib-1 throughputs
+_COMPRESS_GBPS = 2.4     # ~300 MB/s deflate
+_DECOMPRESS_GBPS = 8.0   # ~1 GB/s inflate
+
+
+class CompressedMessagingTransport(StateTransport):
+    """cloudevents + pickle + zlib."""
+
+    name = "messaging-compressed"
+
+    def __init__(self, level: int = 1):
+        self.level = level
+        self._serializer = Serializer()
+
+    def send(self, producer: Endpoint, root_addr: int) -> TransferToken:
+        state = self._serializer.serialize(producer.heap, root_addr)
+        compressed = zlib.compress(state.data, self.level)
+        producer.ledger.charge(
+            transfer_time_ns(len(state.data), _COMPRESS_GBPS), "serialize")
+        return TransferToken(
+            transport=self.name, payload=compressed,
+            wire_bytes=len(compressed),
+            object_count=state.object_count,
+            extra={"raw_bytes": len(state.data)})
+
+    def receive(self, consumer: Endpoint,
+                token: TransferToken) -> StateHandle:
+        cost = consumer.heap.cost
+        inflated = int(token.wire_bytes
+                       * (1.0 + cost.messaging_per_byte_overhead))
+        consumer.ledger.charge(
+            cost.messaging_hops * cost.messaging_hop_ns
+            + transfer_time_ns(inflated, cost.messaging_bandwidth_gbps),
+            "messaging")
+        try:
+            raw = zlib.decompress(token.payload)
+        except zlib.error as err:
+            raise TransportError(f"corrupt compressed payload: {err}") \
+                from err
+        consumer.ledger.charge(
+            transfer_time_ns(len(raw), _DECOMPRESS_GBPS), "deserialize")
+        state = SerializedState(raw, token.object_count)
+        root = self._serializer.deserialize(consumer.heap, state)
+        return StateHandle(consumer.heap, root)

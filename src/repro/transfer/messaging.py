@@ -1,0 +1,55 @@
+"""Messaging transport: pickle + cloudevents through the coordinator.
+
+Figure 2(a)'s path: the producer serializes the state into the cloudevent
+reply, which traverses several Knative components (queue-proxy, broker,
+gateway, activator) before the coordinator re-delivers it to the consumer.
+Large payloads are slow both because of the hop chain and because HTTP/JSON
+event encoding inflates binary payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.serializer import Serializer
+from repro.transfer.base import (Endpoint, StateHandle, StateTransport,
+                                 TransferToken, TransportError)
+from repro.units import transfer_time_ns
+
+
+class MessagingTransport(StateTransport):
+    """Knative cloudevents + pickle."""
+
+    name = "messaging"
+
+    def __init__(self, max_payload: Optional[int] = None,
+                 null_network: bool = False):
+        # ``max_payload`` models AWS Step Functions' 256 KB message cap;
+        # Knative has no hard cap so the default is unlimited.
+        # ``null_network`` zeroes the software path (the Fig 5 emulation:
+        # a zero-byte message) while keeping (de)serialization.
+        self.max_payload = max_payload
+        self.null_network = null_network
+        self._serializer = Serializer()
+
+    def send(self, producer: Endpoint, root_addr: int) -> TransferToken:
+        state = self._serializer.serialize(producer.heap, root_addr)
+        if self.max_payload is not None and state.nbytes > self.max_payload:
+            raise TransportError(
+                f"message of {state.nbytes} bytes exceeds the "
+                f"{self.max_payload}-byte payload limit; use storage")
+        return TransferToken(transport=self.name, payload=state,
+                             wire_bytes=state.nbytes,
+                             object_count=state.object_count)
+
+    def receive(self, consumer: Endpoint,
+                token: TransferToken) -> StateHandle:
+        cost = consumer.heap.cost
+        if not self.null_network:
+            inflated = int(token.wire_bytes
+                           * (1.0 + cost.messaging_per_byte_overhead))
+            hops = cost.messaging_hops * cost.messaging_hop_ns
+            wire = transfer_time_ns(inflated, cost.messaging_bandwidth_gbps)
+            consumer.ledger.charge(hops + wire, "messaging")
+        root = self._serializer.deserialize(consumer.heap, token.payload)
+        return StateHandle(consumer.heap, root)

@@ -1,0 +1,145 @@
+"""Time/size units and the calibrated cost model.
+
+All simulated time is expressed in integer **nanoseconds**.  All calibration
+constants quoted from the paper live in :class:`CostModel`; benchmarks and
+substrates never hard-code latencies elsewhere, so ablations can swap a
+single object to change the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+# --- time helpers (return integer nanoseconds) -----------------------------
+
+NS = 1
+
+
+def us(x: float) -> int:
+    """Microseconds to nanoseconds."""
+    return int(x * 1_000)
+
+
+def ms(x: float) -> int:
+    """Milliseconds to nanoseconds."""
+    return int(x * 1_000_000)
+
+
+def seconds(x: float) -> int:
+    """Seconds to nanoseconds."""
+    return int(x * 1_000_000_000)
+
+
+def to_ms(t_ns: int) -> float:
+    """Nanoseconds to fractional milliseconds."""
+    return t_ns / 1_000_000
+
+
+def to_us(t_ns: int) -> float:
+    """Nanoseconds to fractional microseconds."""
+    return t_ns / 1_000
+
+
+def to_seconds(t_ns: int) -> float:
+    """Nanoseconds to fractional seconds."""
+    return t_ns / 1_000_000_000
+
+
+# --- size helpers -----------------------------------------------------------
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+PAGE_SIZE = 4 * KB
+PAGE_SHIFT = 12
+
+
+def pages_for(nbytes: int) -> int:
+    """Number of 4 KB pages needed to hold *nbytes*."""
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def transfer_time_ns(nbytes: int, gbps: float) -> int:
+    """Wire time for *nbytes* at *gbps* gigabits per second."""
+    if nbytes <= 0:
+        return 0
+    bytes_per_ns = gbps / 8.0  # Gbit/s == bit/ns; /8 -> byte/ns
+    return max(1, int(nbytes / bytes_per_ns))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Calibrated machine/software cost constants.
+
+    Defaults reproduce the numbers quoted in the paper:
+
+    * RDMA 4 KB page read: 3.7 us (Section 4.1).
+    * Page-fault handling: 1.7 us (Section 4.1).
+    * Kernel-space RDMA connect: 10 us; user-space: 10 ms (Section 4.1).
+    * register_mem whole-address-space CoW marking: 1-5 ms (Section 4.1);
+      we charge per page-table entry so the total scales with the space.
+    * Serialize 3.2 MB dataframe with 401,839 sub-objects ~ 10 ms
+      => ~25 ns/sub-object transform cost (Section 2.4).
+    * Deserialize the same dataframe ~ 12 ms => ~30 ns/sub-object.
+    * Single-thread serialization memcpy: 4 MB in 2.5 ms => 1.6 GB/s
+      (footnote 4).
+    * DrTM-KV is 64.6x faster than Pocket (Section 5.1).
+    """
+
+    # network fabric
+    rdma_bandwidth_gbps: float = 100.0
+    rdma_base_latency_ns: int = us(2)
+    rdma_page_read_ns: int = us(3.7)      # one 4 KB one-sided READ, e2e
+    rdma_doorbell_entry_ns: int = 150      # extra per batched WQE
+    kernel_connect_ns: int = us(10)
+    user_connect_ns: int = ms(10)
+    rpc_roundtrip_ns: int = us(10)         # FaSST-style metadata RPC
+
+    # OS / paging
+    page_fault_ns: int = us(1.7)
+    cow_mark_per_page_ns: int = 25         # ~1-5 ms for a fat address space
+    page_table_walk_ns: int = 2            # effectively a TLB hit
+    syscall_overhead_ns: int = 300
+    # shipping PTEs during the rmap auth RPC: ~8 B/entry on the wire plus
+    # processing — about 1 ns/page at 100 Gbps
+    page_table_fetch_per_page_ns: int = 1
+
+    # runtime / (de)serialization
+    serialize_per_object_ns: int = 25
+    deserialize_per_object_ns: int = 30
+    serialize_copy_gbps: float = 12.8      # 1.6 GB/s single-thread memcpy
+    alloc_ns: int = 40                     # one managed-heap allocation
+    traverse_per_object_ns: int = 60       # Python-level __iter__/__next__
+    traverse_per_block_ns: int = 120       # internal block iterator step
+    local_copy_gbps: float = 80.0          # warm local memcpy (10 GB/s)
+
+    # messaging path (cloudevents through Knative components)
+    messaging_hop_ns: int = us(120)        # per software hop
+    messaging_hops: int = 6                # gateway/queue-proxy/broker/...
+    messaging_bandwidth_gbps: float = 1.5  # effective HTTP/JSON goodput
+    messaging_per_byte_overhead: float = 0.33  # base64/JSON inflation
+
+    # storage path
+    pocket_op_ns: int = us(280)            # per put/get protocol overhead
+    pocket_bandwidth_gbps: float = 6.0
+    drtm_speedup: float = 64.6             # DrTM-KV vs Pocket
+    storage_rdma_op_ns: int = us(6)
+
+    # Naos baseline (Fig 16b): RDMA object shipping with pointer fix-ups
+    naos_fixup_per_object_ns: int = 18
+
+    # platform
+    coordinator_invoke_ns: int = ms(1.0)   # schedule + trigger a function
+    container_coldstart_ns: int = ms(450)
+    container_warmstart_ns: int = ms(2)
+
+    # compute throughputs used by the workloads' time accounting
+    compute_ops_per_ns: float = 1.0        # generic ALU ops per ns per core
+
+    def scaled(self, **overrides) -> "CostModel":
+        """Return a copy with selected constants replaced."""
+        return replace(self, **overrides)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,164 @@
+"""Deterministic synthetic data generators for the workloads.
+
+Substitutes for the paper's inputs we do not have: FINRA's proprietary
+trades feed becomes a seeded synthetic trades dataframe of the same size
+and column mix; MNIST becomes class-structured synthetic images with the
+same dimensions; the 13 MB book becomes generated prose-like text with a
+Zipf-ish word distribution.  Sizes and object-graph shapes match what the
+state-transfer path actually sees, which is what the experiments measure.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.runtime.values import DataFrameValue, ImageValue
+from repro.sim.rng import make_rng
+
+_SYMBOLS = [a + b + c
+            for a in string.ascii_uppercase[:12]
+            for b in string.ascii_uppercase[:6]
+            for c in string.ascii_uppercase[:4]]
+
+_VENUES = ["NYSE", "NASD", "ARCA", "BATS", "IEXG", "EDGX"]
+
+
+def make_trades(n_rows: int = 25_000, seed: int = 0) -> DataFrameValue:
+    """A FINRA-like trades dataframe.
+
+    Six mixed-type columns; ~25 k rows yield roughly the paper's 3.5 MB /
+    hundreds-of-thousands-of-sub-objects dataframe once boxed (every cell
+    is an object).
+    """
+    rng = make_rng(seed)
+    nsym = len(_SYMBOLS)
+    symbols = [_SYMBOLS[rng.py.randrange(nsym)] for _ in range(n_rows)]
+    prices = [round(rng.py.uniform(1.0, 900.0), 2) for _ in range(n_rows)]
+    qtys = [rng.py.randrange(1, 10_000) for _ in range(n_rows)]
+    sides = ["B" if rng.py.random() < 0.5 else "S" for _ in range(n_rows)]
+    venues = [_VENUES[rng.py.randrange(len(_VENUES))]
+              for _ in range(n_rows)]
+    times = [rng.py.randrange(34_200_000, 57_600_000)  # ms since midnight
+             for _ in range(n_rows)]
+    return DataFrameValue({
+        "symbol": symbols,
+        "price": prices,
+        "qty": qtys,
+        "side": sides,
+        "venue": venues,
+        "time_ms": times,
+    })
+
+
+def make_market_data(seed: int = 0,
+                     n_symbols: int = 500) -> Dict[str, float]:
+    """Public reference prices keyed by symbol (the FetchPublicData feed)."""
+    rng = make_rng(seed + 1)
+    return {sym: round(rng.py.uniform(1.0, 900.0), 2)
+            for sym in _SYMBOLS[:n_symbols]}
+
+
+def make_audit_rules(n_rules: int = 200, seed: int = 0) -> List[dict]:
+    """Validation rules of a few kinds, one per RunAuditRule instance."""
+    rng = make_rng(seed + 2)
+    kinds = ("price_band", "qty_limit", "venue_allowed", "time_window")
+    rules = []
+    for i in range(n_rules):
+        kind = kinds[i % len(kinds)]
+        rules.append({
+            "id": i,
+            "kind": kind,
+            "tolerance": round(rng.py.uniform(0.05, 0.5), 3),
+            "qty_max": rng.py.randrange(5_000, 10_000),
+            "venues": _VENUES[:rng.py.randrange(3, len(_VENUES))],
+            "t_start": 34_200_000,
+            "t_end": rng.py.randrange(50_000_000, 57_600_000),
+        })
+    return rules
+
+
+_IMAGE_CACHE: Dict[tuple, tuple] = {}
+
+
+def make_images(n_images: int = 1000, side: int = 28, n_classes: int = 10,
+                seed: int = 0) -> Tuple[List[ImageValue], List[int]]:
+    """MNIST-like images: class-dependent blob patterns plus noise.
+
+    Each class places a bright blob at a class-specific location, so PCA +
+    tree ensembles genuinely learn to separate classes (tests assert real
+    accuracy above chance).  Results are memoized — generation is
+    deterministic and ``ImageValue`` is immutable, so sharing is safe.
+    """
+    key = (n_images, side, n_classes, seed)
+    cached = _IMAGE_CACHE.get(key)
+    if cached is not None:
+        images, labels = cached
+        return list(images), list(labels)
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_classes, size=n_images)
+    yy, xx = np.mgrid[0:side, 0:side]
+    images: List[ImageValue] = []
+    for label in labels:
+        angle = 2 * np.pi * int(label) / n_classes
+        cy = side / 2 + (side / 3.2) * np.sin(angle)
+        cx = side / 2 + (side / 3.2) * np.cos(angle)
+        blob = 220.0 * np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2)
+                              / (2 * (side / 8) ** 2))
+        noise = rng.normal(0, 18, size=(side, side))
+        pixels = np.clip(blob + noise, 0, 255).astype(np.uint8)
+        images.append(ImageValue(side, side, pixels.tobytes(), mode="L"))
+    label_list = [int(c) for c in labels]
+    if len(_IMAGE_CACHE) < 16:  # bound host memory
+        _IMAGE_CACHE[key] = (list(images), list(label_list))
+    return images, label_list
+
+
+_WORD_STEMS = [
+    "mon", "ville", "rue", "nuit", "jour", "temps", "homme", "femme",
+    "enfant", "pain", "coeur", "main", "voix", "porte", "ombre", "hiver",
+    "argent", "maison", "chemin", "regard", "silence", "lumiere", "froid",
+    "faim", "peur", "espoir", "misere", "travail", "monde", "histoire",
+]
+
+_SUFFIXES = ["", "s", "e", "es", "ment", "eur", "age", "ier"]
+
+
+def book_vocabulary(size: int = 2400) -> List[str]:
+    """A deterministic vocabulary of French-flavoured synthetic words."""
+    vocab = []
+    i = 0
+    while len(vocab) < size:
+        stem = _WORD_STEMS[i % len(_WORD_STEMS)]
+        suffix = _SUFFIXES[(i // len(_WORD_STEMS)) % len(_SUFFIXES)]
+        counter = i // (len(_WORD_STEMS) * len(_SUFFIXES))
+        word = stem + suffix + ("" if counter == 0 else str(counter))
+        vocab.append(word)
+        i += 1
+    return vocab
+
+
+def make_book_text(n_bytes: int = 13 << 20, seed: int = 0,
+                   vocab_size: int = 2400) -> str:
+    """Book-like text with a Zipf-ish word frequency distribution.
+
+    Stands in for the paper's 13 MB French novel: same size, realistic
+    vocabulary skew (so mapper output dictionaries have realistic shapes).
+    """
+    rng = np.random.default_rng(seed)
+    vocab = book_vocabulary(vocab_size)
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    probs = (1.0 / ranks)
+    probs /= probs.sum()
+    parts: List[str] = []
+    total = 0
+    batch = 4096
+    while total < n_bytes:
+        idxs = rng.choice(vocab_size, size=batch, p=probs)
+        chunk = " ".join(vocab[i] for i in idxs)
+        parts.append(chunk)
+        total += len(chunk) + 1
+    text = " ".join(parts)
+    return text[:n_bytes]

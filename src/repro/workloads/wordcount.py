@@ -1,0 +1,101 @@
+"""WordCount: the FunctionBench MapReduce workflow (Figure 10 bottom).
+
+``split`` chops the book-like text into one chunk per mapper; each of the
+8 ``map`` instances counts word frequencies in its chunk (emitting a large
+``dict`` — the paper's worst case for prefetch traversal); ``reduce``
+merges the partial counts.
+
+A Java-runtime variant (Section 5.7) reuses the same functions on
+JDK-flavoured containers via ``build_wordcount(runtime="java")``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.platform.dag import FunctionSpec, Workflow
+from repro.units import MB, us
+from repro.workloads.data import make_book_text
+
+MAP_WIDTH = 8
+DEFAULT_BYTES = 13 << 20  # the 13 MB book
+
+#: per-word tokenize+count compute at the mapper
+_COUNT_NS_PER_WORD = 55
+
+
+def count_words(text: str) -> Dict[str, int]:
+    """Word frequencies of *text* (the actual map computation)."""
+    return dict(Counter(text.split()))
+
+
+def merge_counts(partials: List[Dict[str, int]]) -> Dict[str, int]:
+    """Merge per-chunk frequencies (the actual reduce computation)."""
+    total: Counter = Counter()
+    for partial in partials:
+        total.update(partial)
+    return dict(total)
+
+
+def split_text(ctx):
+    """Load the book and split it at word boundaries, one chunk/mapper."""
+    n_bytes = ctx.params.get("n_bytes", DEFAULT_BYTES)
+    width = ctx.params.get("map_width", MAP_WIDTH)
+    seed = ctx.params.get("seed", 0)
+    text = make_book_text(n_bytes=n_bytes, seed=seed)
+    ctx.charge_compute(n_bytes // 64)  # streaming read + chunking
+    approx = len(text) // width
+    chunks: List[str] = []
+    start = 0
+    for i in range(width):
+        end = len(text) if i == width - 1 else text.find(" ", start + approx)
+        if end == -1:
+            end = len(text)
+        chunks.append(text[start:end])
+        start = end
+    return chunks
+
+
+def map_chunk(ctx):
+    """One mapper: word frequencies for its chunk."""
+    chunk = ctx.single_input("split")
+    counts = count_words(chunk)
+    n_words = sum(counts.values())
+    ctx.charge_compute(n_words * _COUNT_NS_PER_WORD)
+    return counts
+
+
+def reduce_counts(ctx):
+    """The reducer: merge the 8 partial dictionaries."""
+    partials = ctx.inputs["map"]
+    total = merge_counts(partials)
+    ctx.charge_compute(sum(len(p) for p in partials) * us(0.3))
+    top = max(total.items(), key=lambda kv: kv[1]) if total else ("", 0)
+    return {"distinct_words": len(total),
+            "total_words": sum(total.values()),
+            "top_word": top[0],
+            "top_count": top[1]}
+
+
+def build_wordcount(width: int = MAP_WIDTH,
+                    runtime: str = "python") -> Workflow:
+    """split -> width x map -> reduce.
+
+    With a non-default *width*, pass ``{"map_width": width}`` in the
+    invocation params.
+    """
+    name = "wordcount" if runtime == "python" else f"wordcount-{runtime}"
+    wf = Workflow(name)
+    wf.add_function(FunctionSpec("split", split_text,
+                                 memory_budget=512 * MB,
+                                 lib_bytes=48 * MB, runtime=runtime))
+    wf.add_function(FunctionSpec("map", map_chunk, width=width,
+                                 memory_budget=256 * MB,
+                                 lib_bytes=48 * MB, runtime=runtime))
+    wf.add_function(FunctionSpec("reduce", reduce_counts,
+                                 memory_budget=512 * MB,
+                                 lib_bytes=48 * MB, runtime=runtime))
+    wf.add_edge("split", "map", scatter=True)
+    wf.add_edge("map", "reduce")
+    return wf

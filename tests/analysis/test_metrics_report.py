@@ -1,0 +1,135 @@
+"""Unit tests for metrics and report rendering."""
+
+import pytest
+
+from repro.analysis.metrics import (LatencyStats, cdf_points, percentile,
+                                    summarize_invocations,
+                                    throughput_timeline)
+from repro.analysis.report import Table, ascii_bar_chart, format_ns
+from repro.units import ms, seconds
+
+
+# --- percentile / cdf -----------------------------------------------------------
+
+def test_percentile_known_values():
+    xs = [1, 2, 3, 4, 5]
+    assert percentile(xs, 0) == 1
+    assert percentile(xs, 50) == 3
+    assert percentile(xs, 100) == 5
+    assert percentile(xs, 25) == 2.0
+
+
+def test_percentile_single_value():
+    assert percentile([42], 99) == 42
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 50) == 5.0
+    assert percentile([0, 10], 90) == 9.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_cdf_points_empty():
+    assert cdf_points([]) == []
+
+
+def test_cdf_points_values():
+    pts = cdf_points([3, 1, 2])
+    assert pts == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+
+# --- throughput timeline ----------------------------------------------------------
+
+def test_throughput_timeline_buckets():
+    completions = [seconds(0.1), seconds(0.2), seconds(1.5), seconds(2.9)]
+    timeline = throughput_timeline(completions, bucket_s=1.0)
+    assert timeline == [(0.0, 2.0), (1.0, 1.0), (2.0, 1.0)]
+
+
+def test_throughput_timeline_fills_gaps():
+    timeline = throughput_timeline([seconds(0.5), seconds(3.5)],
+                                   bucket_s=1.0)
+    assert timeline[1] == (1.0, 0.0)
+    assert timeline[2] == (2.0, 0.0)
+
+
+def test_throughput_timeline_empty():
+    assert throughput_timeline([]) == []
+
+
+# --- LatencyStats / summarize ---------------------------------------------------------
+
+def test_latency_stats_from_ns():
+    stats = LatencyStats.from_ns([ms(1), ms(2), ms(3), ms(4)])
+    assert stats.count == 4
+    assert stats.mean_ms == pytest.approx(2.5)
+    assert stats.min_ms == pytest.approx(1.0)
+    assert stats.max_ms == pytest.approx(4.0)
+    assert stats.p50_ms == pytest.approx(2.5)
+
+
+def test_summarize_invocations_end_to_end():
+    from repro.bench.microbench import make_pair  # noqa: F401 (env check)
+    from repro.platform.cluster import ServerlessPlatform
+    from repro.transfer import MessagingTransport
+    from tests.platform.test_execution import make_linear_workflow
+
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    platform.prewarm("linear")
+    records = [platform.run_once("linear", {"n": 500}) for _ in range(3)]
+    summary = summarize_invocations(records)
+    assert summary["count"] == 3
+    assert summary["mean_ms"] > 0
+    assert 0 <= summary["transfer_share"] <= 1.5
+    assert summary["p99_ms"] >= summary["p50_ms"]
+    assert summary["throughput_per_s"] > 0
+
+
+def test_summarize_invocations_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize_invocations([])
+
+
+# --- report rendering --------------------------------------------------------------
+
+def test_format_ns_units():
+    assert format_ns(5) == "5 ns"
+    assert format_ns(1_500) == "1.50 us"
+    assert format_ns(2_500_000) == "2.50 ms"
+    assert format_ns(3_000_000_000) == "3.00 s"
+
+
+def test_table_renders_rows_and_validates():
+    table = Table("demo", ["a", "b"])
+    table.add_row("x", 1.5)
+    table.add_row("longer-label", 2)
+    text = table.render()
+    assert "demo" in text
+    assert "longer-label" in text
+    assert "1.500" in text
+    with pytest.raises(ValueError):
+        table.add_row("only-one")
+
+
+def test_ascii_bar_chart_scales_to_peak():
+    chart = ascii_bar_chart("t", ["a", "b"], [10.0, 5.0], width=10)
+    lines = chart.splitlines()
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+
+
+def test_ascii_bar_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_bar_chart("t", ["a"], [1.0, 2.0])
+
+
+def test_ascii_bar_chart_zero_values():
+    chart = ascii_bar_chart("t", ["a"], [0.0])
+    assert "|" in chart

@@ -1,0 +1,67 @@
+"""Tests for the JSON/CSV result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.results import ResultSink, to_csv, to_json
+from repro.transfer.base import TransferBreakdown
+
+
+def test_to_json_scalars_and_nesting():
+    data = {"a": 1, "b": [1.5, None, True], "c": {"d": "x"}}
+    assert json.loads(to_json(data)) == data
+
+
+def test_to_json_dataclass():
+    b = TransferBreakdown(1, 2, 3, 4)
+    loaded = json.loads(to_json({"row": b}))
+    assert loaded["row"]["transform_ns"] == 1
+    assert loaded["row"]["network_ns"] == 2
+
+
+def test_to_json_microbench_result():
+    from repro.bench.microbench import (make_pair, measure_transfer)
+    from repro.transfer import MessagingTransport
+    _e, p, c = make_pair()
+    result = measure_transfer(MessagingTransport(), p, c, [1, 2])
+    loaded = json.loads(to_json({"x": result}))
+    assert loaded["x"]["transport"] == "messaging"
+    assert loaded["x"]["breakdown"]["transform_ns"] >= 0
+
+
+def test_to_csv_union_of_columns():
+    table = {1: {"a": 10, "b": 20}, 2: {"b": 30, "c": 40}}
+    rows = list(csv.reader(io.StringIO(to_csv(table, index_name="n"))))
+    assert rows[0] == ["n", "a", "b", "c"]
+    assert rows[1] == ["1", "10", "20", ""]
+    assert rows[2] == ["2", "", "30", "40"]
+
+
+def test_to_csv_nested_values_json_encoded():
+    table = {"r": {"col": {"inner": 1}}}
+    text = to_csv(table)
+    assert '""inner"": 1' in text or '"inner": 1' in text
+
+
+def test_result_sink_writes_files(tmp_path):
+    sink = ResultSink(str(tmp_path / "out"))
+    jpath = sink.write_json("exp", {"k": 1})
+    cpath = sink.write_csv("exp", {1: {"v": 2}}, index_name="i")
+    with open(jpath, encoding="utf-8") as fh:
+        assert json.load(fh) == {"k": 1}
+    with open(cpath, encoding="utf-8") as fh:
+        assert fh.read().startswith("i,v")
+
+
+def test_sink_roundtrips_real_experiment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+    from repro.bench.figures_micro import fig16b_naos
+    result = fig16b_naos([500])
+    sink = ResultSink(str(tmp_path))
+    path = sink.write_json("fig16b", result)
+    loaded = json.load(open(path, encoding="utf-8"))
+    assert "500" in loaded
+    assert set(loaded["500"]) == {"naos", "rmmap"}

@@ -1,0 +1,93 @@
+"""Tiny-scale smoke tests for the experiment functions.
+
+The real assertions live in ``benchmarks/``; these only guard the
+experiment plumbing (shapes of returned structures, basic sanity) at
+minimal input sizes so ``pytest tests/`` stays fast.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+
+
+def test_fig11b_structure():
+    from repro.bench.figures_micro import fig11b_payload_sweep
+    results = fig11b_payload_sweep([64, 512])
+    assert set(results) == {64, 512}
+    for row in results.values():
+        assert set(row) == {"messaging", "storage", "storage-rdma",
+                            "rmmap", "rmmap-prefetch"}
+        assert all(v > 0 for v in row.values())
+
+
+def test_fig16b_structure():
+    from repro.bench.figures_micro import fig16b_naos
+    results = fig16b_naos([400])
+    assert set(results[400]) == {"naos", "rmmap"}
+
+
+def test_fig15_structure():
+    from repro.bench.figures_platform import fig15_factor_analysis
+    results = fig15_factor_analysis(feature_mb=0.25)
+    assert set(results) == {"local (optimal)", "rmmap-prefetch", "rmmap",
+                            "rmmap-rpc"}
+    for d in results.values():
+        assert d["e2e_ms"] >= d["compute_ms"]
+
+
+def test_fig16a_structure():
+    from repro.bench.figures_platform import fig16a_memory
+    results = fig16a_memory([2_000])
+    row = results[2_000]
+    assert set(row) == {"optimal", "messaging", "storage", "rmmap"}
+    assert all(v > 0 for v in row.values())
+
+
+def test_fig11a_values_cover_all_types():
+    from repro.bench.figures_micro import _TYPE_LIBS, fig11a_values
+    values = fig11a_values(scale=0.01)
+    assert set(values) == set(_TYPE_LIBS)
+
+
+def test_standard_transports_construct():
+    from repro.bench.microbench import standard_transports
+    for name, factory in standard_transports().items():
+        transport = factory()
+        assert transport.name.startswith(name.split("-")[0])
+
+
+def test_run_matrix_small():
+    from repro.bench.microbench import run_matrix
+    out = run_matrix({"tiny": [1, 2, 3]}, transports=["messaging",
+                                                      "rmmap"])
+    assert out["tiny"]["messaging"].value == [1, 2, 3]
+    assert out["tiny"]["rmmap"].value == [1, 2, 3]
+
+
+def test_workflow_configs_structure():
+    from repro.bench.figures_workflow import (transport_factories,
+                                              workflow_configs)
+    configs = workflow_configs(scale=0.02)
+    assert set(configs) == {"finra", "ml-training", "ml-prediction",
+                            "wordcount"}
+    for _builder, params in configs.values():
+        assert isinstance(params, dict)
+    assert len(transport_factories()) == 5
+
+
+def test_ablation_smoke():
+    from repro.bench.ablations import (ablation_doorbell_batching,
+                                       ablation_page_table_mode)
+    db = ablation_doorbell_batching(n_pages=64)
+    assert db["doorbell"] < db["serial"]
+    pt = ablation_page_table_mode(resident_mb=64)
+    assert set(pt) == {"eager", "ondemand"}
+
+
+def test_synthetic_model_size():
+    from repro.bench.figures_micro import synthetic_model
+    model = synthetic_model(512 * 1024, n_trees=8)
+    assert 0.5 * 512 * 1024 <= model.nbytes() <= 2 * 512 * 1024

@@ -1,0 +1,87 @@
+"""Fast shape checks for the paper's headline claims.
+
+These are miniature versions of the benchmark assertions, sized so that
+``pytest tests/`` alone validates who-wins orderings in seconds.
+"""
+
+import pytest
+
+from repro.bench.microbench import make_pair, measure_transfer
+from repro.platform.cluster import ServerlessPlatform
+from repro.transfer import (MessagingTransport, RmmapTransport,
+                            StorageRdmaTransport, StorageTransport)
+from repro.units import MB
+from repro.workloads.data import make_trades
+
+
+@pytest.fixture(scope="module")
+def dataframe_e2e():
+    """E2E transfer time of a mid-size dataframe under every transport."""
+    trades = make_trades(n_rows=8_000)
+    out = {}
+    for name, factory in (
+            ("messaging", MessagingTransport),
+            ("storage", StorageTransport),
+            ("storage-rdma", StorageRdmaTransport),
+            ("rmmap", lambda: RmmapTransport(prefetch=False)),
+            ("rmmap-prefetch", RmmapTransport)):
+        _e, producer, consumer = make_pair(resident_lib_bytes=160 * MB)
+        out[name] = measure_transfer(factory(), producer, consumer,
+                                     trades).e2e_ns
+    return out
+
+
+def test_rmmap_fastest_on_complex_state(dataframe_e2e):
+    best_rmmap = min(dataframe_e2e["rmmap"],
+                     dataframe_e2e["rmmap-prefetch"])
+    for other in ("messaging", "storage", "storage-rdma"):
+        assert best_rmmap < dataframe_e2e[other], other
+
+
+def test_baseline_ordering(dataframe_e2e):
+    """messaging > storage > storage-rdma, as everywhere in §5."""
+    assert dataframe_e2e["storage-rdma"] < dataframe_e2e["storage"]
+    assert dataframe_e2e["storage"] < dataframe_e2e["messaging"]
+
+
+def test_prefetch_helps_dataframes(dataframe_e2e):
+    assert dataframe_e2e["rmmap-prefetch"] < dataframe_e2e["rmmap"]
+
+
+def test_headline_speedup_band(dataframe_e2e):
+    """Up to 2.6x vs the deployed default (messaging) in the paper."""
+    speedup = (dataframe_e2e["messaging"]
+               / dataframe_e2e["rmmap-prefetch"])
+    assert speedup > 2.0
+
+
+def test_crossover_exists_for_tiny_states():
+    """Below ~1 KB storage-rdma wins; above, RMMAP does (Fig 11b)."""
+    small, large = list(range(20)), list(range(30_000))
+    results = {}
+    for label, value in (("small", small), ("large", large)):
+        row = {}
+        for name, factory in (
+                ("storage-rdma", StorageRdmaTransport),
+                ("rmmap", lambda: RmmapTransport(prefetch=False))):
+            _e, p, c = make_pair(resident_lib_bytes=2 * MB)
+            row[name] = measure_transfer(factory(), p, c, value).e2e_ns
+        results[label] = row
+    assert results["small"]["storage-rdma"] < results["small"]["rmmap"]
+    assert results["large"]["rmmap"] < results["large"]["storage-rdma"]
+
+
+def test_workflow_level_win_end_to_end():
+    """A pre-warmed mini-FINRA is faster under RMMAP than messaging."""
+    from repro.workloads.finra import build_finra
+
+    latencies = {}
+    for name, factory in (("messaging", MessagingTransport),
+                          ("rmmap", RmmapTransport)):
+        platform = ServerlessPlatform(n_machines=4)
+        platform.deploy(build_finra(width=6), factory())
+        params = {"n_rows": 3000, "width": 6}
+        platform.prewarm("finra", dict(params, n_rows=300))
+        latencies[name] = platform.run_once("finra",
+                                            params).latency_ns
+    assert latencies["rmmap"] < latencies["messaging"]

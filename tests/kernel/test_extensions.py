@@ -1,0 +1,162 @@
+"""Tests for the future-work extensions: on-demand PTE fetch, multi-hop
+forwarding, and compressed messaging."""
+
+import pytest
+
+from repro.bench.microbench import make_pair
+from repro.kernel.kernel import PT_ONDEMAND
+from repro.kernel.remote_pager import REGION_PAGES
+from repro.transfer import RmmapTransport
+from repro.transfer.compressed import CompressedMessagingTransport
+from repro.units import MB, PAGE_SIZE
+
+
+# --- on-demand page-table fetch --------------------------------------------------------
+
+def test_ondemand_rmap_delivers_same_data():
+    _e, producer, consumer = make_pair()
+    value = {"k": list(range(3000)), "s": "text"}
+    root = producer.heap.box(value)
+    meta = producer.kernel.register_mem(producer.space, "od", 1)
+    consumer.kernel.rmap(consumer.space, meta.mac_addr, "od", 1,
+                         page_table_mode=PT_ONDEMAND)
+    assert consumer.heap.load(root) == value
+
+
+def test_ondemand_setup_cheaper_for_fat_producers():
+    """With a big resident set, lazy PTE fetch shrinks rmap setup cost."""
+    def setup_cost(page_table_mode):
+        _e, producer, consumer = make_pair(resident_lib_bytes=512 * MB)
+        root = producer.heap.box([1, 2, 3])
+        meta = producer.kernel.register_mem(producer.space, "f", 1)
+        consumer.ledger.drain()
+        consumer.kernel.rmap(consumer.space, meta.mac_addr, "f", 1,
+                             page_table_mode=page_table_mode)
+        return consumer.ledger.drain(), (producer, consumer, root)
+
+    eager_cost, _ = setup_cost("eager")
+    lazy_cost, (_p, consumer, root) = setup_cost(PT_ONDEMAND)
+    assert lazy_cost < eager_cost / 2
+    # and the data still arrives
+    assert consumer.heap.load(root) == [1, 2, 3]
+
+
+def test_ondemand_fetches_regions_lazily():
+    _e, producer, consumer = make_pair()
+    # touch pages in two distant regions
+    a = producer.heap.box(b"x" * PAGE_SIZE)
+    pad = producer.heap.allocator.alloc(2 * REGION_PAGES * PAGE_SIZE)
+    b = producer.heap.box(b"y" * PAGE_SIZE)
+    producer.space.write(pad, b"z")  # materialize something in between
+    meta = producer.kernel.register_mem(producer.space, "lz", 2)
+    handle = consumer.kernel.rmap(consumer.space, meta.mac_addr, "lz", 2,
+                                  page_table_mode=PT_ONDEMAND)
+    src = handle.vma.pte_source
+    assert src.regions_fetched == 0
+    consumer.heap.load(a)
+    after_first = src.regions_fetched
+    assert after_first >= 1
+    consumer.heap.load(b)
+    assert src.regions_fetched > after_first  # second region on demand
+
+
+def test_ondemand_absent_page_zero_fills_once():
+    _e, producer, consumer = make_pair()
+    producer.heap.box(1)  # one resident page
+    meta = producer.kernel.register_mem(producer.space, "zf", 3)
+    handle = consumer.kernel.rmap(consumer.space, meta.mac_addr, "zf", 3,
+                                  page_table_mode=PT_ONDEMAND)
+    hole = producer.heap.range.start + 64 * PAGE_SIZE
+    assert consumer.space.read(hole, 4) == b"\x00" * 4
+    assert handle.vma.zero_fill_faults == 1
+
+
+def test_rmmap_transport_ondemand_mode():
+    _e, producer, consumer = make_pair(resident_lib_bytes=256 * MB)
+    transport = RmmapTransport(prefetch=False, page_table_mode=PT_ONDEMAND)
+    from repro.bench.microbench import measure_transfer
+    result = measure_transfer(transport, producer, consumer,
+                              list(range(2000)))
+    assert result.value == list(range(2000))
+
+
+# --- multi-hop forwarding ------------------------------------------------------------
+
+def test_forwarded_token_maps_original_producer():
+    """A -> B -> C where B forwards A's registration: C maps A directly,
+    no copy at B (the Section 4.4 multi-hop future-work design)."""
+    from repro.kernel.machine import Machine
+    from repro.bench.microbench import (CONSUMER_BASE, PRODUCER_BASE,
+                                        make_pair)
+    from repro.mem import AddressRange, AddressSpace, AnonymousVMA
+    from repro.runtime.heap import ManagedHeap
+    from repro.transfer.base import Endpoint
+
+    engine, a_ep, b_ep = make_pair()
+    m2 = Machine("mac2", engine, a_ep.machine.fabric)
+    space_c = AddressSpace(m2.physical, name="c")
+    rng_c = AddressRange(0x5000_0000, 0x5000_0000 + 64 * MB)
+    space_c.map_vma(AnonymousVMA(rng_c, name="heap"))
+    c_ep = Endpoint(m2, ManagedHeap(space_c, rng=rng_c, name="c"))
+
+    transport = RmmapTransport(prefetch=False)
+    value = {"payload": list(range(500))}
+    token_ab = transport.send(a_ep, a_ep.heap.box(value))
+    handle_b = transport.receive(b_ep, token_ab)
+    assert handle_b.load() == value
+
+    # B forwards instead of copying; C rmaps A's memory directly
+    token_bc = transport.forward(token_ab)
+    handle_c = transport.receive(c_ep, token_bc)
+    assert handle_c.load() == value
+    # C's QP is to A's machine, not B's
+    assert handle_c.proxy.handle.vma.qp.remote_mac == \
+        a_ep.machine.mac_addr
+
+
+def test_forward_with_element_root():
+    _e, a_ep, b_ep = make_pair()
+    transport = RmmapTransport(prefetch=False)
+    root = a_ep.heap.box([[1, 2], [3, 4]])
+    token = transport.send(a_ep, root)
+    element = a_ep.heap.children(root)[1]
+    narrowed = transport.forward(token, element_root=element)
+    handle = transport.receive(b_ep, narrowed)
+    assert handle.load() == [3, 4]
+
+
+# --- compressed messaging ----------------------------------------------------------------
+
+def test_compressed_messaging_roundtrip():
+    from repro.bench.microbench import measure_transfer
+    _e, producer, consumer = make_pair()
+    value = {"text": "abc " * 5000, "nums": list(range(1000))}
+    result = measure_transfer(CompressedMessagingTransport(), producer,
+                              consumer, value)
+    assert result.value == value
+
+
+def test_compression_shrinks_wire_bytes():
+    from repro.transfer import MessagingTransport
+    _e, p1, _c1 = make_pair()
+    plain = MessagingTransport().send(p1, p1.heap.box("abc " * 20_000))
+    _e, p2, _c2 = make_pair()
+    packed = CompressedMessagingTransport().send(
+        p2, p2.heap.box("abc " * 20_000))
+    assert packed.wire_bytes < plain.wire_bytes / 5
+
+
+def test_compression_hurts_on_fast_network():
+    """The paper's Section 6 position: on a fast fabric, critical-path
+    compression costs more than the bytes it saves."""
+    from repro.bench.microbench import measure_transfer
+    from repro.transfer import MessagingTransport
+    value = list(range(50_000))  # poorly compressible int stream
+    _e, p1, c1 = make_pair()
+    plain = measure_transfer(MessagingTransport(), p1, c1, value)
+    _e, p2, c2 = make_pair()
+    packed = measure_transfer(CompressedMessagingTransport(), p2, c2,
+                              value)
+    # E2E with compression is not better by much - and loses once the
+    # payload compresses poorly relative to CPU spent
+    assert packed.breakdown.transform_ns > plain.breakdown.transform_ns

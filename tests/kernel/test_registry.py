@@ -1,0 +1,99 @@
+"""Direct tests for the registration registry and VmMeta."""
+
+import pytest
+
+from repro.errors import AuthenticationFailed, RegistrationNotFound
+from repro.kernel.registry import (Registration, RegistrationRegistry,
+                                   VmMeta)
+from repro.mem import AddressRange, PhysicalMemory
+from repro.units import PAGE_SIZE
+
+
+def make_reg(pm, fid="f", key=1, n_pages=3, at=0):
+    snapshot = {}
+    for i in range(n_pages):
+        frame = pm.allocate()
+        snapshot[0x1000 + i] = frame.pfn
+    return Registration(fid=fid, key=key,
+                        rng=AddressRange(0x100_0000, 0x200_0000),
+                        snapshot=snapshot, registered_at=at)
+
+
+def test_add_pins_snapshot_frames():
+    pm = PhysicalMemory()
+    registry = RegistrationRegistry(pm)
+    reg = make_reg(pm)
+    before = {pfn: pm.frame(pfn).refcount for pfn in reg.snapshot.values()}
+    registry.add(reg)
+    for pfn, rc in before.items():
+        assert pm.frame(pfn).refcount == rc + 1
+
+
+def test_remove_unpins_and_marks_deregistered():
+    pm = PhysicalMemory()
+    registry = RegistrationRegistry(pm)
+    reg = make_reg(pm)
+    registry.add(reg)
+    # drop the "process" references so only pins remain
+    for pfn in reg.snapshot.values():
+        pm.put(pfn)
+    assert pm.used_frames == 3
+    removed = registry.remove("f", 1)
+    assert removed.deregistered
+    assert pm.used_frames == 0
+
+
+def test_lookup_distinguishes_bad_key_from_missing():
+    pm = PhysicalMemory()
+    registry = RegistrationRegistry(pm)
+    registry.add(make_reg(pm, fid="known", key=5))
+    with pytest.raises(AuthenticationFailed):
+        registry.lookup("known", 6)
+    with pytest.raises(RegistrationNotFound):
+        registry.lookup("unknown", 5)
+
+
+def test_duplicate_registration_rejected():
+    pm = PhysicalMemory()
+    registry = RegistrationRegistry(pm)
+    registry.add(make_reg(pm, fid="dup", key=1))
+    with pytest.raises(AuthenticationFailed):
+        registry.add(make_reg(pm, fid="dup", key=1))
+
+
+def test_same_fid_different_key_allowed():
+    pm = PhysicalMemory()
+    registry = RegistrationRegistry(pm)
+    registry.add(make_reg(pm, fid="f", key=1))
+    registry.add(make_reg(pm, fid="f", key=2))
+    assert len(registry) == 2
+
+
+def test_expired_filters_by_age():
+    pm = PhysicalMemory()
+    registry = RegistrationRegistry(pm)
+    registry.add(make_reg(pm, fid="old", key=1, at=0))
+    registry.add(make_reg(pm, fid="new", key=2, at=900))
+    expired = registry.expired(now_ns=1000, lifetime_ns=500)
+    assert [r.fid for r in expired] == ["old"]
+
+
+def test_pinned_bytes_counts_unique_frames():
+    pm = PhysicalMemory()
+    registry = RegistrationRegistry(pm)
+    registry.add(make_reg(pm, n_pages=4))
+    assert registry.pinned_bytes() == 4 * PAGE_SIZE
+
+
+def test_check_key():
+    pm = PhysicalMemory()
+    reg = make_reg(pm, key=7)
+    reg.check_key(7)
+    with pytest.raises(AuthenticationFailed):
+        reg.check_key(8)
+
+
+def test_vm_meta_range_property():
+    meta = VmMeta(mac_addr="m", fid="f", key=1, vm_start=0x1000,
+                  vm_end=0x3000, pages_registered=2)
+    assert meta.range.size == 0x2000

@@ -1,0 +1,330 @@
+"""Tests for the RMMAP syscall surface (Table 1) and the remote pager."""
+
+import pytest
+
+from repro.errors import (AuthenticationFailed, RegistrationNotFound,
+                          RmapFailed, SegmentationFault)
+from repro.kernel.kernel import MAP_HEAP_ONLY
+from repro.kernel.machine import make_cluster
+from repro.kernel.remote_pager import FETCH_RPC
+from repro.mem import (PAGE_SIZE, AddressRange, AddressSpace, AnonymousVMA,
+                       SegmentLayout)
+from repro.sim import Engine
+
+PROD_BASE = 0x1000_0000
+CONS_BASE = 0x9000_0000
+SPACE_PAGES = 64
+
+
+def build():
+    engine = Engine()
+    _fabric, (m0, m1) = make_cluster(engine, 2)
+    producer = AddressSpace(m0.physical, name="producer")
+    producer.map_vma(AnonymousVMA(
+        AddressRange(PROD_BASE, PROD_BASE + SPACE_PAGES * PAGE_SIZE),
+        name="heap"))
+    consumer = AddressSpace(m1.physical, name="consumer")
+    consumer.map_vma(AnonymousVMA(
+        AddressRange(CONS_BASE, CONS_BASE + SPACE_PAGES * PAGE_SIZE),
+        name="heap"))
+    return engine, m0, m1, producer, consumer
+
+
+def register(m0, producer, fid="f0", key=42):
+    return m0.kernel.register_mem(producer, fid, key)
+
+
+def test_register_mem_returns_meta():
+    _, m0, _, producer, _ = build()
+    producer.write(PROD_BASE, b"state")
+    meta = register(m0, producer)
+    assert meta.mac_addr == "mac0"
+    assert meta.vm_start == PROD_BASE
+    assert meta.pages_registered == 1
+    assert len(m0.kernel.registry) == 1
+
+
+def test_register_marks_cow():
+    _, m0, _, producer, _ = build()
+    producer.write(PROD_BASE, b"state")
+    register(m0, producer)
+    pte = producer.page_table.lookup(PROD_BASE >> 12)
+    assert pte.cow
+
+
+def test_rmap_reads_producer_state():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE + 100, b"the-state")
+    meta = register(m0, producer)
+    handle = m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    assert consumer.read(PROD_BASE + 100, 9) == b"the-state"
+    assert handle.vma.remote_faults == 1
+
+
+def test_rmap_pointer_identity():
+    """Pointers (addresses) stored by the producer resolve identically at
+    the consumer — the property that removes (de)serialization."""
+    _, m0, m1, producer, consumer = build()
+    target = PROD_BASE + 3 * PAGE_SIZE + 16
+    producer.write(target, b"pointee")
+    producer.write_u64(PROD_BASE, target)  # producer stores a pointer
+    meta = register(m0, producer)
+    m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    ptr = consumer.read_u64(PROD_BASE)  # consumer chases it untranslated
+    assert consumer.read(ptr, 7) == b"pointee"
+
+
+def test_rmap_bad_key_fails():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"x")
+    register(m0, producer, key=42)
+    with pytest.raises(Exception) as exc_info:
+        m1.kernel.rmap(consumer, "mac0", "f0", 41)
+    assert "key" in str(exc_info.value)
+
+
+def test_rmap_unknown_fid_fails():
+    _, _, m1, _, consumer = build()
+    with pytest.raises(Exception) as exc_info:
+        m1.kernel.rmap(consumer, "mac0", "ghost", 1)
+    assert "ghost" in str(exc_info.value)
+
+
+def test_rmap_address_conflict():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"x")
+    meta = register(m0, producer)
+    # consumer maps something at the producer's range first
+    consumer.map_vma(AnonymousVMA(
+        AddressRange(PROD_BASE, PROD_BASE + PAGE_SIZE), name="clash"))
+    with pytest.raises(RmapFailed):
+        m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+
+
+def test_rmap_subrange():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"page0")
+    producer.write(PROD_BASE + PAGE_SIZE, b"page1")
+    meta = register(m0, producer)
+    handle = m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key,
+                            vm_start=PROD_BASE + PAGE_SIZE,
+                            vm_end=PROD_BASE + 2 * PAGE_SIZE)
+    assert consumer.read(PROD_BASE + PAGE_SIZE, 5) == b"page1"
+    assert handle.meta.pages_registered == 1
+    with pytest.raises(SegmentationFault):
+        consumer.read(PROD_BASE, 1)
+
+
+def test_rmap_subrange_outside_registration_rejected():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"x")
+    meta = register(m0, producer)
+    with pytest.raises(RmapFailed):
+        m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key,
+                       vm_start=0x7000_0000, vm_end=0x7000_1000)
+
+
+def test_cow_snapshot_isolation():
+    """Producer writes after register_mem are invisible to the consumer."""
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"before")
+    meta = register(m0, producer)
+    producer.write(PROD_BASE, b"after!")  # CoW break at producer
+    m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    assert consumer.read(PROD_BASE, 6) == b"before"
+    assert producer.read(PROD_BASE, 6) == b"after!"
+
+
+def test_consumer_write_is_private():
+    """Consumer writes break CoW locally; producer never sees them."""
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"shared")
+    meta = register(m0, producer)
+    m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    consumer.write(PROD_BASE, b"mine!!")
+    assert consumer.read(PROD_BASE, 6) == b"mine!!"
+    assert producer.read(PROD_BASE, 6) == b"shared"
+
+
+def test_untouched_page_zero_fills():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"x")  # only page 0 materialized
+    meta = register(m0, producer)
+    handle = m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    assert consumer.read(PROD_BASE + 5 * PAGE_SIZE, 4) == b"\x00" * 4
+    assert handle.vma.zero_fill_faults == 1
+    assert handle.vma.remote_faults == 0
+
+
+def test_registration_survives_producer_exit():
+    """Shadow copies keep registered pages alive after the producer frees
+    everything (Section 4.1)."""
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"persist")
+    meta = register(m0, producer)
+    producer.unmap_vma(producer.vmas()[0])  # producer container exits
+    m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    assert consumer.read(PROD_BASE, 7) == b"persist"
+
+
+def test_deregister_releases_frames():
+    _, m0, m1, producer, _ = build()
+    producer.write(PROD_BASE, b"data")
+    meta = register(m0, producer)
+    producer.unmap_vma(producer.vmas()[0])
+    assert m0.physical.used_frames == 1  # shadow copy only
+    m0.kernel.deregister_mem(meta.fid, meta.key)
+    assert m0.physical.used_frames == 0
+    assert len(m0.kernel.registry) == 0
+
+
+def test_deregister_unknown_raises():
+    _, m0, _, _, _ = build()
+    with pytest.raises(RegistrationNotFound):
+        m0.kernel.deregister_mem("ghost", 1)
+
+
+def test_deregister_bad_framework_key():
+    _, m0, _, producer, _ = build()
+    producer.write(PROD_BASE, b"x")
+    meta = register(m0, producer)
+    with pytest.raises(AuthenticationFailed):
+        m0.kernel.deregister_mem(meta.fid, meta.key, framework_key=0xBAD)
+
+
+def test_deregister_via_rpc():
+    _, m0, m1, producer, _ = build()
+    producer.write(PROD_BASE, b"x")
+    meta = register(m0, producer)
+    from repro.sim.ledger import Ledger
+    m1.kernel.deregister_remote("mac0", meta.fid, meta.key, Ledger())
+    assert len(m0.kernel.registry) == 0
+
+
+def test_rmap_after_deregister_fails():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"x")
+    meta = register(m0, producer)
+    m0.kernel.deregister_mem(meta.fid, meta.key)
+    with pytest.raises(Exception):
+        m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+
+
+def test_handle_unmap_frees_consumer_frames():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"abc")
+    meta = register(m0, producer)
+    handle = m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    consumer.read(PROD_BASE, 3)
+    fetched = m1.physical.used_frames
+    assert fetched >= 1
+    handle.unmap()
+    assert m1.physical.used_frames == 0
+    handle.unmap()  # idempotent
+    with pytest.raises(SegmentationFault):
+        consumer.read(PROD_BASE, 1)
+
+
+def test_prefetch_batches_pages():
+    _, m0, m1, producer, consumer = build()
+    for i in range(8):
+        producer.write(PROD_BASE + i * PAGE_SIZE, bytes([i + 1]) * 8)
+    meta = register(m0, producer)
+    handle = m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    n = handle.prefetch([PROD_BASE + i * PAGE_SIZE for i in range(8)])
+    assert n == 8
+    before_faults = consumer.fault_count
+    for i in range(8):
+        assert consumer.read(PROD_BASE + i * PAGE_SIZE, 1) == bytes([i + 1])
+    assert consumer.fault_count == before_faults  # no faults after prefetch
+    assert handle.vma.pages_fetched == 8
+
+
+def test_prefetch_skips_resident_and_dedups():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"a")
+    producer.write(PROD_BASE + PAGE_SIZE, b"b")
+    meta = register(m0, producer)
+    handle = m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    consumer.read(PROD_BASE, 1)  # page 0 now resident
+    n = handle.prefetch([PROD_BASE, PROD_BASE + 1, PROD_BASE + PAGE_SIZE])
+    assert n == 1  # only page 1; page 0 skipped, duplicates deduped
+
+
+def test_prefetch_outside_range_rejected():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"x")
+    meta = register(m0, producer)
+    handle = m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    with pytest.raises(SegmentationFault):
+        handle.prefetch([0xDEAD_0000])
+
+
+def test_rpc_fetch_mode_slower_than_rdma():
+    _, m0, m1, producer, consumer = build()
+    producer.write(PROD_BASE, b"x" * PAGE_SIZE)
+    meta = register(m0, producer)
+
+    handle = m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key,
+                            fetch_mode=FETCH_RPC)
+    consumer.ledger.drain()
+    consumer.read(PROD_BASE, 1)
+    rpc_cost = consumer.ledger.drain()
+    handle.unmap()
+
+    handle2 = m1.kernel.rmap(consumer, meta.mac_addr, meta.fid, meta.key)
+    consumer.ledger.drain()
+    consumer.read(PROD_BASE, 1)
+    rdma_cost = consumer.ledger.drain()
+    assert rpc_cost > rdma_cost
+    del handle2
+
+
+def test_heap_only_registration_mode():
+    engine = Engine()
+    _f, (m0, _m1) = make_cluster(engine, 2)
+    space = AddressSpace(m0.physical, name="p")
+    rng = AddressRange(PROD_BASE, PROD_BASE + 256 * PAGE_SIZE)
+    layout = SegmentLayout.within(rng)
+    for name, seg in layout.all_segments():
+        if name == "text":
+            continue
+        space.map_vma(AnonymousVMA(seg, name=name))
+    m0.kernel.set_segment(space, layout)
+    space.write(layout.heap.start, b"heapdata")
+    space.write(layout.data.start, b"datadata")
+    meta = m0.kernel.register_mem(space, "f0", 1, mode=MAP_HEAP_ONLY)
+    assert meta.vm_start == layout.heap.start
+    assert meta.pages_registered == 1  # data segment excluded
+
+
+def test_lease_scan_reclaims_orphans():
+    from repro.sim import Timeout
+    from repro.units import seconds
+
+    engine = Engine()
+    _fabric, (m0, _m1) = make_cluster(engine, 2)
+    space = AddressSpace(m0.physical, name="p")
+    space.map_vma(AnonymousVMA(
+        AddressRange(PROD_BASE, PROD_BASE + PAGE_SIZE), name="heap"))
+    space.write(PROD_BASE, b"x")
+    m0.kernel.register_mem(space, "orphan", 7)
+
+    def advance():
+        yield Timeout(seconds(16 * 60 + 61))
+
+    engine.run_process(advance())
+    assert m0.kernel.scan_expired() == ["orphan"]
+    assert len(m0.kernel.registry) == 0
+
+
+def test_lease_scan_spares_young_registrations():
+    engine = Engine()
+    _fabric, (m0, _m1) = make_cluster(engine, 2)
+    space = AddressSpace(m0.physical, name="p")
+    space.map_vma(AnonymousVMA(
+        AddressRange(PROD_BASE, PROD_BASE + PAGE_SIZE), name="heap"))
+    space.write(PROD_BASE, b"x")
+    m0.kernel.register_mem(space, "young", 7)
+    assert m0.kernel.scan_expired() == []
+    assert len(m0.kernel.registry) == 1

@@ -1,0 +1,49 @@
+"""Tests for send-queue-bounded doorbell batches."""
+
+from repro.kernel.machine import make_cluster
+from repro.net.rdma import QueuePair, ReadRequest
+from repro.sim import Engine
+from repro.sim.ledger import Ledger
+
+
+def make_qp():
+    engine = Engine()
+    _fabric, (m0, m1) = make_cluster(engine, 2)
+    ledger = Ledger()
+    return m0, m1, m0.nic.connect("mac1", ledger), ledger
+
+
+def test_small_batch_one_doorbell():
+    _m0, m1, qp, ledger = make_qp()
+    frames = [m1.physical.allocate() for _ in range(10)]
+    qp.read_batch([ReadRequest(f.pfn) for f in frames], ledger)
+    assert qp.doorbells_rung == 1
+
+
+def test_oversized_batch_splits_into_rings():
+    _m0, m1, qp, ledger = make_qp()
+    n = QueuePair.MAX_BATCH_ENTRIES + 5
+    frame = m1.physical.allocate()
+    reqs = [ReadRequest(frame.pfn)] * n
+    qp.read_batch(reqs, ledger)
+    assert qp.doorbells_rung == 2
+
+
+def test_split_batch_costs_extra_base_latency():
+    _m0, m1, qp, ledger = make_qp()
+    frame = m1.physical.allocate()
+    n = QueuePair.MAX_BATCH_ENTRIES
+    one_ring = qp.batch_cost_ns([ReadRequest(frame.pfn, length=8)] * n)
+    two_rings = qp.batch_cost_ns(
+        [ReadRequest(frame.pfn, length=8)] * (n + 1))
+    cost = qp.nic.cost
+    extra = two_rings - one_ring
+    assert extra >= cost.rdma_base_latency_ns
+
+
+def test_batch_still_beats_serial_even_when_split():
+    _m0, m1, qp, ledger = make_qp()
+    frame = m1.physical.allocate()
+    n = 3 * QueuePair.MAX_BATCH_ENTRIES
+    reqs = [ReadRequest(frame.pfn)] * n
+    assert qp.batch_cost_ns(reqs) < n * qp.read_cost_ns(4096) / 3

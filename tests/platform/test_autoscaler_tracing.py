@@ -1,0 +1,151 @@
+"""Tests for the KPA-style autoscaler and span tracing."""
+
+import pytest
+
+from repro.analysis.tracing import Span, Tracer, render_gantt
+from repro.platform.cluster import ServerlessPlatform
+from repro.transfer import MessagingTransport
+
+from .test_execution import make_fanout_workflow, make_linear_workflow
+
+
+# --- tracer unit tests -----------------------------------------------------------
+
+def test_span_lifecycle():
+    tracer = Tracer()
+    span = tracer.begin("work", 100, foo="bar")
+    assert not span.finished
+    with pytest.raises(ValueError):
+        _ = span.duration_ns
+    tracer.end(span, 250)
+    assert span.duration_ns == 150
+    assert span.attributes == {"foo": "bar"}
+
+
+def test_disabled_tracer_is_noop():
+    tracer = Tracer(enabled=False)
+    span = tracer.begin("x", 0)
+    assert span is None
+    tracer.end(span, 10)  # no crash
+    assert tracer.spans == []
+
+
+def test_by_name_prefix_filter():
+    tracer = Tracer()
+    for name in ("f#0", "f#1", "g#0"):
+        tracer.end(tracer.begin(name, 0), 1)
+    assert len(tracer.by_name("f#")) == 2
+
+
+def test_render_gantt_shape():
+    tracer = Tracer()
+    tracer.end(tracer.begin("first", 0), 500)
+    tracer.end(tracer.begin("second", 250), 1000)
+    chart = render_gantt(tracer, width=20)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("first")
+    assert "#" in lines[0]
+    assert render_gantt(Tracer()) == "(no spans)"
+
+
+# --- tracing integrated with the platform ----------------------------------------------
+
+def test_platform_tracing_captures_function_spans():
+    platform = ServerlessPlatform(n_machines=2)
+    tracer = platform.enable_tracing()
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    record = platform.run_once("linear", {"n": 50})
+    inv_spans = tracer.by_name("linear#")
+    assert len(inv_spans) == 1
+    assert inv_spans[0].duration_ns == record.latency_ns
+    fn_spans = [s for s in tracer.finished_spans()
+                if s.parent == inv_spans[0].name]
+    assert {s.name.split("#")[0] for s in fn_spans} == \
+        {"produce", "square", "total"}
+    # function spans nest within the invocation span
+    for s in fn_spans:
+        assert inv_spans[0].start_ns <= s.start_ns
+        assert s.end_ns <= inv_spans[0].end_ns
+    assert "#" in render_gantt(tracer)
+
+
+def test_tracing_enabled_after_deploy_applies():
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    tracer = platform.enable_tracing()
+    platform.run_once("linear", {"n": 10})
+    assert tracer.finished_spans()
+
+
+# --- autoscaler -----------------------------------------------------------------------
+
+def test_autoscaler_provisions_under_load():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_fanout_workflow(width=4), MessagingTransport())
+    scaler = platform.enable_autoscaler("fanout")
+    platform.run_closed_loop("fanout", clients=3, requests_per_client=3,
+                             params={"n": 64})
+    assert scaler.provisioned > 0
+
+
+def test_autoscaler_reduces_cold_starts_for_bursts():
+    def run(with_scaler):
+        platform = ServerlessPlatform(n_machines=4)
+        platform.deploy(make_fanout_workflow(width=4),
+                        MessagingTransport())
+        if with_scaler:
+            platform.enable_autoscaler("fanout")
+        platform.run_closed_loop("fanout", clients=4,
+                                 requests_per_client=4,
+                                 params={"n": 64})
+        return platform.scheduler.cold_starts
+
+    assert run(True) <= run(False)
+
+
+def test_autoscaler_scales_down_after_idle():
+    from repro.sim import Timeout
+    from repro.units import seconds
+
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    scaler = platform.enable_autoscaler("linear")
+    platform.run_once("linear", {"n": 10})
+    alive_before = platform.scheduler.containers_alive()
+    assert alive_before > 0
+
+    def idle_period():
+        yield Timeout(seconds(10))
+
+    platform.engine.run_process(idle_period())
+    assert scaler.reap() > 0
+    assert platform.scheduler.containers_alive() < alive_before
+
+
+def test_autoscaler_detach_stops_observing():
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    scaler = platform.enable_autoscaler("linear")
+    platform.run_once("linear", {"n": 5})
+    provisioned = scaler.provisioned
+    platform.stop_autoscalers()
+    platform.run_once("linear", {"n": 5})
+    assert scaler.provisioned == provisioned  # detached: no reaction
+    assert not platform.scheduler.listeners
+
+
+def test_autoscaler_respects_width_bound():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_fanout_workflow(width=4), MessagingTransport())
+    platform.enable_autoscaler("fanout", headroom=5.0)
+    platform.run_closed_loop("fanout", clients=2, requests_per_client=2,
+                             params={"n": 64})
+    # even with absurd headroom, per-type containers never exceed width
+    from collections import Counter
+    per_fn = Counter(key[1] for key in platform.scheduler._pool)
+    for fn, spec_width in (("partition", 1), ("worker", 4), ("merge", 1)):
+        alive = sum(len(p) for k, p in platform.scheduler._pool.items()
+                    if k[1] == fn)
+        # pools can hold one container per slot, plus concurrency clones
+        assert alive <= spec_width * 3, (fn, alive)

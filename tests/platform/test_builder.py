@@ -1,0 +1,105 @@
+"""Tests for the fluent workflow builder."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.platform.builder import WorkflowBuilder
+from repro.platform.cluster import ServerlessPlatform
+from repro.transfer import RmmapTransport
+from repro.units import MB
+
+
+def handlers():
+    def split(ctx):
+        n = ctx.params.get("n", 32)
+        return [list(range(i, n, 4)) for i in range(4)]
+
+    def work(ctx):
+        return sum(ctx.single_input("split"))
+
+    def merge(ctx):
+        return sum(ctx.inputs["work"])
+
+    return split, work, merge
+
+
+def test_chain_builds_runnable_workflow():
+    split, work, merge = handlers()
+    wf = (WorkflowBuilder("mr")
+          .function("split", split, memory_budget=64 * MB)
+          .function("work", work, width=4, memory_budget=64 * MB)
+          .function("merge", merge, memory_budget=64 * MB)
+          .chain("split", "work", "merge", scatter_first=True)
+          .build())
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(wf, RmmapTransport(prefetch=False))
+    record = platform.run_once("mr", {"n": 32})
+    assert record.result == sum(range(32))
+
+
+def test_fan_out_and_fan_in():
+    def src(ctx):
+        return 5
+
+    def double(ctx):
+        return ctx.single_input("src") * 2
+
+    def triple(ctx):
+        return ctx.single_input("src") * 3
+
+    def add(ctx):
+        return (ctx.single_input("double")
+                + ctx.single_input("triple"))
+
+    wf = (WorkflowBuilder("diamond")
+          .function("src", src, memory_budget=64 * MB)
+          .function("double", double, memory_budget=64 * MB)
+          .function("triple", triple, memory_budget=64 * MB)
+          .function("add", add, memory_budget=64 * MB)
+          .fan_out("src", "double", "triple")
+          .fan_in("add", "double", "triple")
+          .build())
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(wf, RmmapTransport(prefetch=False))
+    assert platform.run_once("diamond").result == 25
+
+
+def test_chain_requires_two_names():
+    builder = WorkflowBuilder("x").function("a", lambda c: None,
+                                            memory_budget=64 * MB)
+    with pytest.raises(WorkflowError):
+        builder.chain("a")
+
+
+def test_fan_helpers_require_peers():
+    builder = WorkflowBuilder("x").function("a", lambda c: None,
+                                            memory_budget=64 * MB)
+    with pytest.raises(WorkflowError):
+        builder.fan_out("a")
+    with pytest.raises(WorkflowError):
+        builder.fan_in("a")
+
+
+def test_builder_closes_after_build():
+    builder = (WorkflowBuilder("x")
+               .function("a", lambda c: 1, memory_budget=64 * MB))
+    builder.build()
+    with pytest.raises(WorkflowError, match="finalized"):
+        builder.function("b", lambda c: 2, memory_budget=64 * MB)
+
+
+def test_build_validates_empty():
+    with pytest.raises(WorkflowError):
+        WorkflowBuilder("empty").build()
+
+
+def test_cycle_via_builder_rejected():
+    def noop(ctx):
+        return None
+
+    builder = (WorkflowBuilder("c")
+               .function("a", noop, memory_budget=64 * MB)
+               .function("b", noop, memory_budget=64 * MB)
+               .edge("a", "b"))
+    with pytest.raises(WorkflowError, match="cycle"):
+        builder.edge("b", "a")

@@ -1,0 +1,160 @@
+"""Coordinator edge cases: routing, records, alternative transports."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.platform.cluster import ServerlessPlatform
+from repro.platform.dag import FunctionSpec, Workflow
+from repro.transfer import (AdaptiveTransport, CompressedMessagingTransport,
+                            MessagingTransport, NaosTransport,
+                            RmmapTransport)
+from repro.units import MB
+
+from .test_execution import make_fanout_workflow, make_linear_workflow
+
+
+def test_multiple_upstream_producers_routed_correctly():
+    """A consumer with two distinct upstream types must see each
+    producer's value under the right name (FINRA's audit shape)."""
+    wf = Workflow("two-in")
+
+    def left(ctx):
+        return "L"
+
+    def right(ctx):
+        return "R"
+
+    def join(ctx):
+        return ctx.single_input("left") + ctx.single_input("right")
+
+    for name, fn in (("left", left), ("right", right), ("join", join)):
+        wf.add_function(FunctionSpec(name, fn, memory_budget=64 * MB))
+    wf.add_edge("left", "join")
+    wf.add_edge("right", "join")
+
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(wf, RmmapTransport(prefetch=False))
+    assert platform.run_once("two-in").result == "LR"
+
+
+def test_gather_preserves_instance_order():
+    """inputs[producer] lists values in producer instance order."""
+    wf = Workflow("ordered")
+
+    def produce(ctx):
+        return [f"part{i}" for i in range(4)]
+
+    def worker(ctx):
+        return (ctx.instance_index, ctx.single_input("produce"))
+
+    def collect(ctx):
+        return ctx.inputs["worker"]
+
+    wf.add_function(FunctionSpec("produce", produce, memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("worker", worker, width=4,
+                                 memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("collect", collect, memory_budget=64 * MB))
+    wf.add_edge("produce", "worker", scatter=True)
+    wf.add_edge("worker", "collect")
+
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(wf, MessagingTransport())
+    result = platform.run_once("ordered").result
+    assert result == [(i, f"part{i}") for i in range(4)]
+
+
+def test_scatter_width_mismatch_detected():
+    wf = Workflow("bad-scatter")
+
+    def produce(ctx):
+        return [1, 2]  # two partitions...
+
+    wf.add_function(FunctionSpec("produce", produce, memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("worker", lambda ctx: None, width=3,
+                                 memory_budget=64 * MB))  # ...three workers
+    wf.add_edge("produce", "worker", scatter=True)
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(wf, MessagingTransport())
+    proc = platform.coordinator("bad-scatter").invoke()
+    platform.engine.run()
+    with pytest.raises(WorkflowError, match="partitions"):
+        _ = proc.value
+
+
+def test_single_input_rejects_multi_instance():
+    wf = Workflow("multi")
+
+    def produce(ctx):
+        return ctx.instance_index
+
+    def consume(ctx):
+        return ctx.single_input("produce")  # 2 producers: must raise
+
+    wf.add_function(FunctionSpec("produce", produce, width=2,
+                                 memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("consume", consume, memory_budget=64 * MB))
+    wf.add_edge("produce", "consume")
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(wf, MessagingTransport())
+    proc = platform.coordinator("multi").invoke()
+    platform.engine.run()
+    with pytest.raises(WorkflowError, match="expected one value"):
+        _ = proc.value
+
+
+@pytest.mark.parametrize("factory", [
+    AdaptiveTransport, CompressedMessagingTransport, NaosTransport],
+    ids=["adaptive", "compressed", "naos"])
+def test_alternative_transports_run_workflows(factory):
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_fanout_workflow(width=4), factory())
+    record = platform.run_once("fanout", {"n": 64})
+    assert record.result == sum(range(64))
+
+
+def test_function_records_cover_all_instances():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_fanout_workflow(width=4), MessagingTransport())
+    record = platform.run_once("fanout", {"n": 64})
+    by_fn = {}
+    for f in record.functions:
+        by_fn.setdefault(f.function, set()).add(f.index)
+    assert by_fn == {"partition": {0}, "worker": {0, 1, 2, 3},
+                     "merge": {0}}
+    for f in record.functions:
+        assert f.end_ns >= f.start_ns
+        assert f.platform_ns > 0
+
+
+def test_critical_path_totals_leq_sum_totals():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_fanout_workflow(width=4), MessagingTransport())
+    record = platform.run_once("fanout", {"n": 2000})
+    cp = record.critical_path_totals()
+    full = record.stage_totals()
+    assert cp["transform"] <= full["transform"]
+    assert cp["network"] <= full["network"]
+    assert cp["compute"] <= record.compute_ns
+
+
+def test_concurrent_invocations_isolated():
+    """Two overlapping invocations must not cross-contaminate results."""
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    platform.prewarm("linear")
+    coordinator = platform.coordinator("linear")
+    p1 = coordinator.invoke({"n": 10})
+    p2 = coordinator.invoke({"n": 20})
+    platform.engine.run()
+    assert p1.value.result == sum(v * v for v in range(10))
+    assert p2.value.result == sum(v * v for v in range(20))
+
+
+def test_sequential_invocations_reuse_and_stay_correct():
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(make_linear_workflow(), RmmapTransport())
+    results = [platform.run_once("linear", {"n": n}).result
+               for n in (5, 10, 15)]
+    assert results == [sum(v * v for v in range(n)) for n in (5, 10, 15)]
+    # no registration leaks across invocations
+    assert sum(len(m.kernel.registry) for m in platform.machines) == 0

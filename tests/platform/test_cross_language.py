@@ -1,0 +1,68 @@
+"""Cross-language workflows: the Section 6 messaging fallback."""
+
+from repro.platform.cluster import ServerlessPlatform
+from repro.platform.dag import FunctionSpec, Workflow
+from repro.transfer import MessagingTransport, RmmapTransport
+from repro.units import MB
+
+
+def make_mixed_workflow():
+    """A Python producer feeding a Java consumer feeding Python again."""
+    wf = Workflow("mixed")
+
+    def produce(ctx):
+        return list(range(200))
+
+    def transform(ctx):
+        return [v * 2 for v in ctx.single_input("produce")]
+
+    def collect(ctx):
+        return sum(ctx.single_input("transform"))
+
+    wf.add_function(FunctionSpec("produce", produce, memory_budget=64 * MB,
+                                 runtime="python"))
+    wf.add_function(FunctionSpec("transform", transform,
+                                 memory_budget=64 * MB, runtime="java"))
+    wf.add_function(FunctionSpec("collect", collect, memory_budget=64 * MB,
+                                 runtime="python"))
+    wf.add_edge("produce", "transform")
+    wf.add_edge("transform", "collect")
+    return wf
+
+
+def test_mixed_runtime_workflow_computes_correctly():
+    platform = ServerlessPlatform(n_machines=3)
+    platform.deploy(make_mixed_workflow(), RmmapTransport(prefetch=False))
+    record = platform.run_once("mixed")
+    assert record.result == sum(v * 2 for v in range(200))
+
+
+def test_mixed_runtime_edges_fall_back_to_messaging():
+    """With RMMAP deployed, python->java edges must serialize: the
+    object layouts differ across runtimes (Section 6)."""
+    platform = ServerlessPlatform(n_machines=3)
+    platform.deploy(make_mixed_workflow(), RmmapTransport(prefetch=False))
+    record = platform.run_once("mixed")
+    stages = record.stage_totals()
+    # serialization happened (fallback), unlike a pure-rmmap workflow
+    assert stages["reconstruct"] > 0
+    # and no rmmap registrations leaked
+    assert sum(len(m.kernel.registry) for m in platform.machines) == 0
+
+
+def test_same_runtime_workflow_does_not_fall_back():
+    wf = make_mixed_workflow()
+    for spec in wf.functions:
+        spec.runtime = "python"
+    platform = ServerlessPlatform(n_machines=3)
+    platform.deploy(wf, RmmapTransport(prefetch=False))
+    record = platform.run_once("mixed")
+    assert record.stage_totals()["reconstruct"] == 0  # pure rmmap
+
+
+def test_serializing_transport_bridges_languages_natively():
+    """Messaging needs no fallback: byte streams are layout-agnostic."""
+    platform = ServerlessPlatform(n_machines=3)
+    platform.deploy(make_mixed_workflow(), MessagingTransport())
+    record = platform.run_once("mixed")
+    assert record.result == sum(v * 2 for v in range(200))

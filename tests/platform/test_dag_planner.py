@@ -1,0 +1,158 @@
+"""Tests for workflow DAGs and the VM address planner."""
+
+import pytest
+
+from repro.errors import PlanningError, WorkflowError
+from repro.mem.layout import AddressRange
+from repro.platform.dag import FunctionSpec, Workflow
+from repro.platform.planner import (PLAN_BASE, plan_dynamic, plan_workflow)
+from repro.units import GB, MB
+
+
+def noop(ctx):
+    return None
+
+
+def diamond() -> Workflow:
+    wf = Workflow("diamond")
+    for name in ("a", "b", "c", "d"):
+        wf.add_function(FunctionSpec(name, noop, memory_budget=64 * MB))
+    wf.add_edge("a", "b")
+    wf.add_edge("a", "c")
+    wf.add_edge("b", "d")
+    wf.add_edge("c", "d")
+    return wf
+
+
+# --- DAG --------------------------------------------------------------------
+
+def test_topological_order():
+    order = diamond().topological_order()
+    assert order[0] == "a" and order[-1] == "d"
+    assert set(order) == {"a", "b", "c", "d"}
+
+
+def test_sources_and_sinks():
+    wf = diamond()
+    assert wf.sources() == ["a"]
+    assert wf.sinks() == ["d"]
+
+
+def test_cycle_rejected():
+    wf = diamond()
+    with pytest.raises(WorkflowError, match="cycle"):
+        wf.add_edge("d", "a")
+    # the failed edge must not be left behind
+    assert len(wf.edges) == 4
+
+
+def test_self_edge_rejected():
+    wf = diamond()
+    with pytest.raises(WorkflowError):
+        wf.add_edge("a", "a")
+
+
+def test_duplicate_function_rejected():
+    wf = diamond()
+    with pytest.raises(WorkflowError):
+        wf.add_function(FunctionSpec("a", noop))
+
+
+def test_duplicate_edge_rejected():
+    wf = diamond()
+    with pytest.raises(WorkflowError):
+        wf.add_edge("a", "b")
+
+
+def test_unknown_edge_endpoint_rejected():
+    wf = diamond()
+    with pytest.raises(WorkflowError):
+        wf.add_edge("a", "ghost")
+
+
+def test_width_validation():
+    with pytest.raises(WorkflowError):
+        FunctionSpec("x", noop, width=0)
+
+
+def test_upstream_downstream():
+    wf = diamond()
+    assert {e.producer for e in wf.upstream("d")} == {"b", "c"}
+    assert {e.consumer for e in wf.downstream("a")} == {"b", "c"}
+
+
+def test_total_instances_counts_width():
+    wf = Workflow("wide")
+    wf.add_function(FunctionSpec("fan", noop, width=200,
+                                 memory_budget=64 * MB))
+    assert wf.total_instances() == 200
+
+
+# --- planner -----------------------------------------------------------------
+
+def test_plan_disjoint_ranges():
+    plan = plan_workflow(diamond())
+    slots = plan.slots()
+    assert len(slots) == 4
+    for i, a in enumerate(slots):
+        for b in slots[i + 1:]:
+            assert not a.range.overlaps(b.range)
+
+
+def test_plan_covers_width():
+    wf = Workflow("wide")
+    wf.add_function(FunctionSpec("prep", noop, memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("audit", noop, width=200,
+                                 memory_budget=64 * MB))
+    wf.add_edge("prep", "audit", scatter=True)
+    plan = plan_workflow(wf)
+    assert len(plan) == 201
+    # every audit instance has its own disjoint slot
+    r0 = plan.slot("audit", 0).range
+    r199 = plan.slot("audit", 199).range
+    assert not r0.overlaps(r199)
+
+
+def test_plan_range_size_matches_budget():
+    plan = plan_workflow(diamond())
+    assert plan.slot("a").range.size == 64 * MB
+
+
+def test_plan_starts_above_reserved_base():
+    plan = plan_workflow(diamond())
+    assert min(s.range.start for s in plan.slots()) >= PLAN_BASE
+
+
+def test_plan_unknown_slot_raises():
+    plan = plan_workflow(diamond())
+    with pytest.raises(PlanningError):
+        plan.slot("ghost")
+    with pytest.raises(PlanningError):
+        plan.slot("a", 5)
+
+
+def test_plan_exhaustion_detected():
+    wf = Workflow("huge")
+    wf.add_function(FunctionSpec("big", noop, width=3,
+                                 memory_budget=64 * 1024 * GB))
+    with pytest.raises(PlanningError, match="exhausted"):
+        plan_workflow(wf)
+
+
+def test_dynamic_plan_avoids_occupied_ranges():
+    wf = diamond()
+    occupied = [AddressRange(PLAN_BASE, PLAN_BASE + 64 * MB)]
+    plan = plan_dynamic(wf, occupied)
+    for slot in plan.slots():
+        assert not slot.range.overlaps(occupied[0])
+
+
+def test_dynamic_plan_differs_from_static_under_occupation():
+    """The ablation's core fact: dynamic planning relocates functions when
+    old containers occupy their static ranges — so a *cached* container
+    (still at the old range) conflicts with the new plan."""
+    wf = diamond()
+    static = plan_workflow(wf)
+    occupied = [static.slot("a").range]  # cached container from last run
+    dynamic = plan_dynamic(wf, occupied)
+    assert dynamic.slot("a").range.start != static.slot("a").range.start

@@ -1,0 +1,216 @@
+"""End-to-end workflow execution on the platform, across transports."""
+
+import pytest
+
+from repro.platform.cluster import ServerlessPlatform
+from repro.platform.dag import FunctionSpec, Workflow
+from repro.transfer import (MessagingTransport, RmmapTransport,
+                            StorageRdmaTransport, StorageTransport)
+from repro.units import MB, ms
+
+
+def make_linear_workflow():
+    """produce -> square -> total: a simple arithmetic pipeline."""
+    wf = Workflow("linear")
+
+    def produce(ctx):
+        n = ctx.params.get("n", 100)
+        return list(range(n))
+
+    def square(ctx):
+        values = ctx.single_input("produce")
+        return [v * v for v in values]
+
+    def total(ctx):
+        return sum(ctx.single_input("square"))
+
+    wf.add_function(FunctionSpec("produce", produce, memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("square", square, memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("total", total, memory_budget=64 * MB))
+    wf.add_edge("produce", "square")
+    wf.add_edge("square", "total")
+    return wf
+
+
+def make_fanout_workflow(width=4):
+    """partition -(scatter)-> worker xN -> merge: a map-reduce shape."""
+    wf = Workflow("fanout")
+
+    def partition(ctx):
+        n = ctx.params.get("n", 64)
+        chunk = n // width
+        return [list(range(i * chunk, (i + 1) * chunk))
+                for i in range(width)]
+
+    def worker(ctx):
+        part = ctx.single_input("partition")
+        return sum(part)
+
+    def merge(ctx):
+        return sum(ctx.inputs["worker"])
+
+    wf.add_function(FunctionSpec("partition", partition,
+                                 memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("worker", worker, width=width,
+                                 memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("merge", merge, memory_budget=64 * MB))
+    wf.add_edge("partition", "worker", scatter=True)
+    wf.add_edge("worker", "merge")
+    return wf
+
+
+TRANSPORTS = [
+    ("messaging", MessagingTransport),
+    ("storage", StorageTransport),
+    ("storage-rdma", StorageRdmaTransport),
+    ("rmmap", lambda: RmmapTransport(prefetch=False)),
+    ("rmmap-prefetch", lambda: RmmapTransport(prefetch=True)),
+]
+
+
+@pytest.mark.parametrize("tname,factory", TRANSPORTS)
+def test_linear_workflow_computes_correct_result(tname, factory):
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), factory())
+    record = platform.run_once("linear", {"n": 50})
+    assert record.result == sum(v * v for v in range(50))
+    assert record.latency_ns > 0
+    assert len(record.functions) == 3
+
+
+@pytest.mark.parametrize("tname,factory", TRANSPORTS)
+def test_fanout_scatter_gather(tname, factory):
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_fanout_workflow(width=4), factory())
+    record = platform.run_once("fanout", {"n": 64})
+    assert record.result == sum(range(64))
+    assert len(record.functions) == 6  # 1 + 4 + 1
+
+
+def test_rmmap_scatter_shares_one_registration():
+    """Scatter over RMMAP registers the producer space once and hands each
+    consumer a view token with its partition's root pointer."""
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_fanout_workflow(width=4),
+                    RmmapTransport(prefetch=False))
+    record = platform.run_once("fanout", {"n": 64})
+    assert record.result == sum(range(64))
+
+
+def test_parallel_instances_overlap_in_time():
+    platform = ServerlessPlatform(n_machines=4)
+    wf = make_fanout_workflow(width=4)
+
+    def slow_worker(ctx):
+        ctx.charge_compute(ms(10))
+        return sum(ctx.single_input("partition"))
+
+    wf.spec("worker").handler = slow_worker
+    platform.deploy(wf, MessagingTransport())
+    record = platform.run_once("fanout", {"n": 64})
+    workers = [f for f in record.functions if f.function == "worker"]
+    spans = [(f.start_ns, f.end_ns) for f in workers]
+    # at least two worker instances overlap
+    overlapping = any(a[0] < b[1] and b[0] < a[1]
+                      for i, a in enumerate(spans)
+                      for b in spans[i + 1:])
+    assert overlapping
+
+
+def test_warm_containers_reused_across_invocations():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    platform.run_once("linear")
+    colds = platform.scheduler.cold_starts
+    platform.run_once("linear")
+    assert platform.scheduler.cold_starts == colds  # all warm hits
+    assert platform.scheduler.warm_starts >= 3
+
+
+def test_prewarm_zeroes_counters():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    platform.prewarm("linear")
+    assert platform.scheduler.cold_starts == 0
+    record = platform.run_once("linear")
+    cold_flags = [f.cold_start for f in record.functions]
+    assert not any(cold_flags)
+
+
+def test_rmmap_registrations_reclaimed_after_invocation():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), RmmapTransport(prefetch=False))
+    platform.run_once("linear")
+    total_regs = sum(len(m.kernel.registry) for m in platform.machines)
+    assert total_regs == 0  # coordinator deregistered everything
+
+
+def test_storage_objects_reclaimed_after_invocation():
+    platform = ServerlessPlatform(n_machines=4)
+    transport = StorageTransport()
+    platform.deploy(make_linear_workflow(), transport)
+    platform.run_once("linear")
+    assert transport.stored_bytes() == 0
+
+
+def test_cold_start_charged_on_first_run():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    record = platform.run_once("linear")
+    assert any(f.cold_start for f in record.functions)
+    assert platform.scheduler.cold_starts == 3
+
+
+def test_invocation_record_stage_totals():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    record = platform.run_once("linear", {"n": 2000})
+    stages = record.stage_totals()
+    assert stages["transform"] > 0      # serialization happened
+    assert stages["network"] > 0
+    assert stages["reconstruct"] > 0
+    assert record.transfer_ns >= sum(stages.values())
+
+
+def test_rmmap_invocation_has_no_reconstruct_cost():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), RmmapTransport(prefetch=False))
+    record = platform.run_once("linear", {"n": 2000})
+    stages = record.stage_totals()
+    assert stages["reconstruct"] == 0
+    assert stages["network"] > 0  # demand-paged reads
+
+
+def test_open_loop_client_issues_at_rate():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    platform.prewarm("linear")
+    records = platform.run_open_loop("linear", rate_per_s=100,
+                                     duration_s=0.1, params={"n": 10})
+    assert len(records) == 10
+    assert all(r.result == sum(v * v for v in range(10)) for r in records)
+
+
+def test_closed_loop_clients():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    platform.prewarm("linear")
+    records = platform.run_closed_loop("linear", clients=3,
+                                       requests_per_client=2,
+                                       params={"n": 10})
+    assert len(records) == 6
+
+
+def test_deploy_twice_rejected():
+    from repro.errors import PlatformError
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(make_linear_workflow(), MessagingTransport())
+    with pytest.raises(PlatformError):
+        platform.deploy(make_linear_workflow(), MessagingTransport())
+
+
+def test_undeployed_workflow_rejected():
+    from repro.errors import PlatformError
+    platform = ServerlessPlatform(n_machines=2)
+    with pytest.raises(PlatformError):
+        platform.run_once("ghost")

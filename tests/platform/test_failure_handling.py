@@ -1,0 +1,96 @@
+"""Coordinator behaviour when function handlers fail."""
+
+import pytest
+
+from repro.platform.cluster import ServerlessPlatform
+from repro.platform.container import STATE_IDLE
+from repro.platform.dag import FunctionSpec, Workflow
+from repro.transfer import MessagingTransport, RmmapTransport
+from repro.units import MB
+
+
+def make_failing_workflow(fail_at="middle"):
+    wf = Workflow("flaky")
+
+    def produce(ctx):
+        if fail_at == "start":
+            raise RuntimeError("producer exploded")
+        return [1, 2, 3]
+
+    def middle(ctx):
+        if fail_at == "middle":
+            raise RuntimeError("middle exploded")
+        return sum(ctx.single_input("produce"))
+
+    def finish(ctx):
+        return ctx.single_input("middle") * 10
+
+    wf.add_function(FunctionSpec("produce", produce, memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("middle", middle, memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("finish", finish, memory_budget=64 * MB))
+    wf.add_edge("produce", "middle")
+    wf.add_edge("middle", "finish")
+    return wf
+
+
+@pytest.mark.parametrize("fail_at", ["start", "middle"])
+def test_handler_exception_propagates_to_invoker(fail_at):
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(make_failing_workflow(fail_at), MessagingTransport())
+    proc = platform.coordinator("flaky").invoke()
+    platform.engine.run()
+    with pytest.raises(RuntimeError, match="exploded"):
+        _ = proc.value
+
+
+def test_containers_released_after_handler_failure():
+    """The failing function's container must return to the pool."""
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(make_failing_workflow("middle"), MessagingTransport())
+    proc = platform.coordinator("flaky").invoke()
+    platform.engine.run()
+    assert proc.failure is not None
+    # no container left busy
+    for pool in platform.scheduler._pool.values():
+        for container in pool:
+            assert container.state == STATE_IDLE
+
+
+def test_platform_usable_after_failure():
+    """A failed invocation must not poison subsequent ones."""
+    platform = ServerlessPlatform(n_machines=2)
+    wf = make_failing_workflow("middle")
+    platform.deploy(wf, MessagingTransport())
+    proc = platform.coordinator("flaky").invoke()
+    platform.engine.run()
+    assert proc.failure is not None
+    # repair the handler and run again on the same deployment
+    wf.spec("middle").handler = \
+        lambda ctx: sum(ctx.single_input("produce"))
+    record = platform.run_once("flaky")
+    assert record.result == 60
+
+
+def test_rmmap_state_not_leaked_by_downstream_failure():
+    """If the consumer crashes, the lease scan still bounds the leak."""
+    from repro.kernel.kernel import DEFAULT_GRACE_NS, DEFAULT_LEASE_NS
+    from repro.sim import Timeout
+
+    platform = ServerlessPlatform(n_machines=2)
+    platform.deploy(make_failing_workflow("middle"),
+                    RmmapTransport(prefetch=False))
+    proc = platform.coordinator("flaky").invoke()
+    platform.engine.run()
+    assert proc.failure is not None
+    # the coordinator never reached cleanup; registrations linger...
+    leaked = sum(len(m.kernel.registry) for m in platform.machines)
+    assert leaked >= 1
+
+    def advance():
+        yield Timeout(DEFAULT_LEASE_NS + DEFAULT_GRACE_NS + 1)
+
+    platform.engine.run_process(advance())
+    # ...until each pod's lease scan reclaims them (Section 4.2)
+    for machine in platform.machines:
+        machine.kernel.scan_expired()
+    assert sum(len(m.kernel.registry) for m in platform.machines) == 0

@@ -1,0 +1,161 @@
+"""Unit tests for the scheduler: caching, eviction, capacity."""
+
+import pytest
+
+from repro.kernel.machine import make_cluster
+from repro.platform.container import STATE_DEAD, STATE_IDLE, Container
+from repro.platform.dag import FunctionSpec, Workflow
+from repro.platform.planner import plan_workflow
+from repro.platform.scheduler import Scheduler
+from repro.sim import Engine, Timeout
+from repro.units import DEFAULT_COST_MODEL, MB, seconds
+
+
+def noop(ctx):
+    return None
+
+
+def setup(n_machines=2, containers_per_machine=2, cache_ttl_s=600):
+    engine = Engine()
+    _fabric, machines = make_cluster(engine, n_machines)
+    scheduler = Scheduler(engine, machines, DEFAULT_COST_MODEL,
+                          containers_per_machine=containers_per_machine,
+                          cache_ttl_ns=seconds(cache_ttl_s))
+    wf = Workflow("wf")
+    wf.add_function(FunctionSpec("f", noop, width=8,
+                                 memory_budget=64 * MB))
+    plan = plan_workflow(wf)
+    return engine, scheduler, wf, plan
+
+
+def acquire(engine, scheduler, wf, plan, index=0):
+    result = {}
+
+    def proc():
+        container = yield from scheduler.acquire("wf", wf.spec("f"),
+                                                 index, plan)
+        result["c"] = container
+
+    engine.run_process(proc())
+    return result["c"]
+
+
+def test_cold_start_creates_container():
+    engine, scheduler, wf, plan = setup()
+    c = acquire(engine, scheduler, wf, plan)
+    assert isinstance(c, Container)
+    assert scheduler.cold_starts == 1
+    assert c.state != STATE_IDLE
+    assert engine.now >= DEFAULT_COST_MODEL.container_coldstart_ns
+
+
+def test_warm_reuse_same_slot():
+    engine, scheduler, wf, plan = setup()
+    c1 = acquire(engine, scheduler, wf, plan)
+    scheduler.release(c1)
+    c2 = acquire(engine, scheduler, wf, plan)
+    assert c2 is c1
+    assert scheduler.warm_starts == 1
+    assert scheduler.cold_starts == 1
+
+
+def test_distinct_slots_get_distinct_containers():
+    engine, scheduler, wf, plan = setup(containers_per_machine=8)
+    c0 = acquire(engine, scheduler, wf, plan, index=0)
+    c1 = acquire(engine, scheduler, wf, plan, index=1)
+    assert c0 is not c1
+    assert c0.slot.range != c1.slot.range
+
+
+def test_placement_spreads_across_machines():
+    engine, scheduler, wf, plan = setup(n_machines=2,
+                                        containers_per_machine=8)
+    cs = [acquire(engine, scheduler, wf, plan, index=i) for i in range(4)]
+    macs = {c.machine.mac_addr for c in cs}
+    assert len(macs) == 2  # least-loaded placement alternates
+
+
+def test_capacity_full_evicts_idle():
+    engine, scheduler, wf, plan = setup(n_machines=1,
+                                        containers_per_machine=2)
+    c0 = acquire(engine, scheduler, wf, plan, index=0)
+    c1 = acquire(engine, scheduler, wf, plan, index=1)
+    scheduler.release(c0)  # idle, evictable
+    c2 = acquire(engine, scheduler, wf, plan, index=2)
+    assert c0.state == STATE_DEAD  # evicted to make room
+    assert c2.state != STATE_IDLE
+    assert scheduler.containers_alive() == 2
+    del c1
+
+
+def test_expired_cache_evicted():
+    engine, scheduler, wf, plan = setup(cache_ttl_s=1)
+    c = acquire(engine, scheduler, wf, plan)
+    scheduler.release(c)
+
+    def advance():
+        yield Timeout(seconds(2))
+
+    engine.run_process(advance())
+    assert scheduler.evict_expired() == 1
+    assert c.state == STATE_DEAD
+    # next acquire cold-starts a fresh one
+    c2 = acquire(engine, scheduler, wf, plan)
+    assert c2 is not c
+    assert scheduler.cold_starts == 2
+
+
+def test_stale_container_not_reused():
+    engine, scheduler, wf, plan = setup(cache_ttl_s=1)
+    c = acquire(engine, scheduler, wf, plan)
+    scheduler.release(c)
+
+    def advance():
+        yield Timeout(seconds(5))
+
+    engine.run_process(advance())
+    c2 = acquire(engine, scheduler, wf, plan)
+    assert c2 is not c  # TTL lapsed; not handed back out
+
+
+def test_container_reset_between_invocations():
+    engine, scheduler, wf, plan = setup()
+    c = acquire(engine, scheduler, wf, plan)
+    root = c.heap.box([1, 2, 3])
+    c.heap.add_root(root)
+    scheduler.release(c)
+    assert c.heap.bytes_in_use() == 0  # fresh sandbox
+    assert not c.heap.roots
+
+
+def test_counters():
+    engine, scheduler, wf, plan = setup(n_machines=2,
+                                        containers_per_machine=3)
+    assert scheduler.total_capacity() == 6
+    c = acquire(engine, scheduler, wf, plan)
+    assert scheduler.containers_in_use() == 1
+    assert scheduler.containers_alive() == 1
+    scheduler.release(c)
+    assert scheduler.containers_in_use() == 0
+    assert scheduler.containers_alive() == 1
+
+
+def test_container_conforms_to_plan():
+    engine, scheduler, wf, plan = setup()
+    c = acquire(engine, scheduler, wf, plan, index=3)
+    slot = plan.slot("f", 3)
+    assert c.space.segments is not None
+    assert c.space.segments.text.start == slot.range.start
+    assert c.space.segments.stack.end == slot.range.end
+    assert c.heap.range == c.space.segments.heap
+
+
+def test_destroy_releases_frames():
+    engine, scheduler, wf, plan = setup()
+    c = acquire(engine, scheduler, wf, plan)
+    c.heap.box(list(range(1000)))
+    machine = c.machine
+    assert machine.physical.used_frames > 0
+    c.destroy()
+    assert machine.physical.used_frames == 0
+    assert c.state == STATE_DEAD

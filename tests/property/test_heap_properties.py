@@ -1,0 +1,129 @@
+"""Property-based tests: heap/serializer round trips over generated values.
+
+Invariants: ``load(box(v)) == v`` for any boxable value; the serializer is
+a faithful isomorphism between heaps; rmap'd remote loading agrees with
+local loading.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.microbench import make_pair
+from repro.runtime.serializer import Serializer
+from repro.units import MB
+
+# --- value strategies -------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    st.floats(allow_nan=False, width=64),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=8),
+        st.dictionaries(st.text(max_size=8), children, max_size=6),
+        # tuples of scalars only (tuple cycles are unsupported, like pickle
+        # memo edge cases; scalar tuples are the common case)
+        st.lists(scalars, max_size=5).map(tuple),
+    ),
+    max_leaves=25,
+)
+
+int_lists = st.lists(st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+                     min_size=64, max_size=400)
+
+
+def fresh_pair():
+    return make_pair(heap_bytes=32 * MB, resident_lib_bytes=0)
+
+
+# --- properties ---------------------------------------------------------------------
+
+@given(values)
+@settings(max_examples=80, deadline=None)
+def test_box_load_roundtrip(value):
+    _e, producer, _c = fresh_pair()
+    heap = producer.heap
+    assert heap.load(heap.box(value)) == value
+
+
+@given(int_lists)
+@settings(max_examples=30, deadline=None)
+def test_packed_list_roundtrip(values_):
+    """The packed fast path is invisible: long int lists round-trip."""
+    _e, producer, _c = fresh_pair()
+    heap = producer.heap
+    assert heap.load(heap.box(values_)) == values_
+
+
+@given(values)
+@settings(max_examples=60, deadline=None)
+def test_serializer_is_cross_heap_isomorphism(value):
+    _e, producer, consumer = fresh_pair()
+    ser = Serializer()
+    state = ser.serialize(producer.heap, producer.heap.box(value))
+    root = ser.deserialize(consumer.heap, state)
+    assert consumer.heap.load(root) == value
+
+
+@given(values)
+@settings(max_examples=40, deadline=None)
+def test_rmap_load_equals_local_load(value):
+    """Remote (rmap'd) loading returns exactly what local loading does."""
+    _e, m0_ep, m1_ep = fresh_pair()
+    heap = m0_ep.heap
+    root = heap.box(value)
+    local = heap.load(root)
+    meta = m0_ep.kernel.register_mem(heap.space, "prop", 1)
+    m1_ep.kernel.rmap(m1_ep.space, meta.mac_addr, "prop", 1)
+    remote = m1_ep.heap.load(root)
+    assert remote == local == value
+
+
+@given(values)
+@settings(max_examples=40, deadline=None)
+def test_object_count_consistent(value):
+    """Serializer's object count equals the heap's reachability count."""
+    _e, producer, _c = fresh_pair()
+    heap = producer.heap
+    root = heap.box(value)
+    state = Serializer().serialize(heap, root)
+    assert state.object_count == heap.count_reachable(root)
+
+
+@given(st.lists(values, min_size=1, max_size=5))
+@settings(max_examples=30, deadline=None)
+def test_gc_preserves_rooted_values(items):
+    """Mark-sweep never corrupts reachable state, whatever the graph."""
+    _e, producer, _c = fresh_pair()
+    heap = producer.heap
+    roots = [heap.box(item) for item in items]
+    for r in roots[::2]:
+        heap.add_root(r)
+    heap.gc()
+    for r, item in zip(roots[::2], items[::2]):
+        assert heap.load(r) == item
+
+
+@given(values)
+@settings(max_examples=30, deadline=None)
+def test_cow_snapshot_isolation_property(value):
+    """Whatever the state, post-registration producer mutations never
+    leak into the consumer's view."""
+    _e, m0_ep, m1_ep = fresh_pair()
+    heap = m0_ep.heap
+    root = heap.box(value)
+    meta = m0_ep.kernel.register_mem(heap.space, "iso", 2)
+    # producer overwrites its heap wholesale
+    heap.space.write(heap.range.start,
+                     b"\xff" * min(4096, heap.allocator.high_water
+                                   - heap.range.start or 1))
+    m1_ep.kernel.rmap(m1_ep.space, meta.mac_addr, "iso", 2)
+    assert m1_ep.heap.load(root) == value

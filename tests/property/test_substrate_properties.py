@@ -1,0 +1,142 @@
+"""Property-based tests for the memory substrate and analysis helpers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutOfMemory
+from repro.analysis.metrics import cdf_points, percentile
+from repro.mem import (PAGE_SIZE, AddressRange, AddressSpace, AnonymousVMA,
+                       HeapAllocator, PhysicalMemory)
+
+BASE = 0x1000_0000
+SPACE = 64 * PAGE_SIZE
+
+
+# --- allocator invariants ------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["alloc", "free"]),
+                          st.integers(min_value=1, max_value=2048)),
+                max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_allocator_never_overlaps_and_conserves(ops):
+    alloc = HeapAllocator(AddressRange(BASE, BASE + SPACE))
+    live = {}  # addr -> size
+    for op, size in ops:
+        if op == "alloc":
+            try:
+                addr = alloc.alloc(size)
+            except OutOfMemory:
+                continue
+            # no overlap with any live allocation
+            for other, osize in live.items():
+                assert addr + alloc.allocation_size(addr) <= other \
+                    or other + osize <= addr
+            live[addr] = alloc.allocation_size(addr)
+        elif live:
+            addr = sorted(live)[len(live) // 2]
+            alloc.free(addr)
+            del live[addr]
+    # conservation: used + free == total
+    assert alloc.bytes_in_use + alloc.free_bytes() == SPACE
+    assert alloc.bytes_in_use == sum(live.values())
+
+
+@given(st.lists(st.integers(min_value=1, max_value=PAGE_SIZE),
+                min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_allocator_full_free_restores_whole_range(sizes):
+    alloc = HeapAllocator(AddressRange(BASE, BASE + SPACE))
+    addrs = []
+    for size in sizes:
+        try:
+            addrs.append(alloc.alloc(size))
+        except OutOfMemory:
+            break
+    for addr in addrs:
+        alloc.free(addr)
+    # after freeing everything, one max-size allocation must succeed
+    assert alloc.alloc(SPACE) == BASE
+
+
+# --- address-space read/write ---------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=SPACE - 64),
+       st.binary(min_size=1, max_size=3 * PAGE_SIZE))
+@settings(max_examples=60, deadline=None)
+def test_space_write_read_roundtrip(offset, data):
+    pm = PhysicalMemory()
+    space = AddressSpace(pm)
+    space.map_vma(AnonymousVMA(AddressRange(BASE, BASE + SPACE + 4
+                                            * PAGE_SIZE)))
+    space.write(BASE + offset, data)
+    assert space.read(BASE + offset, len(data)) == data
+
+
+@given(st.integers(min_value=0, max_value=SPACE - PAGE_SIZE),
+       st.binary(min_size=1, max_size=64),
+       st.binary(min_size=1, max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_space_disjoint_writes_do_not_interfere(offset, a, b):
+    pm = PhysicalMemory()
+    space = AddressSpace(pm)
+    space.map_vma(AnonymousVMA(AddressRange(BASE, BASE + 2 * SPACE)))
+    addr_a = BASE + offset
+    addr_b = addr_a + len(a)  # adjacent, non-overlapping
+    space.write(addr_a, a)
+    space.write(addr_b, b)
+    assert space.read(addr_a, len(a)) == a
+    assert space.read(addr_b, len(b)) == b
+
+
+# --- address ranges ---------------------------------------------------------------------
+
+ranges = st.builds(
+    lambda start, size: AddressRange(start * PAGE_SIZE,
+                                     (start + size) * PAGE_SIZE),
+    st.integers(min_value=1, max_value=1000),
+    st.integers(min_value=1, max_value=100))
+
+
+@given(ranges, ranges)
+@settings(max_examples=100, deadline=None)
+def test_overlap_is_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(ranges, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_split_partitions_exactly(rng, parts):
+    try:
+        pieces = rng.split(parts)
+    except Exception:
+        return  # too small to split that many ways
+    assert pieces[0].start == rng.start
+    assert pieces[-1].end == rng.end
+    for x, y in zip(pieces, pieces[1:]):
+        assert x.end == y.start
+        assert not x.overlaps(y)
+    assert sum(p.size for p in pieces) == rng.size
+
+
+# --- metrics ------------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False),
+                min_size=1, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_percentile_bounds_and_monotonicity(xs):
+    assert percentile(xs, 0) == min(xs)
+    assert percentile(xs, 100) == max(xs)
+    p50, p90, p99 = (percentile(xs, p) for p in (50, 90, 99))
+    assert min(xs) <= p50 <= p90 <= p99 <= max(xs)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False),
+                min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_cdf_is_monotone_and_complete(xs):
+    pts = cdf_points(xs)
+    assert len(pts) == len(xs)
+    fracs = [f for _v, f in pts]
+    vals = [v for v, _f in pts]
+    assert fracs == sorted(fracs)
+    assert vals == sorted(vals)
+    assert abs(fracs[-1] - 1.0) < 1e-12

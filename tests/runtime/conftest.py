@@ -1,0 +1,35 @@
+"""Shared fixtures for runtime tests."""
+
+import pytest
+
+from repro.kernel.machine import make_cluster
+from repro.mem import AddressRange, AddressSpace, AnonymousVMA
+from repro.runtime.heap import ManagedHeap
+from repro.sim import Engine
+from repro.units import MB
+
+PROD_BASE = 0x1000_0000
+CONS_BASE = 0x9000_0000
+HEAP_BYTES = 64 * MB
+
+
+def build_heap(machine, base, name):
+    space = AddressSpace(machine.physical, name=name)
+    rng = AddressRange(base, base + HEAP_BYTES)
+    space.map_vma(AnonymousVMA(rng, name=f"{name}-heap"))
+    return ManagedHeap(space, rng=rng, name=name)
+
+
+@pytest.fixture()
+def two_heaps():
+    """Producer/consumer heaps on two machines with disjoint ranges."""
+    engine = Engine()
+    _fabric, (m0, m1) = make_cluster(engine, 2)
+    producer = build_heap(m0, PROD_BASE, "producer")
+    consumer = build_heap(m1, CONS_BASE, "consumer")
+    return engine, m0, m1, producer, consumer
+
+
+@pytest.fixture()
+def heap(two_heaps):
+    return two_heaps[3]

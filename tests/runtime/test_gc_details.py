@@ -1,0 +1,121 @@
+"""Deeper GC and remote-object-management behaviour (Section 4.3)."""
+
+import pytest
+
+from repro.errors import DanglingRemoteReference
+from repro.runtime.proxy import RemoteRoot
+
+
+def test_gc_handles_shared_subgraphs(heap):
+    shared = [1, 2, 3]
+    a = heap.box([shared, "a"])
+    b = heap.box([shared, "b"])
+    # boxed separately: each box() call has its own memo, so 'shared' is
+    # duplicated on the heap — freeing one root must not affect the other
+    heap.add_root(a)
+    heap.gc()
+    assert heap.load(a) == [[1, 2, 3], "a"]
+    assert not heap.allocator.is_allocated(b)  # b's storage reclaimed
+
+
+def test_gc_shared_within_one_box(heap):
+    shared = [1, 2]
+    root = heap.box({"x": shared, "y": shared})
+    heap.add_root(root)
+    before = heap.allocator.allocations()
+    heap.gc()
+    assert heap.allocator.allocations() == before
+    out = heap.load(root)
+    assert out["x"] is out["y"]
+
+
+def test_gc_cycle_collected_when_unrooted(heap):
+    lst = [1]
+    lst.append(lst)
+    heap.box(lst)
+    heap.gc()
+    assert heap.bytes_in_use() == 0  # cycles don't leak (mark-sweep)
+
+
+def test_gc_cycle_kept_when_rooted(heap):
+    lst = [1]
+    lst.append(lst)
+    root = heap.box(lst)
+    heap.add_root(root)
+    heap.gc()
+    out = heap.load(root)
+    assert out[1] is out
+
+
+def test_repeated_gc_idempotent(heap):
+    root = heap.box([1, 2, 3])
+    heap.add_root(root)
+    heap.gc()
+    first = heap.bytes_in_use()
+    heap.gc()
+    heap.gc()
+    assert heap.bytes_in_use() == first
+
+
+def test_remote_root_release_is_coarse_grained(two_heaps):
+    """Releasing the root unmaps the *whole* remote heap in one step —
+    no per-object tracing over the network (zero-cost remote GC)."""
+    _e, m0, m1, producer, consumer = two_heaps
+    value = {"big": list(range(3000)), "nested": {"deep": [1, 2]}}
+    root = producer.box(value)
+    meta = m0.kernel.register_mem(producer.space, "g", 1)
+    handle = m1.kernel.rmap(consumer.space, meta.mac_addr, "g", 1)
+    proxy = RemoteRoot(consumer, handle, root)
+    proxy.load()
+    consumer.ledger.drain()
+    frames_before = m1.physical.used_frames
+    assert frames_before > 0
+    proxy.release()
+    release_cost = consumer.ledger.drain()
+    assert m1.physical.used_frames == 0
+    # the release itself charges nothing network-side
+    assert consumer.ledger.total("rdma-read") == \
+        consumer.ledger.total("rdma-read")
+    assert release_cost == 0
+
+
+def test_adopt_charges_local_copy(two_heaps):
+    _e, m0, m1, producer, consumer = two_heaps
+    root = producer.box(list(range(2000)))
+    meta = m0.kernel.register_mem(producer.space, "h", 1)
+    handle = m1.kernel.rmap(consumer.space, meta.mac_addr, "h", 1)
+    proxy = RemoteRoot(consumer, handle, root)
+    consumer.ledger.drain()
+    local = proxy.adopt()
+    assert consumer.ledger.total("adopt-copy") > 0
+    assert consumer.owns(local)
+
+
+def test_adopted_value_collectable_by_local_gc(two_heaps):
+    _e, m0, m1, producer, consumer = two_heaps
+    root = producer.box([1, 2, 3])
+    meta = m0.kernel.register_mem(producer.space, "i", 1)
+    handle = m1.kernel.rmap(consumer.space, meta.mac_addr, "i", 1)
+    proxy = RemoteRoot(consumer, handle, root)
+    local = proxy.adopt()
+    proxy.release()
+    consumer.add_root(local)
+    consumer.gc()
+    assert consumer.load(local) == [1, 2, 3]
+    consumer.remove_root(local)
+    consumer.gc()
+    assert consumer.bytes_in_use() == 0
+
+
+def test_children_through_proxy(two_heaps):
+    _e, m0, m1, producer, consumer = two_heaps
+    root = producer.box([10, 20])
+    meta = m0.kernel.register_mem(producer.space, "j", 1)
+    handle = m1.kernel.rmap(consumer.space, meta.mac_addr, "j", 1)
+    proxy = RemoteRoot(consumer, handle, root)
+    kids = proxy.children()
+    assert len(kids) == 2
+    assert consumer.load(kids[0]) == 10
+    proxy.release()
+    with pytest.raises(DanglingRemoteReference):
+        proxy.children()

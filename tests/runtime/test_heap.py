@@ -1,0 +1,275 @@
+"""Unit tests for the managed heap: box/load round trips and GC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.runtime.heap import _PACK_MIN, _PRIM_SLOT, ManagedHeap
+from repro.runtime.objects import HEADER_SIZE, TypeTag
+from repro.runtime.values import (DataFrameValue, ImageValue, MLModelValue,
+                                  NdArrayValue, TreeValue)
+
+
+def roundtrip(heap, value):
+    return heap.load(heap.box(value))
+
+
+# --- scalars -----------------------------------------------------------------
+
+@pytest.mark.parametrize("value", [
+    None, True, False, 0, 1, -1, 2 ** 62, -(2 ** 62), 3.14159, -0.0,
+    float("inf"), "", "hello", "unicodé ❤", b"", b"\x00\xff" * 10,
+])
+def test_scalar_roundtrip(heap, value):
+    assert roundtrip(heap, value) == value
+
+
+def test_bool_is_not_int_after_roundtrip(heap):
+    out = roundtrip(heap, True)
+    assert out is True and isinstance(out, bool)
+    out2 = roundtrip(heap, 1)
+    assert out2 == 1 and not isinstance(out2, bool)
+
+
+def test_numpy_scalars_box_as_primitives(heap):
+    assert roundtrip(heap, np.int64(7)) == 7
+    assert roundtrip(heap, np.float64(2.5)) == 2.5
+
+
+# --- containers ----------------------------------------------------------------
+
+def test_list_roundtrip(heap):
+    assert roundtrip(heap, [1, "two", 3.0, None, True]) == \
+        [1, "two", 3.0, None, True]
+
+
+def test_nested_containers(heap):
+    value = {"a": [1, [2, [3, [4]]]], "b": ("x", {"y": b"z"})}
+    assert roundtrip(heap, value) == value
+
+
+def test_deep_dict_nesting(heap):
+    value = {"k": 1}
+    for _ in range(6):  # the paper's depth-6 nested dict microbench type
+        value = {"nest": value, "leaf": "v"}
+    assert roundtrip(heap, value) == value
+
+
+def test_empty_containers(heap):
+    assert roundtrip(heap, []) == []
+    assert roundtrip(heap, {}) == {}
+    assert roundtrip(heap, ()) == ()
+
+
+def test_shared_reference_preserved(heap):
+    inner = [1, 2, 3]
+    outer = [inner, inner]
+    result = roundtrip(heap, outer)
+    assert result == outer
+    assert result[0] is result[1]  # sharing preserved, not duplicated
+
+
+def test_cycle_roundtrip(heap):
+    lst = [1, 2]
+    lst.append(lst)
+    result = heap.load(heap.box(lst))
+    assert result[0] == 1 and result[2] is result
+
+
+def test_large_int_list_uses_packed_layout(heap):
+    values = list(range(1000))
+    root = heap.box(values)
+    ptrs = heap.children(root)
+    assert len(ptrs) == 1000
+    diffs = {b - a for a, b in zip(ptrs, ptrs[1:])}
+    assert diffs == {_PRIM_SLOT}  # contiguous stride-24 block
+    assert heap.load(root) == values
+
+
+def test_large_float_list_roundtrip(heap):
+    values = [i * 0.5 for i in range(500)]
+    assert roundtrip(heap, values) == values
+
+
+def test_short_list_not_packed(heap):
+    values = list(range(_PACK_MIN - 1))
+    assert roundtrip(heap, values) == values
+
+
+def test_mixed_list_not_packed_but_roundtrips(heap):
+    values = list(range(100)) + ["tail"]
+    assert roundtrip(heap, values) == values
+
+
+def test_packed_bool_not_confused_with_int(heap):
+    values = [True] * 100
+    out = roundtrip(heap, values)
+    assert out == values
+    assert all(isinstance(v, bool) for v in out)
+
+
+# --- complex types -----------------------------------------------------------
+
+def test_ndarray_roundtrip(heap):
+    arr = np.arange(7000 * 5, dtype=np.float64).reshape(7000, 5)
+    out = roundtrip(heap, NdArrayValue(arr))
+    assert out == NdArrayValue(arr)
+
+
+def test_raw_ndarray_boxes_as_value(heap):
+    arr = np.ones((3, 4), dtype=np.int32)
+    out = roundtrip(heap, arr)
+    assert isinstance(out, NdArrayValue)
+    assert np.array_equal(out.array, arr)
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32", "int64", "int32",
+                                   "uint8", "bool"])
+def test_ndarray_dtypes(heap, dtype):
+    arr = np.zeros(16, dtype=dtype)
+    out = roundtrip(heap, NdArrayValue(arr))
+    assert out.array.dtype == np.dtype(dtype)
+
+
+def test_ndarray_unsupported_dtype_rejected(heap):
+    arr = np.zeros(4, dtype=np.complex128)
+    with pytest.raises(SerializationError):
+        heap.box(NdArrayValue(arr))
+
+
+def test_dataframe_roundtrip(heap):
+    df = DataFrameValue({
+        "symbol": ["AAPL", "MSFT", "GOOG"],
+        "price": [182.5, 404.1, 142.9],
+        "volume": [100, 200, 300],
+    })
+    assert roundtrip(heap, df) == df
+
+
+def test_dataframe_ragged_rejected():
+    with pytest.raises(ValueError):
+        DataFrameValue({"a": [1, 2], "b": [1]})
+
+
+def test_dataframe_sub_object_count_scales():
+    small = DataFrameValue({"a": [1] * 10})
+    big = DataFrameValue({"a": [1] * 1000})
+    assert big.sub_object_count() > 50 * small.sub_object_count()
+
+
+def test_image_roundtrip(heap):
+    img = ImageValue(8, 4, bytes(range(32)), mode="L")
+    assert roundtrip(heap, img) == img
+
+
+def test_image_rgb_roundtrip(heap):
+    img = ImageValue(4, 2, bytes(24), mode="RGB")
+    assert roundtrip(heap, img) == img
+
+
+def test_image_size_validation():
+    with pytest.raises(ValueError):
+        ImageValue(4, 4, b"short")
+
+
+def make_model(n_trees=3, n_features=5, seed=0):
+    rng = np.random.default_rng(seed)
+    trees = []
+    for _ in range(n_trees):
+        trees.append(TreeValue(
+            feature=np.array([0, 1, -1, -1, -1], dtype=np.int32),
+            threshold=rng.random(5),
+            left=np.array([1, 3, 0, 0, 0], dtype=np.int32),
+            right=np.array([2, 4, 0, 0, 0], dtype=np.int32),
+            value=rng.random(5),
+        ))
+    return MLModelValue(trees, n_features)
+
+
+def test_model_roundtrip(heap):
+    model = make_model()
+    out = roundtrip(heap, model)
+    assert out == model
+    x = np.array([0.1, 0.9, 0.0, 0.0, 0.0])
+    assert out.predict_margin(x) == pytest.approx(model.predict_margin(x))
+
+
+def test_unboxable_type_rejected(heap):
+    with pytest.raises(SerializationError):
+        heap.box(object())
+
+
+# --- counting / spans -------------------------------------------------------------
+
+def test_count_reachable(heap):
+    root = heap.box([1, 2, [3, 4]])
+    # list + 2 ints + inner list + 2 ints = 6
+    assert heap.count_reachable(root) == 6
+
+
+def test_object_span(heap):
+    addr = heap.box("hello")
+    start, span = heap.object_span(addr)
+    assert start == addr
+    assert span == HEADER_SIZE + 5
+
+
+def test_header_of(heap):
+    addr = heap.box(42)
+    tag, _flags, size = heap.header_of(addr)
+    assert tag == TypeTag.INT and size == 8
+
+
+# --- GC ----------------------------------------------------------------------------
+
+def test_gc_frees_unrooted(heap):
+    heap.box([1, 2, 3])
+    assert heap.bytes_in_use() > 0
+    freed = heap.gc()
+    assert freed > 0
+    assert heap.bytes_in_use() == 0
+
+
+def test_gc_keeps_rooted(heap):
+    root = heap.box({"keep": [1, 2]})
+    heap.add_root(root)
+    before = heap.bytes_in_use()
+    heap.gc()
+    assert heap.bytes_in_use() == before
+    assert heap.load(root) == {"keep": [1, 2]}
+
+
+def test_gc_frees_after_root_removal(heap):
+    root = heap.box([1] * 10)
+    heap.add_root(root)
+    heap.gc()
+    heap.remove_root(root)
+    heap.gc()
+    assert heap.bytes_in_use() == 0
+
+
+def test_gc_keeps_packed_block_with_rooted_list(heap):
+    root = heap.box(list(range(500)))
+    heap.add_root(root)
+    heap.gc()
+    assert heap.load(root) == list(range(500))
+
+
+def test_gc_partial_graph(heap):
+    keep = heap.box([1, 2])
+    heap.box([3, 4])  # garbage
+    heap.add_root(keep)
+    heap.gc()
+    assert heap.load(keep) == [1, 2]
+    # only the kept list + 2 ints remain
+    assert heap.allocator.allocations() == 3
+
+
+def test_gc_skips_remote_addresses(heap):
+    """Roots pointing outside the heap range are skipped, not traced."""
+    remote_addr = 0x7777_0000  # not in this heap's range
+    heap.add_root(remote_addr)
+    local = heap.box([5])
+    heap.add_root(local)
+    heap.gc()  # must not crash chasing the remote root
+    assert heap.load(local) == [5]

@@ -1,0 +1,212 @@
+"""Integration: managed objects transferred via rmap, proxies, hybrid GC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DanglingRemoteReference, SerializationError
+from repro.runtime.proxy import RemoteRoot
+from repro.runtime.traverse import ObjectTraverser, pages_of_state
+from repro.runtime.values import DataFrameValue, NdArrayValue
+from repro.units import PAGE_SIZE
+
+from .test_heap import make_model
+
+
+def rmap_root(m0, m1, producer, consumer, value, fid="f0", key=1,
+              **rmap_kwargs):
+    """Producer boxes *value*, registers; consumer rmaps. Returns proxy."""
+    root = producer.box(value)
+    meta = m0.kernel.register_mem(producer.space, fid, key)
+    handle = m1.kernel.rmap(consumer.space, meta.mac_addr, meta.fid,
+                            meta.key, **rmap_kwargs)
+    return RemoteRoot(consumer, handle, root)
+
+
+@pytest.mark.parametrize("value", [
+    42, "a string", [1, 2, 3], {"k": [1.5, None]},
+    {"depth": {"of": {"six": {"nested": {"dict": {"leaf": 1}}}}}},
+])
+def test_consumer_loads_producer_state_without_deserialization(
+        two_heaps, value):
+    _e, m0, m1, producer, consumer = two_heaps
+    proxy = rmap_root(m0, m1, producer, consumer, value)
+    assert proxy.load() == value
+    # no serialize/deserialize charges anywhere
+    assert producer.ledger.total("serialize") == 0
+    assert consumer.ledger.total("deserialize") == 0
+
+
+def test_remote_load_charges_rdma_not_deserialize(two_heaps):
+    _e, m0, m1, producer, consumer = two_heaps
+    proxy = rmap_root(m0, m1, producer, consumer, list(range(5000)))
+    assert proxy.load() == list(range(5000))
+    assert consumer.ledger.total("rdma-read") > 0
+    assert consumer.ledger.total("deserialize") == 0
+
+
+def test_complex_values_via_rmap(two_heaps):
+    _e, m0, m1, producer, consumer = two_heaps
+    value = {
+        "df": DataFrameValue({"sym": ["x", "y"], "px": [1.0, 2.0]}),
+        "arr": NdArrayValue(np.arange(256, dtype=np.float64)),
+        "model": make_model(),
+    }
+    proxy = rmap_root(m0, m1, producer, consumer, value)
+    assert proxy.load() == value
+
+
+def test_release_frees_consumer_frames_and_blocks_access(two_heaps):
+    _e, m0, m1, producer, consumer = two_heaps
+    proxy = rmap_root(m0, m1, producer, consumer, [1, 2, 3])
+    proxy.load()
+    assert m1.physical.used_frames > 0
+    proxy.release()
+    assert m1.physical.used_frames == 0
+    with pytest.raises(DanglingRemoteReference):
+        proxy.load()
+    proxy.release()  # idempotent
+
+
+def test_context_manager_releases(two_heaps):
+    _e, m0, m1, producer, consumer = two_heaps
+    proxy = rmap_root(m0, m1, producer, consumer, "ctx")
+    with proxy as p:
+        assert p.load() == "ctx"
+    assert proxy.released
+
+
+def test_adopt_survives_release(two_heaps):
+    """Copy-on-local-assignment: adopted values outlive the remote map."""
+    _e, m0, m1, producer, consumer = two_heaps
+    proxy = rmap_root(m0, m1, producer, consumer, {"keep": [1, 2]})
+    local_root = proxy.adopt()
+    proxy.release()
+    assert consumer.load(local_root) == {"keep": [1, 2]}
+    assert consumer.owns(local_root)
+
+
+def test_cascading_transfer_a_to_b_to_c(two_heaps):
+    """A -> B -> C: B adopts A's state locally, re-registers for C."""
+    engine, m0, m1, producer_a, consumer_b = two_heaps
+    from repro.kernel.machine import Machine
+    m2 = Machine("mac2", engine, m0.fabric)
+    from .conftest import build_heap
+    consumer_c = build_heap(m2, 0x5000_0000, "consumer-c")
+
+    # A -> B
+    proxy_b = rmap_root(m0, m1, producer_a, consumer_b, [10, 20, 30],
+                        fid="a")
+    local_b = proxy_b.adopt()   # copy scheme for cascading transfer
+    proxy_b.release()
+
+    # B -> C
+    meta = m1.kernel.register_mem(consumer_b.space, "b", 2)
+    handle = m2.kernel.rmap(consumer_c.space, meta.mac_addr, "b", 2)
+    proxy_c = RemoteRoot(consumer_c, handle, local_b)
+    assert proxy_c.load() == [10, 20, 30]
+
+
+def test_local_gc_skips_remote_heap(two_heaps):
+    _e, m0, m1, producer, consumer = two_heaps
+    proxy = rmap_root(m0, m1, producer, consumer, [1, 2])
+    local = consumer.box(["local"])
+    consumer.add_root(local)
+    consumer.add_root(proxy.root_addr)  # a remote address in the root set
+    consumer.gc()  # must not trace or free remote objects
+    assert consumer.load(local) == ["local"]
+    assert proxy.load() == [1, 2]
+
+
+# --- traversal / prefetch ----------------------------------------------------------
+
+def test_traversal_pages_cover_state(heap):
+    root = heap.box(list(range(3000)))
+    result = pages_of_state(heap, root)
+    assert result is not None
+    # 3000 ints * 24 B + list obj ~ 96 KB -> ~24+ pages
+    assert result.page_count >= 18
+    assert result.object_count == 3001
+    assert all(p % PAGE_SIZE == 0 for p in result.page_addrs)
+
+
+def test_traversal_threshold_falls_back(heap):
+    root = heap.box(list(range(1000)))
+    result = pages_of_state(heap, root, max_objects=100)
+    assert result is None  # too many objects: fall back to demand paging
+
+
+def test_traversal_charges_per_object(heap):
+    root = heap.box(list(range(1000)))
+    heap.ledger.drain()
+    pages_of_state(heap, root)
+    assert heap.ledger.total("traverse") >= \
+        1000 * heap.cost.traverse_per_object_ns
+
+
+def test_numpy_without_iterator_fails_traversal(two_heaps):
+    """Section 4.4: numpy lacks __iter__; traversal falls back unless the
+    12-LoC wrapper is enabled."""
+    _e, _m0, _m1, producer, _ = two_heaps
+    producer.numpy_iterator = False
+    root = producer.box([NdArrayValue(np.zeros(64))])
+    assert pages_of_state(producer, root) is None
+    producer.numpy_iterator = True
+    assert pages_of_state(producer, root) is not None
+
+
+def test_prefetch_pages_from_traversal(two_heaps):
+    """The full Section 4.4 flow: traverse at producer, doorbell-batch
+    prefetch at consumer, then faultless reads."""
+    _e, m0, m1, producer, consumer = two_heaps
+    value = list(range(2000))
+    root = producer.box(value)
+    result = pages_of_state(producer, root)
+    meta = m0.kernel.register_mem(producer.space, "f0", 1)
+    handle = m1.kernel.rmap(consumer.space, meta.mac_addr, "f0", 1)
+    fetched = handle.prefetch(result.page_addrs)
+    assert fetched == result.page_count
+    faults_before = consumer.space.fault_count
+    proxy = RemoteRoot(consumer, handle, root)
+    assert proxy.load() == value
+    assert consumer.space.fault_count == faults_before  # all prefetched
+
+
+def test_traverser_counts_unique_objects(heap):
+    shared = [1, 2]
+    root = heap.box([shared, shared])
+    result = ObjectTraverser(heap).traverse(root)
+    # outer + inner + 2 ints = 4 (shared not double counted)
+    assert result.object_count == 4
+
+
+# --- Java variant -------------------------------------------------------------------
+
+def test_java_heap_maps_cds_at_fixed_address(two_heaps):
+    from repro.mem import AddressRange, AddressSpace, AnonymousVMA
+    from repro.runtime.java import CDS_BASE, JavaHeap, java_cost_model
+    from repro.units import MB
+
+    _e, m0, m1, _p, _c = two_heaps
+    heaps = []
+    for machine, base in ((m0, 0x2000_0000), (m1, 0x6000_0000)):
+        space = AddressSpace(machine.physical, name="java",
+                             cost=java_cost_model())
+        rng = AddressRange(base, base + 4 * MB)
+        space.map_vma(AnonymousVMA(rng, name="heap"))
+        heaps.append(JavaHeap(space, rng=rng))
+    j0, j1 = heaps
+    # identical klass pointers in both instances (CDS property)
+    from repro.runtime.objects import TypeTag
+    assert j0.klass_pointer(TypeTag.LIST) == j1.klass_pointer(TypeTag.LIST)
+    assert j0.klass_pointer(TypeTag.LIST) >= CDS_BASE
+    # identical archive content on both machines
+    assert j0.space.read(CDS_BASE, 64) == j1.space.read(CDS_BASE, 64)
+
+
+def test_java_costs_differ_from_python():
+    from repro.runtime.java import java_cost_model
+    from repro.units import DEFAULT_COST_MODEL
+    jc = java_cost_model()
+    assert jc.serialize_per_object_ns > \
+        DEFAULT_COST_MODEL.serialize_per_object_ns
+    assert jc.rdma_page_read_ns == DEFAULT_COST_MODEL.rdma_page_read_ns

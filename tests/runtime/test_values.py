@@ -1,0 +1,89 @@
+"""Direct tests for the host-side value classes."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.values import (DataFrameValue, ImageValue, MLModelValue,
+                                  NdArrayValue, TreeValue)
+
+
+def test_ndarray_equality_by_content():
+    a = NdArrayValue(np.arange(6).reshape(2, 3))
+    b = NdArrayValue(np.arange(6).reshape(2, 3))
+    c = NdArrayValue(np.arange(6).reshape(3, 2))
+    assert a == b
+    assert a != c
+    assert a != "not-an-array"
+
+
+def test_ndarray_dtype_matters_for_equality():
+    a = NdArrayValue(np.zeros(4, dtype=np.int64))
+    b = NdArrayValue(np.zeros(4, dtype=np.float64))
+    assert a != b
+
+
+def test_ndarray_contiguous_conversion():
+    strided = np.arange(20).reshape(4, 5)[:, ::2]
+    value = NdArrayValue(strided)
+    assert value.array.flags["C_CONTIGUOUS"]
+    assert value.nbytes == value.array.nbytes
+
+
+def test_dataframe_shape_accessors():
+    df = DataFrameValue({"a": [1, 2], "b": ["x", "y"]})
+    assert (df.nrows, df.ncols) == (2, 2)
+    assert df.row(1) == {"a": 2, "b": "y"}
+    assert DataFrameValue({}).nrows == 0
+
+
+def test_image_modes():
+    rgb = ImageValue(2, 2, bytes(12), mode="RGB")
+    assert rgb.nbytes == 12
+    rgba = ImageValue(2, 2, bytes(16), mode="RGBA")
+    assert rgba.nbytes == 16
+    with pytest.raises(KeyError):
+        ImageValue(2, 2, bytes(4), mode="CMYK")
+
+
+def test_tree_value_validation():
+    with pytest.raises(ValueError):
+        TreeValue(feature=np.zeros(3, dtype=np.int32),
+                  threshold=np.zeros(2),
+                  left=np.zeros(3, dtype=np.int32),
+                  right=np.zeros(3, dtype=np.int32),
+                  value=np.zeros(3))
+
+
+def test_tree_predict_walks_structure():
+    # root: x[0] <= 0.5 ? leaf(-1) : leaf(+1)
+    tree = TreeValue(
+        feature=np.array([0, -1, -1], dtype=np.int32),
+        threshold=np.array([0.5, 0.0, 0.0]),
+        left=np.array([1, 0, 0], dtype=np.int32),
+        right=np.array([2, 0, 0], dtype=np.int32),
+        value=np.array([0.0, -1.0, 1.0]))
+    assert tree.predict(np.array([0.2])) == -1.0
+    assert tree.predict(np.array([0.9])) == 1.0
+
+
+def test_model_margin_is_sum_of_trees():
+    leaf = lambda v: TreeValue(  # noqa: E731
+        feature=np.array([-1], dtype=np.int32),
+        threshold=np.zeros(1), left=np.zeros(1, dtype=np.int32),
+        right=np.zeros(1, dtype=np.int32), value=np.array([v]))
+    model = MLModelValue([leaf(1.5), leaf(-0.5)], n_features=1)
+    assert model.predict_margin(np.zeros(1)) == pytest.approx(1.0)
+    assert model.n_trees == 2
+    assert model.nbytes() == 2 * leaf(0.0).nbytes()
+
+
+def test_model_equality():
+    leaf = TreeValue(
+        feature=np.array([-1], dtype=np.int32), threshold=np.zeros(1),
+        left=np.zeros(1, dtype=np.int32),
+        right=np.zeros(1, dtype=np.int32), value=np.ones(1))
+    a = MLModelValue([leaf], n_features=4)
+    b = MLModelValue([leaf], n_features=4)
+    c = MLModelValue([leaf], n_features=8)
+    assert a == b
+    assert a != c

@@ -1,0 +1,240 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Engine, Event, Timeout
+from repro.units import us
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(100)
+        return eng.now
+
+    assert eng.run_process(proc()) == 100
+
+
+def test_sequential_timeouts_accumulate():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(10)
+        yield Timeout(20)
+        yield Timeout(30)
+        return eng.now
+
+    assert eng.run_process(proc()) == 60
+
+
+def test_zero_timeout_allowed():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(0)
+        return eng.now
+
+    assert eng.run_process(proc()) == 0
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1)
+
+
+def test_process_return_value():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1)
+        return "done"
+
+    assert eng.run_process(proc()) == "done"
+
+
+def test_yield_from_subroutine():
+    eng = Engine()
+
+    def sub():
+        yield Timeout(5)
+        return 42
+
+    def proc():
+        value = yield from sub()
+        return value, eng.now
+
+    assert eng.run_process(proc()) == (42, 5)
+
+
+def test_spawn_and_join():
+    eng = Engine()
+
+    def child():
+        yield Timeout(50)
+        return "child-result"
+
+    def parent():
+        proc = eng.spawn(child())
+        result = yield proc
+        return result, eng.now
+
+    assert eng.run_process(parent()) == ("child-result", 50)
+
+
+def test_parallel_children_overlap_in_time():
+    eng = Engine()
+
+    def child(d):
+        yield Timeout(d)
+        return d
+
+    def parent():
+        procs = [eng.spawn(child(d)) for d in (30, 10, 20)]
+        results = yield AllOf(procs)
+        return results, eng.now
+
+    results, now = eng.run_process(parent())
+    assert results == [30, 10, 20]
+    assert now == 30  # max, not sum
+
+
+def test_anyof_resumes_on_first():
+    eng = Engine()
+
+    def parent():
+        slow = eng.timeout_event(100, "slow")
+        fast = eng.timeout_event(10, "fast")
+        winner = yield AnyOf([slow, fast])
+        return winner, eng.now
+
+    assert eng.run_process(parent()) == ("fast", 10)
+
+
+def test_event_value_delivery():
+    eng = Engine()
+    ev = Event("e")
+
+    def producer():
+        yield Timeout(7)
+        ev.succeed("payload")
+
+    def consumer():
+        value = yield ev
+        return value, eng.now
+
+    eng.spawn(producer())
+    assert eng.run_process(consumer()) == ("payload", 7)
+
+
+def test_event_failure_propagates():
+    eng = Engine()
+    ev = Event("e")
+
+    def producer():
+        yield Timeout(1)
+        ev.fail(ValueError("boom"))
+
+    def consumer():
+        yield ev
+
+    eng.spawn(producer())
+    with pytest.raises(ValueError, match="boom"):
+        eng.run_process(consumer())
+
+
+def test_process_exception_propagates_to_joiner():
+    eng = Engine()
+
+    def child():
+        yield Timeout(1)
+        raise RuntimeError("child failed")
+
+    def parent():
+        yield eng.spawn(child())
+
+    with pytest.raises(RuntimeError, match="child failed"):
+        eng.run_process(parent())
+
+
+def test_event_double_trigger_rejected():
+    ev = Event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_interrupt_throws_into_process():
+    eng = Engine()
+    caught = {}
+
+    def victim():
+        try:
+            yield Timeout(us(1000))
+        except SimulationError as err:
+            caught["exc"] = err
+        return eng.now
+
+    def interrupter(proc):
+        yield Timeout(100)
+        proc.interrupt()
+
+    def main():
+        proc = eng.spawn(victim())
+        eng.spawn(interrupter(proc))
+        return (yield proc)
+
+    assert eng.run_process(main()) == 100
+    assert "exc" in caught
+
+
+def test_run_until_stops_clock():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1000)
+
+    eng.spawn(proc())
+    assert eng.run(until=300) == 300
+
+
+def test_deadlock_detected():
+    eng = Engine()
+
+    def proc():
+        yield Event("never")
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        eng.run_process(proc())
+
+
+def test_yielding_garbage_raises():
+    eng = Engine()
+
+    def proc():
+        yield 12345
+
+    with pytest.raises(SimulationError, match="expected"):
+        eng.run_process(proc())
+
+
+def test_determinism_same_order_two_runs():
+    def build():
+        eng = Engine()
+        order = []
+
+        def worker(tag, delay):
+            yield Timeout(delay)
+            order.append(tag)
+
+        for i, d in enumerate([5, 5, 3, 5, 1]):
+            eng.spawn(worker(i, d))
+        eng.run()
+        return order
+
+    assert build() == build()

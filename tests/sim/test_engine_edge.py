@@ -1,0 +1,184 @@
+"""Edge cases for the event engine: races, failures, barriers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Engine, Event, Timeout
+
+
+def test_allof_empty_resumes_immediately():
+    eng = Engine()
+
+    def proc():
+        results = yield AllOf([])
+        return results, eng.now
+
+    assert eng.run_process(proc()) == ([], 0)
+
+
+def test_allof_fail_fast_on_first_failure():
+    eng = Engine()
+
+    def bad():
+        yield Timeout(5)
+        raise ValueError("early")
+
+    def slow():
+        yield Timeout(1000)
+        return "late"
+
+    def parent():
+        yield AllOf([eng.spawn(bad()), eng.spawn(slow())])
+
+    with pytest.raises(ValueError, match="early"):
+        eng.run_process(parent())
+    # failure surfaced at t=5, not t=1000
+    assert eng.now == 5 or eng.now <= 1000
+
+
+def test_anyof_with_simultaneous_events_takes_first_inserted():
+    eng = Engine()
+
+    def parent():
+        a = eng.timeout_event(10, "a")
+        b = eng.timeout_event(10, "b")
+        winner = yield AnyOf([a, b])
+        return winner
+
+    assert eng.run_process(parent()) == "a"
+
+
+def test_anyof_failure_propagates():
+    eng = Engine()
+    bad = Event("bad")
+
+    def failer():
+        yield Timeout(1)
+        bad.fail(RuntimeError("lost"))
+
+    def parent():
+        eng.spawn(failer())
+        yield AnyOf([bad, eng.timeout_event(100)])
+
+    with pytest.raises(RuntimeError, match="lost"):
+        eng.run_process(parent())
+
+
+def test_waiting_on_already_triggered_event():
+    eng = Engine()
+    ev = Event("done")
+    ev.succeed("value")
+
+    def proc():
+        result = yield ev
+        return result, eng.now
+
+    assert eng.run_process(proc()) == ("value", 0)
+
+
+def test_process_joining_finished_process():
+    eng = Engine()
+
+    def child():
+        yield Timeout(3)
+        return 42
+
+    def parent():
+        proc = eng.spawn(child())
+        yield Timeout(100)  # child long done
+        result = yield proc
+        return result, eng.now
+
+    assert eng.run_process(parent()) == (42, 100)
+
+
+def test_interrupt_already_finished_is_noop():
+    eng = Engine()
+
+    def child():
+        yield Timeout(1)
+        return "ok"
+
+    def parent():
+        proc = eng.spawn(child())
+        result = yield proc
+        proc.interrupt()  # no effect, no error
+        return result
+
+    assert eng.run_process(parent()) == "ok"
+
+
+def test_nested_yield_from_three_deep():
+    eng = Engine()
+
+    def level3():
+        yield Timeout(1)
+        return 3
+
+    def level2():
+        value = yield from level3()
+        yield Timeout(1)
+        return value + 20
+
+    def level1():
+        value = yield from level2()
+        yield Timeout(1)
+        return value + 100
+
+    assert eng.run_process(level1()) == 123
+    assert eng.now == 3
+
+
+def test_exception_inside_finally_cleanup():
+    """Processes with try/finally release resources on interrupt."""
+    from repro.sim import Resource
+    eng = Engine()
+    res = Resource(eng, 1)
+
+    def holder():
+        yield res.acquire()
+        try:
+            yield Timeout(10_000)
+        finally:
+            res.release()
+
+    def interrupter(proc):
+        yield Timeout(10)
+        proc.interrupt()
+
+    def acquirer():
+        yield Timeout(20)
+        yield res.acquire()  # must succeed after interrupt released it
+        res.release()
+        return eng.now
+
+    proc = eng.spawn(holder())
+    eng.spawn(interrupter(proc))
+    assert eng.run_process(acquirer()) == 20
+
+
+def test_run_until_then_continue():
+    eng = Engine()
+    marks = []
+
+    def proc():
+        yield Timeout(100)
+        marks.append(eng.now)
+        yield Timeout(100)
+        marks.append(eng.now)
+
+    eng.spawn(proc())
+    eng.run(until=150)
+    assert marks == [100]
+    eng.run()
+    assert marks == [100, 200]
+
+
+def test_timeout_event_value():
+    eng = Engine()
+
+    def proc():
+        value = yield eng.timeout_event(5, "payload")
+        return value
+
+    assert eng.run_process(proc()) == "payload"

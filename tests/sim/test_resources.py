@@ -1,0 +1,143 @@
+"""Unit tests for Resource/Store/Ledger."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Resource, Store, Timeout
+from repro.sim.ledger import Ledger
+from repro.sim.rng import SeededRng, make_rng
+
+
+def test_resource_serializes_contenders():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    spans = []
+
+    def worker(tag):
+        yield res.acquire()
+        start = eng.now
+        yield Timeout(10)
+        res.release()
+        spans.append((tag, start, eng.now))
+
+    for i in range(3):
+        eng.spawn(worker(i))
+    eng.run()
+    assert [s[1:] for s in sorted(spans)] == [(0, 10), (10, 20), (20, 30)]
+
+
+def test_resource_capacity_allows_parallelism():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    done = []
+
+    def worker(tag):
+        yield from res.use(10)
+        done.append((tag, eng.now))
+
+    for i in range(4):
+        eng.spawn(worker(i))
+    eng.run()
+    assert eng.now == 20  # two waves of two
+    assert len(done) == 4
+
+
+def test_resource_fifo_ordering():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    order = []
+
+    def worker(tag):
+        yield res.acquire()
+        order.append(tag)
+        yield Timeout(1)
+        res.release()
+
+    for i in range(5):
+        eng.spawn(worker(i))
+    eng.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_release_without_acquire_raises():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_store_put_then_get():
+    eng = Engine()
+    store = Store(eng)
+    store.put("a")
+
+    def consumer():
+        item = yield store.get()
+        return item
+
+    assert eng.run_process(consumer()) == "a"
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = Store(eng)
+
+    def producer():
+        yield Timeout(50)
+        store.put("late")
+
+    def consumer():
+        item = yield store.get()
+        return item, eng.now
+
+    eng.spawn(producer())
+    assert eng.run_process(consumer()) == ("late", 50)
+
+
+def test_store_try_get():
+    eng = Engine()
+    store = Store(eng)
+    assert store.try_get() is None
+    store.put(1)
+    assert store.try_get() == 1
+
+
+def test_ledger_charge_and_drain():
+    led = Ledger()
+    led.charge(10, "a")
+    led.charge(5, "b")
+    assert led.pending == 15
+    assert led.drain() == 15
+    assert led.pending == 0
+    assert led.total("a") == 10
+    assert led.total() == 15
+
+
+def test_ledger_ignores_nonpositive():
+    led = Ledger()
+    led.charge(0, "a")
+    led.charge(-5, "a")
+    assert led.pending == 0
+
+
+def test_ledger_merge():
+    a, b = Ledger(), Ledger()
+    a.charge(3, "x")
+    b.charge(4, "x")
+    b.charge(1, "y")
+    a.merge(b)
+    assert a.total("x") == 7
+    assert a.total("y") == 1
+
+
+def test_rng_determinism_and_fork_independence():
+    r1, r2 = make_rng(7), make_rng(7)
+    assert [r1.py.random() for _ in range(5)] == \
+        [r2.py.random() for _ in range(5)]
+    child = SeededRng(7).fork(1)
+    assert child.seed != 7
+
+
+def test_rng_exponential_positive():
+    rng = make_rng(1)
+    assert all(rng.exponential_ns(100) >= 1 for _ in range(100))

@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(EXPERIMENTS)
+
+
+def test_scale_flag_sets_env(monkeypatch, capsys):
+    import os
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    main(["list", "--scale", "0.01"])
+    assert os.environ["REPRO_BENCH_SCALE"] == "0.01"
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["not-a-figure"])
+
+
+def test_calibration_runs(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+    assert main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "serialize_ms" in out
+
+
+def test_fig16b_runs(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+    assert main(["fig16b"]) == 0
+    out = capsys.readouterr().out
+    assert "Naos" in out
+    assert "rmmap" in out

@@ -1,0 +1,88 @@
+"""Unit tests for time/size units and the cost model."""
+
+import pytest
+
+from repro.units import (DEFAULT_COST_MODEL, GB, KB, MB, PAGE_SIZE,
+                         CostModel, ms, pages_for, seconds, to_ms,
+                         to_seconds, to_us, transfer_time_ns, us)
+
+
+def test_time_conversions_roundtrip():
+    assert us(1) == 1_000
+    assert ms(1) == 1_000_000
+    assert seconds(1) == 1_000_000_000
+    assert to_us(us(3.5)) == pytest.approx(3.5)
+    assert to_ms(ms(2.25)) == pytest.approx(2.25)
+    assert to_seconds(seconds(7)) == pytest.approx(7.0)
+
+
+def test_size_constants():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+    assert PAGE_SIZE == 4 * KB
+
+
+def test_pages_for():
+    assert pages_for(0) == 0
+    assert pages_for(1) == 1
+    assert pages_for(PAGE_SIZE) == 1
+    assert pages_for(PAGE_SIZE + 1) == 2
+    assert pages_for(10 * PAGE_SIZE) == 10
+
+
+def test_transfer_time_scales_linearly():
+    t1 = transfer_time_ns(1 * MB, 100.0)
+    t2 = transfer_time_ns(2 * MB, 100.0)
+    assert abs(t2 - 2 * t1) <= 2
+
+
+def test_transfer_time_inverse_in_bandwidth():
+    slow = transfer_time_ns(1 * MB, 10.0)
+    fast = transfer_time_ns(1 * MB, 100.0)
+    assert abs(slow - 10 * fast) <= 10
+
+
+def test_transfer_time_zero_bytes_free():
+    assert transfer_time_ns(0, 100.0) == 0
+    assert transfer_time_ns(-5, 100.0) == 0
+
+
+def test_transfer_time_at_least_one_ns():
+    assert transfer_time_ns(1, 1000.0) >= 1
+
+
+def test_calibration_4kb_rdma_wire_time():
+    """4 KB at 100 Gbps is ~328 ns of wire time."""
+    wire = transfer_time_ns(PAGE_SIZE, 100.0)
+    assert 300 <= wire <= 350
+
+
+def test_calibration_4mb_copy_at_serialize_bandwidth():
+    """The paper's footnote: a 4 MB single-thread copy takes ~2.5 ms."""
+    t = transfer_time_ns(4 * MB, DEFAULT_COST_MODEL.serialize_copy_gbps)
+    assert 2.4 <= to_ms(t) <= 2.8
+
+
+def test_cost_model_scaled_returns_modified_copy():
+    base = CostModel()
+    tweaked = base.scaled(rdma_page_read_ns=us(5))
+    assert tweaked.rdma_page_read_ns == us(5)
+    assert base.rdma_page_read_ns == DEFAULT_COST_MODEL.rdma_page_read_ns
+    assert tweaked.page_fault_ns == base.page_fault_ns
+
+
+def test_cost_model_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_COST_MODEL.rdma_page_read_ns = 1  # type: ignore
+
+
+def test_bench_scale_env(monkeypatch):
+    from repro.bench.config import bench_scale, scaled
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+    assert bench_scale() == 0.5
+    assert scaled(1000) == 500
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "garbage")
+    assert bench_scale(0.3) == 0.3
+    monkeypatch.delenv("REPRO_BENCH_SCALE")
+    assert scaled(10, scale=0.001, minimum=2) == 2

@@ -1,0 +1,155 @@
+"""Finer-grained transport behaviours: tokens, stats, stage metering."""
+
+import pytest
+
+from repro.bench.microbench import make_pair, measure_transfer
+from repro.sim.ledger import Ledger
+from repro.transfer import (AdaptiveTransport, MessagingTransport,
+                            RmmapTransport, StorageTransport)
+from repro.transfer.base import (STAGE_CATEGORIES, StageMeter,
+                                 TransferBreakdown)
+from repro.units import KB, MB
+
+
+# --- TransferBreakdown / StageMeter ------------------------------------------------
+
+def test_breakdown_add_accumulates():
+    a = TransferBreakdown(1, 2, 3, 4)
+    b = TransferBreakdown(10, 20, 30, 40)
+    a.add(b)
+    assert (a.transform_ns, a.network_ns, a.reconstruct_ns,
+            a.access_ns) == (11, 22, 33, 44)
+    assert a.e2e_ns == 66  # access excluded
+
+
+def test_stage_meter_diffs_incrementally():
+    ledger = Ledger()
+    meter = StageMeter(ledger)
+    ledger.charge(100, "serialize")
+    d1 = meter.delta()
+    assert d1.transform_ns == 100
+    ledger.charge(50, "rdma-read")
+    ledger.charge(25, "deserialize")
+    d2 = meter.delta()
+    assert d2.transform_ns == 0          # already consumed
+    assert d2.network_ns == 50
+    assert d2.reconstruct_ns == 25
+
+
+def test_stage_meter_unknown_category_counts_as_network():
+    ledger = Ledger()
+    meter = StageMeter(ledger)
+    ledger.charge(10, "some-new-category")
+    assert meter.delta().network_ns == 10
+
+
+def test_stage_categories_cover_known_charges():
+    for cat in ("serialize", "deserialize", "cow-mark", "rdma-read",
+                "rdma-prefetch", "rmap-auth", "messaging", "storage",
+                "remote-fault", "fault", "alloc", "traverse", "mmu"):
+        assert cat in STAGE_CATEGORIES, cat
+
+
+# --- token semantics ------------------------------------------------------------------
+
+def test_messaging_token_carries_object_count():
+    _e, producer, _c = make_pair()
+    token = MessagingTransport().send(producer,
+                                      producer.heap.box([1, 2, 3]))
+    assert token.object_count == 4
+    assert token.transport == "messaging"
+
+
+def test_storage_token_is_a_key_not_bytes():
+    _e, producer, _c = make_pair()
+    transport = StorageTransport()
+    token = transport.send(producer, producer.heap.box("payload"))
+    assert isinstance(token.payload, str)
+    assert token.payload.startswith("storage-obj-")
+    assert transport.puts == 1
+
+
+def test_storage_keys_unique_per_send():
+    _e, producer, _c = make_pair()
+    transport = StorageTransport()
+    t1 = transport.send(producer, producer.heap.box(1))
+    t2 = transport.send(producer, producer.heap.box(2))
+    assert t1.payload != t2.payload
+
+
+def test_rmmap_fids_unique_per_send():
+    _e, producer, _c = make_pair()
+    transport = RmmapTransport(prefetch=False)
+    t1 = transport.send(producer, producer.heap.box(1))
+    t2 = transport.send(producer, producer.heap.box(2))
+    assert t1.payload.fid != t2.payload.fid
+
+
+def test_rmmap_prefetch_token_carries_page_list():
+    _e, producer, _c = make_pair()
+    transport = RmmapTransport(prefetch=True)
+    token = transport.send(producer, producer.heap.box(list(range(2000))))
+    pages = token.extra["page_addrs"]
+    assert pages and all(p % (4 * KB) == 0 for p in pages)
+    assert token.wire_bytes == 64 + 8 * len(pages)
+
+
+def test_one_registration_serves_many_consumers():
+    """Broadcast: multiple consumers rmap the same registration."""
+    from repro.kernel.machine import Machine
+    from repro.mem import AddressRange, AddressSpace, AnonymousVMA
+    from repro.runtime.heap import ManagedHeap
+    from repro.transfer.base import Endpoint
+
+    engine, producer, consumer1 = make_pair()
+    m2 = Machine("mac2", engine, producer.machine.fabric)
+    space = AddressSpace(m2.physical, name="c2")
+    rng = AddressRange(0x7000_0000, 0x7000_0000 + 32 * MB)
+    space.map_vma(AnonymousVMA(rng, name="heap"))
+    consumer2 = Endpoint(m2, ManagedHeap(space, rng=rng, name="c2"))
+
+    transport = RmmapTransport(prefetch=False)
+    value = list(range(500))
+    token = transport.send(producer, producer.heap.box(value))
+    h1 = transport.receive(consumer1, token)
+    h2 = transport.receive(consumer2, token)
+    assert h1.load() == value
+    assert h2.load() == value
+    assert len(producer.machine.kernel.registry) == 1  # single reg
+    reg = producer.machine.kernel.registry.all()[0]
+    assert reg.rmap_count == 2
+
+
+# --- adaptive policy ----------------------------------------------------------------------
+
+def test_adaptive_threshold_configurable():
+    _e, producer, _c = make_pair()
+    transport = AdaptiveTransport(size_threshold=10 * KB)
+    mid = producer.heap.box("x" * (5 * KB))
+    assert transport.choose(producer, mid) is transport.messaging
+    big = producer.heap.box("x" * (50 * KB))
+    assert transport.choose(producer, big) is transport.rmmap
+
+
+def test_adaptive_cleanup_routes_by_token():
+    _e, producer, consumer = make_pair()
+    transport = AdaptiveTransport()
+    big_token = transport.send(producer,
+                               producer.heap.box(list(range(5000))))
+    assert len(producer.machine.kernel.registry) == 1
+    transport.cleanup(producer, big_token)
+    assert len(producer.machine.kernel.registry) == 0
+    small_token = transport.send(producer, producer.heap.box(7))
+    transport.cleanup(producer, small_token)  # messaging: no-op, no raise
+
+
+# --- access-stage accounting -----------------------------------------------------------------
+
+def test_access_stage_excluded_from_e2e():
+    _e, producer, consumer = make_pair()
+    result = measure_transfer(MessagingTransport(), producer, consumer,
+                              list(range(1000)))
+    assert result.breakdown.access_ns > 0      # reading the value costs
+    assert result.breakdown.e2e_ns == (result.breakdown.transform_ns
+                                       + result.breakdown.network_ns
+                                       + result.breakdown.reconstruct_ns)

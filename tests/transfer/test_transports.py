@@ -1,0 +1,240 @@
+"""Tests for all state-transfer transports and their cost shapes."""
+
+import numpy as np
+import pytest
+
+from repro.bench.microbench import make_pair, measure_transfer
+from repro.runtime.values import DataFrameValue, NdArrayValue
+from repro.transfer import (AdaptiveTransport, MessagingTransport,
+                            NaosTransport, RmmapTransport,
+                            StorageRdmaTransport, StorageTransport)
+from repro.transfer.base import TransportError
+from repro.units import KB, MB
+
+SAMPLE_VALUES = [
+    7,
+    "a modest string",
+    [1.5, "mixed", None],
+    list(range(2000)),
+    {"nested": {"dict": {"of": {"depth": {"five": 1}}}}},
+    NdArrayValue(np.arange(512, dtype=np.float64)),
+    DataFrameValue({"sym": ["a", "b", "c"], "px": [1.0, 2.0, 3.0]}),
+]
+
+ALL_TRANSPORTS = [
+    MessagingTransport,
+    StorageTransport,
+    StorageRdmaTransport,
+    lambda: RmmapTransport(prefetch=False),
+    lambda: RmmapTransport(prefetch=True),
+    NaosTransport,
+    AdaptiveTransport,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_TRANSPORTS,
+                         ids=lambda f: getattr(f, "name", None)
+                         or f().name)
+@pytest.mark.parametrize("value", SAMPLE_VALUES,
+                         ids=[f"v{i}" for i in range(len(SAMPLE_VALUES))])
+def test_every_transport_delivers_value_intact(factory, value):
+    _e, producer, consumer = make_pair()
+    result = measure_transfer(factory(), producer, consumer, value)
+    assert result.value == value
+
+
+@pytest.mark.parametrize("factory", ALL_TRANSPORTS,
+                         ids=lambda f: getattr(f, "name", None)
+                         or f().name)
+def test_breakdown_stages_nonnegative(factory):
+    _e, producer, consumer = make_pair()
+    result = measure_transfer(factory(), producer, consumer,
+                              list(range(500)))
+    b = result.breakdown
+    assert b.transform_ns >= 0 and b.network_ns >= 0 \
+        and b.reconstruct_ns >= 0
+    assert b.e2e_ns > 0
+
+
+# --- messaging -----------------------------------------------------------------
+
+def test_messaging_payload_limit_enforced():
+    _e, producer, consumer = make_pair()
+    transport = MessagingTransport(max_payload=256 * KB)
+    with pytest.raises(TransportError, match="payload limit"):
+        measure_transfer(transport, producer, consumer,
+                         list(range(50_000)))
+
+
+def test_messaging_null_network_keeps_serialization():
+    """The Fig 5 emulation: zero-byte message, (de)serialization remains."""
+    _e, producer, consumer = make_pair()
+    result = measure_transfer(MessagingTransport(null_network=True),
+                              producer, consumer, list(range(2000)))
+    assert result.breakdown.network_ns == 0
+    assert result.breakdown.transform_ns > 0
+    assert result.breakdown.reconstruct_ns > 0
+
+
+def test_messaging_wire_bytes_scale_with_state():
+    _e, p1, c1 = make_pair()
+    small = measure_transfer(MessagingTransport(), p1, c1, list(range(100)))
+    _e, p2, c2 = make_pair()
+    big = measure_transfer(MessagingTransport(), p2, c2, list(range(10000)))
+    assert big.wire_bytes > 50 * small.wire_bytes
+
+
+# --- storage -----------------------------------------------------------------------
+
+def test_storage_rdma_faster_than_pocket():
+    value = list(range(20_000))
+    _e, p1, c1 = make_pair()
+    pocket = measure_transfer(StorageTransport(), p1, c1, value)
+    _e, p2, c2 = make_pair()
+    drtm = measure_transfer(StorageRdmaTransport(), p2, c2, value)
+    assert drtm.breakdown.network_ns < pocket.breakdown.network_ns / 10
+    # but (de)serialization cost is identical — it cannot be optimized away
+    assert drtm.breakdown.transform_ns == pocket.breakdown.transform_ns
+    assert drtm.breakdown.reconstruct_ns == pocket.breakdown.reconstruct_ns
+
+
+def test_storage_cleanup_drops_object():
+    _e, producer, consumer = make_pair()
+    transport = StorageTransport()
+    root = producer.heap.box([1, 2, 3])
+    token = transport.send(producer, root)
+    assert transport.stored_bytes() > 0
+    transport.cleanup(producer, token)
+    assert transport.stored_bytes() == 0
+    with pytest.raises(TransportError):
+        transport.receive(consumer, token)
+
+
+# --- rmmap ---------------------------------------------------------------------------
+
+def test_rmmap_token_is_constant_size():
+    """RMMAP sends a pointer, not the state (Section 3)."""
+    _e, producer, consumer = make_pair()
+    transport = RmmapTransport(prefetch=False)
+    small = transport.send(producer, producer.heap.box([1] * 10))
+    big = transport.send(producer, producer.heap.box(list(range(50_000))))
+    assert small.wire_bytes == big.wire_bytes == 64
+
+
+def test_rmmap_no_serialization_charges():
+    _e, producer, consumer = make_pair()
+    result = measure_transfer(RmmapTransport(prefetch=False), producer,
+                              consumer, list(range(5000)))
+    assert producer.ledger.total("serialize") == 0
+    assert consumer.ledger.total("deserialize") == 0
+    assert result.breakdown.reconstruct_ns < result.breakdown.network_ns
+
+
+def test_rmmap_prefetch_reduces_network_time_for_large_buffers():
+    value = NdArrayValue(np.zeros(1 * MB // 8, dtype=np.float64))
+    _e, p1, c1 = make_pair()
+    demand = measure_transfer(RmmapTransport(prefetch=False), p1, c1, value)
+    _e, p2, c2 = make_pair()
+    pref = measure_transfer(RmmapTransport(prefetch=True), p2, c2, value)
+    assert pref.breakdown.network_ns < demand.breakdown.network_ns
+    # prefetch trades producer-side traversal for fewer faults
+    assert pref.breakdown.transform_ns >= demand.breakdown.transform_ns
+
+
+def test_rmmap_prefetch_threshold_falls_back():
+    _e, producer, consumer = make_pair()
+    transport = RmmapTransport(prefetch=True, prefetch_threshold=100)
+    token = transport.send(producer, producer.heap.box(list(range(5000))))
+    assert token.extra["page_addrs"] is None  # traversal bailed out
+
+
+def test_rmmap_cleanup_deregisters():
+    _e, producer, consumer = make_pair()
+    transport = RmmapTransport(prefetch=False)
+    token = transport.send(producer, producer.heap.box([1]))
+    assert len(producer.machine.kernel.registry) == 1
+    transport.cleanup(producer, token)
+    assert len(producer.machine.kernel.registry) == 0
+
+
+def test_rmmap_beats_serializing_transports_on_dataframe():
+    """The headline microbench claim: for complex objects RMMAP's E2E is
+    far below every (de)serializing approach (Fig 11a).  The dataframe is
+    sized like the paper's FINRA input (hundreds of thousands of cells)."""
+    n = 20_000
+    df = DataFrameValue({
+        "sym": [f"s{i}" for i in range(n)],
+        "px": [float(i) for i in range(n)],
+        "qty": list(range(n)),
+    })
+    results = {}
+    for name, factory in [
+            ("messaging", MessagingTransport),
+            ("storage-rdma", StorageRdmaTransport),
+            ("rmmap", lambda: RmmapTransport(prefetch=True))]:
+        _e, p, c = make_pair()
+        results[name] = measure_transfer(factory(), p, c, df).e2e_ns
+    assert results["rmmap"] < results["storage-rdma"]
+    assert results["rmmap"] < results["messaging"]
+
+
+def test_rmmap_loses_on_int():
+    """...but not for an int, where syscall+RPC overhead dominates
+    (Section 6)."""
+    results = {}
+    for name, factory in [("messaging", MessagingTransport),
+                          ("rmmap", lambda: RmmapTransport(prefetch=False))]:
+        _e, p, c = make_pair()
+        results[name] = measure_transfer(factory(), p, c, 7).e2e_ns
+    assert results["messaging"] < results["rmmap"]
+
+
+# --- naos ----------------------------------------------------------------------------
+
+def test_naos_charges_fixups_not_serialization():
+    _e, producer, consumer = make_pair()
+    measure_transfer(NaosTransport(), producer, consumer,
+                     list(range(3000)))
+    assert producer.ledger.total("naos-fixup-send") > 0
+    assert consumer.ledger.total("naos-fixup-recv") > 0
+    assert producer.ledger.total("serialize") == 0
+
+
+def test_rmmap_beats_naos():
+    """Fig 16b: RMMAP outperforms Naos because Naos still walks and patches
+    pointers.  Slim (Java, CDS-shared) containers per the Naos microbench."""
+    value = {i: "v" * 5 for i in range(5000)}  # the (Integer, char[5]) map
+    _e, p1, c1 = make_pair(resident_lib_bytes=8 * MB)
+    naos = measure_transfer(NaosTransport(), p1, c1, value)
+    _e, p2, c2 = make_pair(resident_lib_bytes=8 * MB)
+    rmmap = measure_transfer(RmmapTransport(prefetch=False), p2, c2, value)
+    assert rmmap.e2e_ns < naos.e2e_ns
+
+
+# --- adaptive -----------------------------------------------------------------------
+
+def test_adaptive_picks_messaging_for_small_states():
+    _e, producer, _ = make_pair()
+    transport = AdaptiveTransport()
+    token = transport.send(producer, producer.heap.box(7))
+    assert token.transport == "messaging"
+
+
+def test_adaptive_picks_rmmap_for_large_states():
+    _e, producer, _ = make_pair()
+    transport = AdaptiveTransport()
+    token = transport.send(producer, producer.heap.box(list(range(5000))))
+    assert token.transport.startswith("rmmap")
+
+
+def test_adaptive_never_slower_than_worst_choice():
+    for value in (7, list(range(4000))):
+        baselines = []
+        for factory in (MessagingTransport,
+                        lambda: RmmapTransport(prefetch=True)):
+            _e, p, c = make_pair()
+            baselines.append(
+                measure_transfer(factory(), p, c, value).e2e_ns)
+        _e, p, c = make_pair()
+        adaptive = measure_transfer(AdaptiveTransport(), p, c, value).e2e_ns
+        assert adaptive <= max(baselines) * 1.01

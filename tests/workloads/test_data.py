@@ -1,0 +1,84 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+
+from repro.workloads.data import (book_vocabulary, make_audit_rules,
+                                  make_book_text, make_images,
+                                  make_market_data, make_trades)
+
+
+def test_trades_shape_and_columns():
+    trades = make_trades(n_rows=500, seed=1)
+    assert trades.nrows == 500
+    assert set(trades.columns) == {"symbol", "price", "qty", "side",
+                                   "venue", "time_ms"}
+
+
+def test_trades_deterministic():
+    assert make_trades(100, seed=3) == make_trades(100, seed=3)
+    assert make_trades(100, seed=3) != make_trades(100, seed=4)
+
+
+def test_trades_value_domains():
+    trades = make_trades(n_rows=300)
+    assert all(1.0 <= p <= 900.0 for p in trades.column("price"))
+    assert all(1 <= q < 10_000 for q in trades.column("qty"))
+    assert set(trades.column("side")) <= {"B", "S"}
+
+
+def test_market_data_covers_symbols():
+    market = make_market_data(n_symbols=100)
+    assert len(market) == 100
+    assert all(isinstance(v, float) for v in market.values())
+
+
+def test_audit_rules_kinds_cycle():
+    rules = make_audit_rules(8)
+    assert len(rules) == 8
+    assert len({r["kind"] for r in rules}) == 4
+    assert [r["id"] for r in rules] == list(range(8))
+
+
+def test_images_shape_and_determinism():
+    images, labels = make_images(n_images=20, seed=5)
+    assert len(images) == len(labels) == 20
+    assert images[0].width == images[0].height == 28
+    images2, labels2 = make_images(n_images=20, seed=5)
+    assert images == images2 and labels == labels2
+
+
+def test_images_classes_are_separable():
+    """Same-class images must be more alike than cross-class ones."""
+    images, labels = make_images(n_images=60, seed=2)
+    mats = [np.frombuffer(img.pixels, dtype=np.uint8).astype(float)
+            for img in images]
+    by_class = {}
+    for mat, label in zip(mats, labels):
+        by_class.setdefault(label, []).append(mat)
+    means = {c: np.mean(v, axis=0) for c, v in by_class.items()
+             if len(v) >= 2}
+    classes = sorted(means)
+    assert len(classes) >= 3
+    intra = np.linalg.norm(by_class[classes[0]][0]
+                           - by_class[classes[0]][1])
+    inter = np.linalg.norm(means[classes[0]] - means[classes[1]])
+    assert inter > 0  # distinct class centers
+
+
+def test_book_text_size_and_determinism():
+    text = make_book_text(n_bytes=100_000, seed=1)
+    assert len(text) == 100_000
+    assert text == make_book_text(n_bytes=100_000, seed=1)
+
+
+def test_book_text_zipf_skew():
+    """The most frequent word should dominate (Zipf-like)."""
+    from collections import Counter
+    counts = Counter(make_book_text(n_bytes=200_000).split())
+    ordered = counts.most_common()
+    assert ordered[0][1] > 5 * ordered[min(50, len(ordered) - 1)][1]
+
+
+def test_vocabulary_unique():
+    vocab = book_vocabulary(2400)
+    assert len(vocab) == len(set(vocab)) == 2400

@@ -1,0 +1,181 @@
+"""End-to-end tests for the four paper workloads (scaled-down configs)."""
+
+import numpy as np
+import pytest
+
+from repro.platform.cluster import ServerlessPlatform
+from repro.transfer import MessagingTransport, RmmapTransport
+from repro.workloads.data import make_book_text, make_images, make_trades
+from repro.workloads.finra import (build_finra, check_rule, make_audit_rules,
+                                   make_market_data)
+from repro.workloads.ml_prediction import (build_ml_prediction,
+                                           train_reference_model)
+from repro.workloads.ml_training import (binary_labels, build_ml_training,
+                                         fit_pca, grow_tree,
+                                         images_to_matrix, pca_transform)
+from repro.workloads.wordcount import (build_wordcount, count_words,
+                                       merge_counts)
+
+
+# --- pure-function unit tests -----------------------------------------------------
+
+def test_check_rule_price_band_flags_outliers():
+    trades = make_trades(200, seed=1)
+    market = {sym: 100.0 for sym in trades.column("symbol")}
+    rule = {"kind": "price_band", "tolerance": 0.1, "qty_max": 0,
+            "venues": [], "t_start": 0, "t_end": 0}
+    violations = check_rule(rule, trades, market)
+    # every trade priced outside 90..110 must be flagged
+    expected = [i for i, p in enumerate(trades.column("price"))
+                if abs(p - 100.0) > 10.0]
+    assert violations == expected
+
+
+def test_check_rule_qty_limit():
+    trades = make_trades(100, seed=2)
+    rule = {"kind": "qty_limit", "qty_max": 5000, "tolerance": 0,
+            "venues": [], "t_start": 0, "t_end": 0}
+    violations = check_rule(rule, trades, {})
+    assert violations == [i for i, q in enumerate(trades.column("qty"))
+                          if q > 5000]
+
+
+def test_pca_reduces_dimensions_and_centers():
+    images, _ = make_images(80, seed=1)
+    matrix = images_to_matrix(images)
+    mean, comps = fit_pca(matrix, 8)
+    feats = pca_transform(matrix, mean, comps)
+    assert feats.shape == (80, 8)
+    assert abs(feats.mean()) < 1.0  # roughly centered
+    # components are orthonormal
+    assert np.allclose(comps.T @ comps, np.eye(8), atol=1e-8)
+
+
+def test_grow_tree_fits_residuals():
+    rng = np.random.default_rng(0)
+    feats = rng.normal(size=(300, 4))
+    target = np.where(feats[:, 2] > 0, 1.0, -1.0)
+    tree = grow_tree(feats, target, rng)
+    preds = np.array([tree.predict(x) for x in feats])
+    # the tree must pick up the signal on feature 2
+    assert np.corrcoef(preds, target)[0, 1] > 0.5
+
+
+def test_count_and_merge_words():
+    a = count_words("le chat le chien")
+    b = count_words("le chat")
+    merged = merge_counts([a, b])
+    assert merged == {"le": 3, "chat": 2, "chien": 1}
+
+
+def test_reference_model_beats_chance():
+    from repro.workloads.ml_training import reference_basis
+    model = train_reference_model(n_components=8, n_trees=16, seed=0)
+    images, labels = make_images(150, seed=777)
+    matrix = images_to_matrix(images)
+    mean, comps = reference_basis(8)
+    feats = pca_transform(matrix, mean, comps)
+    target = binary_labels(labels)
+    preds = np.sign([model.predict_margin(x) for x in feats])
+    preds[preds == 0] = 1
+    assert (preds == target).mean() > 0.6
+
+
+# --- workflow integration (small configs, both transport families) ------------------
+
+FINRA_PARAMS = {"n_rows": 800, "width": 8}
+
+
+@pytest.mark.parametrize("factory", [
+    MessagingTransport, lambda: RmmapTransport(prefetch=True)],
+    ids=["messaging", "rmmap"])
+def test_finra_workflow(factory):
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(build_finra(width=8), factory())
+    record = platform.run_once("finra", FINRA_PARAMS)
+    assert record.result["rules_checked"] == 8
+    assert record.result["total_violations"] > 0  # synthetic data violates
+    assert len(record.functions) == 11  # 2 + 8 + 1
+
+
+def test_finra_deterministic_across_transports():
+    """The workflow result must not depend on the transport."""
+    results = []
+    for factory in (MessagingTransport,
+                    lambda: RmmapTransport(prefetch=False)):
+        platform = ServerlessPlatform(n_machines=4)
+        platform.deploy(build_finra(width=8), factory())
+        results.append(platform.run_once("finra", FINRA_PARAMS).result)
+    assert results[0] == results[1]
+
+
+ML_TRAIN_PARAMS = {"n_images": 240, "epochs": 2, "n_trees": 16}
+
+
+@pytest.mark.parametrize("factory", [
+    MessagingTransport, lambda: RmmapTransport(prefetch=True)],
+    ids=["messaging", "rmmap"])
+def test_ml_training_workflow(factory):
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(build_ml_training(), factory())
+    record = platform.run_once("ml-training", ML_TRAIN_PARAMS)
+    assert record.result["n_trees"] == 16
+    assert record.result["accuracy"] > 0.55  # genuinely learned
+    assert len(record.functions) == 12  # 1 + 2 + 8 + 1
+
+
+ML_PRED_PARAMS = {"n_images": 64, "n_trees": 8, "predict_width": 4}
+
+
+@pytest.mark.parametrize("factory", [
+    MessagingTransport, lambda: RmmapTransport(prefetch=True)],
+    ids=["messaging", "rmmap"])
+def test_ml_prediction_workflow(factory):
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(build_ml_prediction(width=4), factory())
+    record = platform.run_once("ml-prediction", ML_PRED_PARAMS)
+    assert record.result["n_predictions"] == 64
+    assert record.result["accuracy"] > 0.5
+    assert len(record.functions) == 7  # 2 + 4 + 1
+
+
+WC_PARAMS = {"n_bytes": 200_000, "map_width": 4}
+
+
+@pytest.mark.parametrize("factory", [
+    MessagingTransport, lambda: RmmapTransport(prefetch=False)],
+    ids=["messaging", "rmmap"])
+def test_wordcount_workflow(factory):
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(build_wordcount(width=4), factory())
+    record = platform.run_once("wordcount", WC_PARAMS)
+    # cross-check against a direct count of the same text
+    text = make_book_text(n_bytes=200_000, seed=0)
+    truth = count_words(text)
+    assert record.result["distinct_words"] == len(truth)
+    assert record.result["total_words"] == sum(truth.values())
+    assert record.result["top_count"] == max(truth.values())
+
+
+def test_java_wordcount_workflow():
+    platform = ServerlessPlatform(n_machines=4)
+    platform.deploy(build_wordcount(width=4, runtime="java"),
+                    RmmapTransport(prefetch=False))
+    record = platform.run_once("wordcount-java", WC_PARAMS)
+    text = make_book_text(n_bytes=200_000, seed=0)
+    assert record.result["distinct_words"] == len(count_words(text))
+
+
+def test_rmmap_faster_than_messaging_on_finra():
+    """The headline end-to-end claim (Fig 14), on a scaled-down FINRA."""
+    latencies = {}
+    for name, factory in (("messaging", MessagingTransport),
+                          ("rmmap",
+                           lambda: RmmapTransport(prefetch=True))):
+        platform = ServerlessPlatform(n_machines=4)
+        platform.deploy(build_finra(width=8), factory())
+        platform.prewarm("finra")
+        record = platform.run_once("finra",
+                                   {"n_rows": 4000, "width": 8})
+        latencies[name] = record.latency_ns
+    assert latencies["rmmap"] < latencies["messaging"]

@@ -1,0 +1,78 @@
+"""Remaining workload branches: rule kinds, text splitting, partitions."""
+
+import pytest
+
+from repro.workloads.data import make_book_text, make_trades
+from repro.workloads.finra import check_rule
+from repro.workloads.wordcount import count_words, merge_counts
+
+
+def test_check_rule_venue_allowed():
+    trades = make_trades(150, seed=7)
+    rule = {"kind": "venue_allowed", "venues": ["NYSE", "NASD"],
+            "tolerance": 0, "qty_max": 0, "t_start": 0, "t_end": 0}
+    violations = check_rule(rule, trades, {})
+    expected = [i for i, v in enumerate(trades.column("venue"))
+                if v not in ("NYSE", "NASD")]
+    assert violations == expected
+
+
+def test_check_rule_time_window():
+    trades = make_trades(150, seed=8)
+    rule = {"kind": "time_window", "t_start": 40_000_000,
+            "t_end": 50_000_000, "tolerance": 0, "qty_max": 0,
+            "venues": []}
+    violations = check_rule(rule, trades, {})
+    expected = [i for i, t in enumerate(trades.column("time_ms"))
+                if not (40_000_000 <= t <= 50_000_000)]
+    assert violations == expected
+
+
+def test_check_rule_price_band_skips_unknown_symbols():
+    trades = make_trades(50, seed=9)
+    rule = {"kind": "price_band", "tolerance": 0.0, "qty_max": 0,
+            "venues": [], "t_start": 0, "t_end": 0}
+    # empty market data: nothing can violate
+    assert check_rule(rule, trades, {}) == []
+
+
+def test_split_respects_word_boundaries():
+    from repro.platform.coordinator import FunctionContext
+    from repro.workloads.wordcount import split_text
+
+    class FakeCtx:
+        params = {"n_bytes": 50_000, "map_width": 4, "seed": 0}
+        instance_index = 0
+
+        def charge_compute(self, ns):
+            pass
+
+    chunks = split_text(FakeCtx())
+    assert len(chunks) == 4
+    text = make_book_text(n_bytes=50_000, seed=0)
+    # chunks concatenate back to the text, modulo the split spaces
+    rebuilt = " ".join(c.strip() for c in chunks if c.strip())
+    assert count_words(rebuilt) == count_words(text)
+    # no word was cut in half: per-chunk counts merge to the exact totals
+    merged = merge_counts([count_words(c) for c in chunks])
+    assert merged == count_words(text)
+
+
+def test_merge_counts_empty_inputs():
+    assert merge_counts([]) == {}
+    assert merge_counts([{}, {}]) == {}
+
+
+def test_count_words_whitespace_handling():
+    assert count_words("") == {}
+    assert count_words("  a   b  a ") == {"a": 2, "b": 1}
+
+
+def test_trades_column_accessors():
+    trades = make_trades(10)
+    assert len(trades.column("price")) == 10
+    row = trades.row(0)
+    assert set(row) == {"symbol", "price", "qty", "side", "venue",
+                        "time_ms"}
+    with pytest.raises(KeyError):
+        trades.column("nope")
