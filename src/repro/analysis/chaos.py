@@ -1,0 +1,162 @@
+"""Chaos-run accounting: resilience stats, frame audits, the ChaosReport.
+
+Everything here is deterministic given the run's seed: the event trace is a
+list of ``"<ns> <message>"`` strings appended in simulation order, and
+:meth:`ChaosReport.fingerprint` hashes the canonical JSON form, so two runs
+with the same seed and fault schedule must produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+from repro.analysis.report import Table
+from repro.units import to_ms
+
+
+@dataclass
+class ResilienceStats:
+    """Counters the coordinator bumps while absorbing faults."""
+
+    retries: int = 0
+    fallbacks: int = 0
+    reexecutions: int = 0
+    failovers: int = 0
+    breaker_trips: int = 0
+    events: List[str] = field(default_factory=list)
+
+    def note(self, now_ns: int, message: str) -> None:
+        self.events.append(f"{now_ns} {message}")
+
+
+def referenced_pfns(machine, containers: Iterable) -> set:
+    """Frames a machine's live state legitimately holds: every PTE of a
+    live container's address space plus every shadow-copy pin of a live
+    registration."""
+    # local import: platform.coordinator imports this module, so a
+    # top-level platform import here would close a cycle
+    from repro.platform.container import STATE_DEAD
+
+    refs = set()
+    for container in containers:
+        if container.machine is not machine:
+            continue
+        if container.state == STATE_DEAD:
+            continue
+        refs.update(container.space.page_table.all_pfns())
+    for reg in machine.kernel.registry.all():
+        if not reg.deregistered:
+            refs.update(reg.snapshot.values())
+    return refs
+
+
+def audit_leaked_frames(machines, containers: Iterable) -> Dict[str, int]:
+    """Per-machine count of resident frames nothing references any more.
+
+    The acceptance bar for chaos runs: after crashes, retries and
+    reclamation, ``sum(audit.values()) == 0`` — no physical frame survives
+    without a page-table entry or a registration pin accounting for it.
+    """
+    containers = list(containers)
+    leaked: Dict[str, int] = {}
+    for machine in machines:
+        live = set(machine.physical.live_pfns())
+        refs = referenced_pfns(machine, containers)
+        leaked[machine.mac_addr] = len(live - refs)
+    return leaked
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run produced (the §4.5 artifact)."""
+
+    workflow: str
+    seed: int
+    transport: str
+    invocations: int = 0
+    completed: int = 0
+    failed: int = 0
+    faults_injected: List[str] = field(default_factory=list)
+    retries: int = 0
+    fallbacks: int = 0
+    reexecutions: int = 0
+    failovers: int = 0
+    breaker_trips: int = 0
+    leaked_frames: int = 0
+    live_registrations: int = 0
+    mean_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
+    event_trace: List[str] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of issued invocations that completed successfully."""
+        if self.invocations == 0:
+            return 1.0
+        return self.completed / self.invocations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workflow": self.workflow,
+            "seed": self.seed,
+            "transport": self.transport,
+            "invocations": self.invocations,
+            "completed": self.completed,
+            "failed": self.failed,
+            "availability": round(self.availability, 6),
+            "faults_injected": list(self.faults_injected),
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "reexecutions": self.reexecutions,
+            "failovers": self.failovers,
+            "breaker_trips": self.breaker_trips,
+            "leaked_frames": self.leaked_frames,
+            "live_registrations": self.live_registrations,
+            "mean_latency_ms": round(self.mean_latency_ms, 6),
+            "p99_latency_ms": round(self.p99_latency_ms, 6),
+            "event_trace": list(self.event_trace),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form (determinism check)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def render(self) -> str:
+        table = Table(
+            f"Chaos run: {self.workflow} ({self.transport}, "
+            f"seed {self.seed})",
+            ["metric", "value"])
+        table.add_row("invocations", self.invocations)
+        table.add_row("completed", self.completed)
+        table.add_row("failed", self.failed)
+        table.add_row("availability",
+                      f"{100.0 * self.availability:.2f}%")
+        table.add_row("faults injected", len(self.faults_injected))
+        table.add_row("retries", self.retries)
+        table.add_row("rpc fallbacks", self.fallbacks)
+        table.add_row("re-executions", self.reexecutions)
+        table.add_row("coordinator failovers", self.failovers)
+        table.add_row("breaker trips", self.breaker_trips)
+        table.add_row("leaked frames", self.leaked_frames)
+        table.add_row("live registrations", self.live_registrations)
+        table.add_row("mean latency (ms)",
+                      f"{self.mean_latency_ms:.3f}")
+        table.add_row("p99 latency (ms)", f"{self.p99_latency_ms:.3f}")
+        table.add_row("fingerprint", self.fingerprint()[:16])
+        return table.render()
+
+
+def latency_stats_ms(latencies_ns: List[int]) -> Dict[str, float]:
+    """Mean and p99 over per-invocation latencies (ns in, ms out)."""
+    if not latencies_ns:
+        return {"mean": 0.0, "p99": 0.0}
+    ordered = sorted(latencies_ns)
+    mean = sum(ordered) / len(ordered)
+    p99 = ordered[min(len(ordered) - 1,
+                      int(0.99 * (len(ordered) - 1) + 0.5))]
+    return {"mean": to_ms(mean), "p99": to_ms(p99)}

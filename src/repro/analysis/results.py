@@ -17,7 +17,7 @@ import io
 import json
 import os
 from dataclasses import asdict, is_dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 
 def _jsonable(value: Any) -> Any:

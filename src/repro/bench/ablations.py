@@ -65,7 +65,7 @@ def ablation_rmap_conflict_demo() -> str:
     from repro.mem import AnonymousVMA
 
     _e, producer, consumer = make_pair()
-    root = producer.heap.box([1, 2, 3])
+    producer.heap.box([1, 2, 3])
     meta = producer.kernel.register_mem(producer.space, "f", 1)
     # consumer reused at an overlapping range (dynamic planning hazard)
     consumer.space.map_vma(AnonymousVMA(

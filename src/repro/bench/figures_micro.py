@@ -13,11 +13,10 @@ import numpy as np
 from repro.bench.config import bench_scale, scaled
 from repro.bench.microbench import (MicrobenchResult, make_pair,
                                     measure_transfer, standard_transports)
-from repro.runtime.values import DataFrameValue, ImageValue, NdArrayValue
+from repro.runtime.values import ImageValue, NdArrayValue
 from repro.transfer import NaosTransport, RmmapTransport
 from repro.units import KB, MB
 from repro.workloads.data import make_book_text, make_trades
-from repro.workloads.ml_prediction import train_reference_model
 
 # Per-type resident library sets (Fig 11a's "large dependent library"
 # observation): a Python + serverless-framework baseline container, plus

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.analysis.metrics import summarize_invocations
 from repro.bench.config import bench_scale, scaled
 from repro.platform.cluster import ServerlessPlatform
 from repro.platform.dag import Workflow

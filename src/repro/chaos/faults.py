@@ -1,0 +1,105 @@
+"""The fault vocabulary: typed, timestamped, deterministic events.
+
+Each fault is a frozen dataclass pinned to an absolute simulated instant
+(``at_ns``).  ``describe()`` renders a canonical string used both for the
+injector's event trace and for :class:`~repro.chaos.schedule.FaultSchedule`
+fingerprints, so two schedules that describe identically inject
+identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base: something bad happens at ``at_ns`` (absolute simulated ns)."""
+
+    at_ns: int
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return f"{self.at_ns} fault"
+
+
+@dataclass(frozen=True)
+class MachineCrash(Fault):
+    """Power-fail one machine: frames wiped, registry dropped, NIC reset,
+    fabric partitioned.  ``restart_after_ns`` (relative) optionally brings
+    it back with a bumped incarnation — peers' cached QPs to it are then
+    stale and fail until re-connected."""
+
+    machine: str = ""
+    restart_after_ns: Optional[int] = None
+
+    def describe(self) -> str:
+        restart = (f" restart+{self.restart_after_ns}"
+                   if self.restart_after_ns is not None else "")
+        return f"{self.at_ns} machine-crash {self.machine}{restart}"
+
+
+@dataclass(frozen=True)
+class LinkFlap(Fault):
+    """NIC link down for ``down_ns``: traffic to the machine raises
+    ``Disconnected`` until the link heals.  ``break_qps`` additionally
+    moves peers' established QPs to the error state (what a real link
+    event does to RC queue pairs)."""
+
+    machine: str = ""
+    down_ns: int = 0
+    break_qps: bool = True
+
+    def describe(self) -> str:
+        qps = " break-qps" if self.break_qps else ""
+        return f"{self.at_ns} link-flap {self.machine} down={self.down_ns}{qps}"
+
+
+@dataclass(frozen=True)
+class QpBreak(Fault):
+    """Silently move every established QP touching one machine to the
+    error state (firmware hiccup / retry-exhausted WQE)."""
+
+    machine: str = ""
+
+    def describe(self) -> str:
+        return f"{self.at_ns} qp-break {self.machine}"
+
+
+@dataclass(frozen=True)
+class LatencySpike(Fault):
+    """Congestion / packet loss on one machine's links: latency of all
+    traffic touching it multiplies by ``factor`` for ``duration_ns``."""
+
+    machine: str = ""
+    factor: float = 4.0
+    duration_ns: int = 0
+
+    def describe(self) -> str:
+        return (f"{self.at_ns} latency-spike {self.machine} "
+                f"x{self.factor:g} for={self.duration_ns}")
+
+
+@dataclass(frozen=True)
+class OomKill(Fault):
+    """The node OOM-killer takes one busy container (deterministically
+    the first busy pod in name order, optionally restricted to one
+    machine).  No-ops when nothing is busy."""
+
+    machine: Optional[str] = None
+
+    def describe(self) -> str:
+        where = self.machine if self.machine is not None else "any"
+        return f"{self.at_ns} oom-kill {where}"
+
+
+@dataclass(frozen=True)
+class CoordinatorCrash(Fault):
+    """The workflow coordinator dies; a standby resumes from the durable
+    invocation log after ``failover_ns``.  Control-plane actions stall in
+    the window; running functions continue."""
+
+    failover_ns: int = 0
+
+    def describe(self) -> str:
+        return f"{self.at_ns} coordinator-crash failover={self.failover_ns}"

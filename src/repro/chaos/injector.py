@@ -1,0 +1,164 @@
+"""The fault injector: arms a schedule onto a running simulation.
+
+Each fault becomes an :meth:`~repro.sim.engine.Engine.call_at` callback
+that mutates simulator state (fabric, NICs, machines, scheduler,
+coordinators) at its exact instant, deterministically ordered against all
+other queued events.  The injector keeps a trace of everything it did —
+the chaos run's flight recorder, folded into the
+:class:`~repro.analysis.chaos.ChaosReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.chaos.faults import (CoordinatorCrash, Fault, LatencySpike,
+                                LinkFlap, MachineCrash, OomKill, QpBreak)
+from repro.chaos.schedule import FaultSchedule
+from repro.kernel.machine import Machine
+from repro.platform.scheduler import Scheduler
+from repro.sim.engine import Engine
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule` to a cluster.
+
+    ``scheduler`` (optional) lets machine crashes deschedule dead pods and
+    wake capacity waiters; ``coordinators`` (optional) receive
+    :class:`CoordinatorCrash` faults.  Works equally against a bare
+    machine pair (micro tests) and a full
+    :class:`~repro.platform.cluster.ServerlessPlatform`.
+    """
+
+    def __init__(self, engine: Engine, machines: Iterable[Machine],
+                 scheduler: Optional[Scheduler] = None,
+                 coordinators: Iterable = ()):
+        self.engine = engine
+        self.machines: Dict[str, Machine] = {m.mac_addr: m
+                                             for m in machines}
+        self.scheduler = scheduler
+        self.coordinators = list(coordinators)
+        self.injected: List[str] = []
+        self.trace: List[str] = []
+
+    @classmethod
+    def for_platform(cls, platform) -> "FaultInjector":
+        """Wire an injector to every layer of a ServerlessPlatform."""
+        return cls(platform.engine, platform.machines,
+                   scheduler=platform.scheduler,
+                   coordinators=list(platform._coordinators.values()))
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self, schedule: FaultSchedule) -> "FaultInjector":
+        for fault in schedule:
+            self.engine.call_at(fault.at_ns,
+                                self._make_trigger(fault))
+        return self
+
+    def _make_trigger(self, fault: Fault):
+        def fire() -> None:
+            self._fire(fault)
+        return fire
+
+    # -- firing ------------------------------------------------------------
+
+    def _note(self, message: str) -> None:
+        self.trace.append(f"{self.engine.now} {message}")
+
+    def _fire(self, fault: Fault) -> None:
+        self.injected.append(fault.describe())
+        self._note(f"inject {fault.describe()}")
+        if isinstance(fault, MachineCrash):
+            self._crash_machine(fault)
+        elif isinstance(fault, LinkFlap):
+            self._link_flap(fault)
+        elif isinstance(fault, QpBreak):
+            self._qp_break(fault.machine)
+        elif isinstance(fault, LatencySpike):
+            self._latency_spike(fault)
+        elif isinstance(fault, OomKill):
+            self._oom_kill(fault)
+        elif isinstance(fault, CoordinatorCrash):
+            self._coordinator_crash(fault)
+        else:  # pragma: no cover - future fault types
+            raise TypeError(f"unknown fault {fault!r}")
+
+    def _crash_machine(self, fault: MachineCrash) -> None:
+        machine = self.machines[fault.machine]
+        if not machine.alive:
+            self._note(f"machine {fault.machine} already down")
+            return
+        machine.crash()
+        # peers' established QPs to the dead machine go to error state
+        for other in self.machines.values():
+            if other is not machine and other.alive:
+                other.nic.break_qps_to(machine.mac_addr)
+        if self.scheduler is not None:
+            lost = self.scheduler.machine_failed(machine)
+            self._note(f"descheduled {lost} pods from {fault.machine}")
+        if fault.restart_after_ns is not None:
+            self.engine.call_at(self.engine.now + fault.restart_after_ns,
+                                self._make_restart(machine))
+
+    def _make_restart(self, machine: Machine):
+        def fire() -> None:
+            if machine.alive:
+                return
+            machine.restart()
+            self._note(f"restart {machine.mac_addr} "
+                       f"(incarnation {machine.incarnation})")
+        return fire
+
+    def _link_flap(self, fault: LinkFlap) -> None:
+        machine = self.machines[fault.machine]
+        machine.fabric.partition(machine.mac_addr)
+        if fault.break_qps:
+            self._qp_break(machine.mac_addr, note=False)
+
+        def heal() -> None:
+            # a crash in the window owns the partition now; don't heal a
+            # dead machine's link out from under it
+            if machine.alive:
+                machine.fabric.heal(machine.mac_addr)
+                self._note(f"link up {machine.mac_addr}")
+        self.engine.call_at(self.engine.now + fault.down_ns, heal)
+
+    def _qp_break(self, mac_addr: str, note: bool = True) -> int:
+        machine = self.machines[mac_addr]
+        broken = 0
+        for other in self.machines.values():
+            if other is not machine and other.alive:
+                broken += other.nic.break_qps_to(mac_addr)
+        if machine.alive:
+            machine.nic.reset()
+        if note:
+            self._note(f"broke {broken} peer QPs to {mac_addr}")
+        return broken
+
+    def _latency_spike(self, fault: LatencySpike) -> None:
+        machine = self.machines[fault.machine]
+        machine.fabric.degrade(machine.mac_addr, fault.factor)
+
+        def restore() -> None:
+            machine.fabric.restore(machine.mac_addr)
+            self._note(f"latency restored {machine.mac_addr}")
+        self.engine.call_at(self.engine.now + fault.duration_ns, restore)
+
+    def _oom_kill(self, fault: OomKill) -> None:
+        if self.scheduler is None:
+            self._note("oom-kill no-op (no scheduler)")
+            return
+        victims = [c for c in self.scheduler.busy_containers()
+                   if fault.machine is None
+                   or c.machine.mac_addr == fault.machine]
+        if not victims:
+            self._note("oom-kill no-op (nothing busy)")
+            return
+        victim = victims[0]
+        self.scheduler.kill_container(victim, reason="oom-kill")
+        self._note(f"oom-killed {victim.name}")
+
+    def _coordinator_crash(self, fault: CoordinatorCrash) -> None:
+        for coordinator in self.coordinators:
+            coordinator.crash(fault.failover_ns)

@@ -1,0 +1,132 @@
+"""Resilience policies: retries, timeouts, circuit breaking, degradation.
+
+The coordinator stays fail-stop by default (a faulted syscall propagates and
+the invocation dies, as in the seed repro).  Passing a
+:class:`ResiliencePolicy` at deployment turns on the recovery ladder the
+paper's production story needs:
+
+* transient faults (link flap, broken QP, RPC drop) -> bounded retries with
+  exponential backoff and seeded jitter;
+* repeated one-sided failures against one producer machine -> circuit
+  breaker opens and the transport degrades RMMAP page faults to the
+  two-sided RPC path for that producer until the breaker cools down;
+* producer state lost (machine crash wiped the registration) -> the
+  coordinator re-executes the producer instance and re-routes fresh tokens.
+
+All timing knobs are integer nanoseconds; all randomness comes from the
+policy's :class:`~repro.sim.rng.SeededRng`, so a chaos run replays
+bit-identically for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import (AuthenticationFailed, ContainerKilled,
+                          Disconnected, MachineCrashed, QpBroken,
+                          RegistrationNotFound, RemoteAccessError)
+from repro.net.rpc import RpcError
+from repro.sim.rng import SeededRng
+from repro.units import ms, seconds, us
+
+#: Faults the coordinator's recovery ladder may absorb.  Application
+#: exceptions (handler bugs, WorkflowError) are deliberately excluded:
+#: retrying deterministic code re-raises deterministically.
+RECOVERABLE_FAULTS = (Disconnected, QpBroken, RemoteAccessError, RpcError,
+                      RegistrationNotFound, AuthenticationFailed,
+                      MachineCrashed, ContainerKilled)
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with seeded jitter plus a per-syscall timeout.
+
+    ``delay_ns(attempt)`` grows ``base_delay_ns * backoff**(attempt-1)``,
+    capped at ``max_delay_ns``; jitter adds up to ``jitter`` fraction drawn
+    from the policy RNG (decorrelates colliding retriers without breaking
+    determinism).  ``syscall_timeout_ns`` is the detection cost charged to
+    the caller's ledger before each retry: the simulated time a real kernel
+    would burn waiting for the verb/RPC to time out.
+    """
+
+    max_attempts: int = 4
+    base_delay_ns: int = ms(1)
+    backoff: float = 2.0
+    max_delay_ns: int = ms(50)
+    jitter: float = 0.2
+    syscall_timeout_ns: int = us(500)
+
+    def delay_ns(self, attempt: int,
+                 rng: Optional[SeededRng] = None) -> int:
+        raw = min(float(self.max_delay_ns),
+                  self.base_delay_ns * self.backoff ** max(0, attempt - 1))
+        if rng is not None and self.jitter > 0:
+            raw *= 1.0 + self.jitter * rng.py.random()
+        return max(1, int(raw))
+
+    def exhausted(self, attempt: int) -> bool:
+        return attempt >= self.max_attempts
+
+
+class CircuitBreaker:
+    """Per-producer-machine breaker over RMMAP one-sided failures.
+
+    ``threshold`` consecutive failures against one MAC open the circuit;
+    while open, the coordinator forces the degraded two-sided fetch path
+    for transfers from that machine (no QP use, so no further verb
+    failures).  After ``reset_ns`` of cool-down the circuit closes again
+    and the next transfer probes the fast path.
+    """
+
+    def __init__(self, threshold: int = 3, reset_ns: int = seconds(1)):
+        self.threshold = threshold
+        self.reset_ns = reset_ns
+        self.trips = 0
+        self._failures: Dict[str, int] = {}
+        self._opened_at: Dict[str, int] = {}
+
+    def record_failure(self, key: str, now_ns: int) -> bool:
+        """Count a failure; returns True when this one trips the breaker."""
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        if count >= self.threshold and key not in self._opened_at:
+            self._opened_at[key] = now_ns
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self, key: str) -> None:
+        self._failures.pop(key, None)
+        self._opened_at.pop(key, None)
+
+    def is_open(self, key: str, now_ns: int) -> bool:
+        opened = self._opened_at.get(key)
+        if opened is None:
+            return False
+        if now_ns - opened >= self.reset_ns:
+            # cool-down elapsed: close and let the next transfer probe
+            self._opened_at.pop(key, None)
+            self._failures.pop(key, None)
+            return False
+        return True
+
+
+@dataclass
+class ResiliencePolicy:
+    """The bundle the coordinator consults on every fault.
+
+    ``transport_fallback`` gates the breaker-driven RMMAP -> RPC
+    degradation; ``reexecute_lost_producers`` gates re-running producer
+    instances whose registered state died with a machine.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    rng: Optional[SeededRng] = None
+    transport_fallback: bool = True
+    reexecute_lost_producers: bool = True
+
+    @classmethod
+    def default(cls, seed: int = 0) -> "ResiliencePolicy":
+        return cls(rng=SeededRng(seed).fork(0xC4A05))

@@ -1,0 +1,99 @@
+"""Fault schedules: ordered, fingerprintable sets of faults to inject.
+
+A :class:`FaultSchedule` is the deterministic contract of a chaos run: the
+same schedule armed on the same seeded simulation must produce a
+byte-identical event trace.  :func:`random_schedule` derives a schedule
+from a :class:`~repro.sim.rng.SeededRng`, so "random" chaos is still
+replayable from ``(seed, knobs)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.chaos.faults import (CoordinatorCrash, Fault, LatencySpike,
+                                LinkFlap, MachineCrash, OomKill, QpBreak)
+from repro.sim.rng import SeededRng
+from repro.units import ms, seconds
+
+
+class FaultSchedule:
+    """An immutable-ish ordered list of faults (sorted by time, then by
+    canonical description for a stable tie-break)."""
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self._faults: List[Fault] = sorted(
+            faults, key=lambda f: (f.at_ns, f.describe()))
+
+    def add(self, fault: Fault) -> "FaultSchedule":
+        self._faults.append(fault)
+        self._faults.sort(key=lambda f: (f.at_ns, f.describe()))
+        return self
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def describe(self) -> List[str]:
+        return [f.describe() for f in self._faults]
+
+    def fingerprint(self) -> str:
+        blob = "\n".join(self.describe()).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FaultSchedule {len(self._faults)} faults "
+                f"{self.fingerprint()[:8]}>")
+
+
+def random_schedule(machine_macs: Sequence[str], rng: SeededRng,
+                    horizon_ns: int,
+                    start_ns: int = 0,
+                    machine_crashes: int = 1,
+                    link_flaps: int = 2,
+                    qp_breaks: int = 1,
+                    latency_spikes: int = 1,
+                    oom_kills: int = 1,
+                    coordinator_crashes: int = 1,
+                    restart_after_ns: int = seconds(0.05),
+                    flap_down_ns: int = ms(5),
+                    spike_factor: float = 4.0,
+                    spike_duration_ns: int = ms(20),
+                    failover_ns: int = ms(10)) -> FaultSchedule:
+    """A seeded mixed-fault schedule over ``[start_ns, start_ns+horizon)``.
+
+    Draw order is fixed (crashes, flaps, qp breaks, spikes, oom kills,
+    coordinator crashes) so a given seed always yields the same schedule.
+    Machines are drawn from ``machine_macs``; pass a subset to protect
+    e.g. the machine hosting a victim-sensitive baseline.
+    """
+    macs = list(machine_macs)
+    if not macs and (machine_crashes or link_flaps or qp_breaks
+                     or latency_spikes):
+        raise ValueError("machine faults requested but no machines given")
+    faults: List[Fault] = []
+
+    def when() -> int:
+        return start_ns + rng.uniform_ns(0, max(0, horizon_ns - 1))
+
+    for _ in range(machine_crashes):
+        faults.append(MachineCrash(at_ns=when(), machine=rng.choice(macs),
+                                   restart_after_ns=restart_after_ns))
+    for _ in range(link_flaps):
+        faults.append(LinkFlap(at_ns=when(), machine=rng.choice(macs),
+                               down_ns=flap_down_ns))
+    for _ in range(qp_breaks):
+        faults.append(QpBreak(at_ns=when(), machine=rng.choice(macs)))
+    for _ in range(latency_spikes):
+        faults.append(LatencySpike(at_ns=when(), machine=rng.choice(macs),
+                                   factor=spike_factor,
+                                   duration_ns=spike_duration_ns))
+    for _ in range(oom_kills):
+        faults.append(OomKill(at_ns=when()))
+    for _ in range(coordinator_crashes):
+        faults.append(CoordinatorCrash(at_ns=when(),
+                                       failover_ns=failover_ns))
+    return FaultSchedule(faults)

@@ -170,6 +170,22 @@ def _calibration() -> None:
     table.print()
 
 
+def _chaos(workload: str) -> Callable[[], None]:
+    """A ``chaos-<workload>`` entry: the Fig-14 workflow under a seeded
+    fault schedule (seed via REPRO_CHAOS_SEED, default 0)."""
+    def run() -> None:
+        from repro.chaos import run_chaos_workflow
+        raw = os.environ.get("REPRO_CHAOS_SEED", "0")
+        try:
+            seed = int(raw)
+        except ValueError:
+            sys.exit(f"repro: REPRO_CHAOS_SEED must be an integer, "
+                     f"got {raw!r}")
+        report = run_chaos_workflow(workload, seed=seed)
+        print(report.render())
+    return run
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig3": _fig3,
     "fig5": _fig5,
@@ -183,6 +199,10 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig16b": _fig16b,
     "ablations": _ablations,
     "calibration": _calibration,
+    "chaos-finra": _chaos("finra"),
+    "chaos-ml-training": _chaos("ml-training"),
+    "chaos-ml-prediction": _chaos("ml-prediction"),
+    "chaos-wordcount": _chaos("wordcount"),
 }
 
 

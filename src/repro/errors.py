@@ -47,6 +47,17 @@ class Disconnected(NetworkError):
     """The remote endpoint is unreachable."""
 
 
+class QpBroken(NetworkError):
+    """The RDMA queue pair is in the error state (link flap, remote crash,
+    or injected QP break); verbs fail until the QP is re-connected."""
+
+
+class RemoteAccessError(NetworkError):
+    """A one-sided verb targeted remote memory that is no longer valid
+    (deregistered, reclaimed, or wiped by a crash) — the simulated analogue
+    of an rkey/protection-domain violation completion."""
+
+
 class KernelError(ReproError):
     """Base class for simulated-kernel/syscall errors."""
 
@@ -73,6 +84,18 @@ class SerializationError(RuntimeHeapError):
 
 class DanglingRemoteReference(RuntimeHeapError):
     """A local object points into a remote heap that has been unmapped."""
+
+
+class ChaosError(ReproError):
+    """Base class for injected-fault failures surfaced to running code."""
+
+
+class MachineCrashed(ChaosError):
+    """The machine executing (or holding state for) an operation died."""
+
+
+class ContainerKilled(ChaosError):
+    """The container executing an operation was killed (e.g. OOM)."""
 
 
 class PlatformError(ReproError):

@@ -99,7 +99,6 @@ class Kernel:
         """
         space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
         rng = self._resolve_range(space, vm_start, vm_end, mode)
-        pages = 0
         snapshot: Dict[int, int] = {}
         for vma in space.vmas():
             if isinstance(vma, RemoteVMA):
@@ -108,7 +107,7 @@ class Kernel:
                 continue
             sub = AddressRange(max(vma.range.start, rng.start),
                                min(vma.range.end, rng.end))
-            pages += space.mark_range_cow(sub)
+            space.mark_range_cow(sub)
             snapshot.update(space.page_table.snapshot(
                 page_number(sub.start), page_number(sub.end - 1)))
         extra_pages = 0
@@ -150,7 +149,8 @@ class Kernel:
     def rmap(self, space: AddressSpace, mac_addr: str, fid: str, key: int,
              vm_start: Optional[int] = None, vm_end: Optional[int] = None,
              fetch_mode: str = FETCH_RDMA,
-             page_table_mode: str = PT_EAGER) -> RmapHandle:
+             page_table_mode: str = PT_EAGER,
+             rpc_fallback: bool = False) -> RmapHandle:
         """Map remote registered memory into *space* at its original address.
 
         Follows Figure 8: auth RPC (snapshot piggybacked), kernel-space QP
@@ -193,7 +193,8 @@ class Kernel:
             qp = self.machine.nic.connect(mac_addr, space.ledger,
                                           kernel_space=True)
         vma = RemoteVMA(rng, snapshot, qp, name=f"rmap:{fid}",
-                        fetch_mode=fetch_mode, pte_source=pte_source)
+                        fetch_mode=fetch_mode, pte_source=pte_source,
+                        rpc_fallback=rpc_fallback)
         try:
             space.map_vma(vma)
         except AddressConflict as err:
@@ -275,3 +276,34 @@ class Kernel:
             self.registry.remove(reg.fid, reg.key)
             reclaimed.append(reg.fid)
         return reclaimed
+
+    def lease_scanner(self, interval_ns: int,
+                      lease_ns: int = DEFAULT_LEASE_NS,
+                      grace_ns: int = DEFAULT_GRACE_NS,
+                      on_reclaim=None):
+        """A periodic lease-scan process (spawn on the engine).
+
+        The chaos runner starts one per machine so orphaned registrations
+        — a coordinator that crashed before triggering ``deregister_mem``,
+        or a producer whose consumer died — are reclaimed without any
+        central party surviving (Section 4.2's fallback path).  Runs until
+        interrupted; reclamation on a dead machine is a no-op (its
+        registry died with it).
+        """
+        from repro.sim.engine import Timeout  # local: avoid import cycle
+
+        while True:
+            yield Timeout(interval_ns)
+            if not self.machine.alive:
+                continue
+            reclaimed = self.scan_expired(lease_ns, grace_ns)
+            if reclaimed and on_reclaim is not None:
+                on_reclaim(self.machine.mac_addr, reclaimed)
+
+    # --- crash handling (repro.chaos) -------------------------------------------
+
+    def on_crash(self) -> None:
+        """The machine lost power: registrations (and their shadow-copy
+        pins) vanish with physical memory; no refcounts to release because
+        the frames themselves are wiped."""
+        self.registry.drop_all()

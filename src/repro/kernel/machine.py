@@ -9,6 +9,7 @@ from repro.net.fabric import Fabric
 from repro.net.rdma import RdmaNic
 from repro.net.rpc import RpcEndpoint
 from repro.sim.engine import Engine
+from repro.sim.event import Event
 from repro.sim.resources import Resource
 from repro.units import GB, CostModel, DEFAULT_COST_MODEL
 
@@ -19,6 +20,12 @@ class Machine:
     Matches the paper's testbed shape (Section 5.1): multi-core servers with
     one RDMA NIC each.  Containers/pods run on machines via the platform
     layer; the kernel layer only needs memory, networking and cores.
+
+    Failure model (:mod:`repro.chaos`): :meth:`crash` kills the node —
+    memory and kernel state are lost, the fabric stops routing to it, and
+    ``failed_event`` fires so in-flight work can observe the death.
+    :meth:`restart` brings it back as a *new incarnation*: cached QPs
+    pointing at the old incarnation fail with ``QpBroken``.
     """
 
     def __init__(self, mac_addr: str, engine: Engine, fabric: Fabric,
@@ -35,7 +42,35 @@ class Machine:
         self.rpc = RpcEndpoint(mac_addr, fabric, cost)
         self.cpu = Resource(engine, cores, name=f"{mac_addr}.cpu")
         self.kernel = Kernel(self)
+        self.alive = True
+        self.incarnation = 0
+        self.failed_event = Event(f"{mac_addr}.failed")
+        self.crashes = 0
         fabric.attach(self)
+
+    # -- failure injection (repro.chaos) -----------------------------------
+
+    def crash(self) -> None:
+        """Power-fail the node: wipe memory, kernel registrations and QP
+        state, partition it off the fabric, and fire ``failed_event``."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.fabric.partition(self.mac_addr)
+        self.nic.reset()
+        self.kernel.on_crash()
+        self.physical.wipe()
+        self.failed_event.succeed(self.mac_addr)
+
+    def restart(self) -> None:
+        """Boot a fresh incarnation of the node (empty memory, new QPs)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.incarnation += 1
+        self.failed_event = Event(f"{self.mac_addr}.failed")
+        self.fabric.heal(self.mac_addr)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Machine {self.mac_addr}>"

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.errors import AuthenticationFailed, RegistrationNotFound
 from repro.mem.layout import AddressRange
@@ -94,6 +94,13 @@ class RegistrationRegistry:
             self.physical.put(pfn)
         reg.deregistered = True
         return reg
+
+    def drop_all(self) -> None:
+        """Forget every registration *without* releasing pins — used on
+        machine crash, where the pinned frames were destroyed wholesale."""
+        for reg in self._by_id.values():
+            reg.deregistered = True
+        self._by_id.clear()
 
     def expired(self, now_ns: int, lifetime_ns: int) -> List[Registration]:
         """Registrations older than *lifetime_ns* (lease scan, Section 4.2)."""

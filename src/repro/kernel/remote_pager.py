@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
-from repro.errors import SegmentationFault
+from repro.errors import (MemoryError_, QpBroken, RemoteAccessError,
+                          SegmentationFault)
 from repro.mem.layout import AddressRange, page_number
 from repro.mem.pagetable import PTE, PTE_COW, PTE_PRESENT
 from repro.mem.vma import VMA
@@ -64,16 +65,22 @@ class RemoteVMA(VMA):
     def __init__(self, rng: AddressRange, snapshot: Dict[int, int],
                  qp: Optional[QueuePair], name: str = "rmap",
                  fetch_mode: str = FETCH_RDMA,
-                 pte_source: Optional[PteSource] = None):
+                 pte_source: Optional[PteSource] = None,
+                 rpc_fallback: bool = False):
         super().__init__(rng, name=name, writable=True)
         self.snapshot = snapshot
         self.qp = qp
         self.fetch_mode = fetch_mode
         self.pte_source = pte_source
+        # resilience policy knob (repro.chaos): when the QP breaks
+        # mid-transfer, degrade one-sided READs to the two-sided RPC
+        # messaging path instead of failing the fault
+        self.rpc_fallback = rpc_fallback
         self._fetched_regions: set = set()
         self.remote_faults = 0
         self.pages_fetched = 0
         self.zero_fill_faults = 0
+        self.fallback_faults = 0
 
     def _ensure_pte(self, vpn: int) -> Optional[int]:
         """Producer pfn for *vpn*, fetching its PTE region if lazy."""
@@ -111,17 +118,38 @@ class RemoteVMA(VMA):
 
     def _fetch_page(self, space: "AddressSpace", remote_pfn: int) -> bytes:
         if self.fetch_mode == FETCH_RDMA:
-            return self.qp.read(ReadRequest(remote_pfn), space.ledger,
-                                category="rdma-read")
+            try:
+                return self.qp.read(ReadRequest(remote_pfn), space.ledger,
+                                    category="rdma-read")
+            except QpBroken:
+                if not self.rpc_fallback:
+                    raise
+                # transport degradation: the QP died but the producer
+                # machine is still up — page through its CPU instead
+                self.fallback_faults += 1
+                return self._fetch_page_rpc(space, remote_pfn)
+        return self._fetch_page_rpc(space, remote_pfn)
+
+    def _fetch_page_rpc(self, space: "AddressSpace",
+                        remote_pfn: int) -> bytes:
         # RPC baseline: two-sided message through the remote CPU, with the
         # extra copies a messaging path implies (Section 3.1 / Section 5.5).
-        remote = self.qp.nic.fabric.machine(self.qp.remote_mac)
-        data = remote.physical.read_frame(remote_pfn)
+        fabric = self.qp.nic.fabric
+        remote = fabric.machine(self.qp.remote_mac)
+        try:
+            data = remote.physical.read_frame(remote_pfn)
+        except MemoryError_ as err:
+            raise RemoteAccessError(
+                f"RPC page read of pfn {remote_pfn} on "
+                f"{self.qp.remote_mac!r}: remote memory invalid ({err})"
+            ) from err
         cost = space.cost
         wire = transfer_time_ns(PAGE_SIZE, cost.rdma_bandwidth_gbps)
         copies = 2 * transfer_time_ns(PAGE_SIZE, cost.serialize_copy_gbps)
-        space.ledger.charge(cost.rpc_roundtrip_ns + wire + copies,
-                            "rpc-page-read")
+        penalty = fabric.penalty(self.qp.nic.mac_addr, self.qp.remote_mac)
+        space.ledger.charge(
+            int(penalty * (cost.rpc_roundtrip_ns + wire + copies)),
+            "rpc-page-read")
         return data
 
     # --- prefetch (Section 4.4) -------------------------------------------------
@@ -159,16 +187,25 @@ class RemoteVMA(VMA):
                 space.page_table.map(vpn, frame.pfn,
                                      PTE_PRESENT | PTE_COW)
             return len(wanted)
-        if self.fetch_mode == FETCH_RDMA and doorbell:
-            requests = [ReadRequest(self.snapshot[vpn]) for vpn in wanted]
-            pages = self.qp.read_batch(requests, space.ledger,
-                                       category="rdma-prefetch")
-        elif self.fetch_mode == FETCH_RDMA:
-            pages = [self.qp.read(ReadRequest(self.snapshot[vpn]),
-                                  space.ledger, category="rdma-prefetch")
-                     for vpn in wanted]
-        else:
-            pages = [self._fetch_page(space, self.snapshot[vpn])
+        try:
+            if self.fetch_mode == FETCH_RDMA and doorbell:
+                requests = [ReadRequest(self.snapshot[vpn])
+                            for vpn in wanted]
+                pages = self.qp.read_batch(requests, space.ledger,
+                                           category="rdma-prefetch")
+            elif self.fetch_mode == FETCH_RDMA:
+                pages = [self.qp.read(ReadRequest(self.snapshot[vpn]),
+                                      space.ledger,
+                                      category="rdma-prefetch")
+                         for vpn in wanted]
+            else:
+                pages = [self._fetch_page(space, self.snapshot[vpn])
+                         for vpn in wanted]
+        except QpBroken:
+            if not self.rpc_fallback:
+                raise
+            self.fallback_faults += len(wanted)
+            pages = [self._fetch_page_rpc(space, self.snapshot[vpn])
                      for vpn in wanted]
         for vpn, data in zip(wanted, pages):
             frame = space.physical.allocate()

@@ -7,7 +7,7 @@ from typing import List, Optional
 from repro.errors import AddressConflict, SegmentationFault
 from repro.mem.layout import (AddressRange, SegmentLayout, page_number,
                               page_offset)
-from repro.mem.pagetable import (PTE, PTE_COW, PTE_PRESENT, PTE_WRITE,
+from repro.mem.pagetable import (PTE, PTE_PRESENT, PTE_WRITE,
                                  PageTable)
 from repro.mem.physical import PhysicalMemory
 from repro.mem.vma import VMA

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import MemoryError_
 
@@ -98,3 +98,7 @@ class PageTable:
         """vpn -> pfn copy for a range (shipped during the rmap auth RPC)."""
         return {vpn: pte.pfn
                 for vpn, pte in self.entries_in(first_vpn, last_vpn)}
+
+    def all_pfns(self) -> List[int]:
+        """Every mapped physical frame (the chaos frame-leak audit)."""
+        return [pte.pfn for pte in self._entries.values()]

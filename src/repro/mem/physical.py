@@ -59,6 +59,15 @@ class PhysicalMemory:
     def reset_peak(self) -> None:
         self.peak_frames = self.used_frames
 
+    def wipe(self) -> None:
+        """Power loss: every frame vanishes regardless of refcount.
+
+        Used by machine-crash injection; peak accounting is preserved so
+        memory-consumption experiments still see the pre-crash high-water
+        mark."""
+        self._frames.clear()
+        self._free_pfns.clear()
+
     # --- allocation -----------------------------------------------------------
 
     def allocate(self) -> Frame:
@@ -76,6 +85,10 @@ class PhysicalMemory:
         if self.used_frames > self.peak_frames:
             self.peak_frames = self.used_frames
         return frame
+
+    def live_pfns(self) -> List[int]:
+        """PFNs of every resident frame (for leak audits)."""
+        return list(self._frames)
 
     def frame(self, pfn: int) -> Frame:
         try:

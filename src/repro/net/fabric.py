@@ -15,12 +15,14 @@ class Fabric:
 
     Mirrors an InfiniBand subnet: every NIC can reach every other NIC at a
     uniform base latency (the testbed in Section 5.1 is a single 100 Gbps
-    IB fabric).  Partitions can be injected for failure testing.
+    IB fabric).  Partitions, per-link down windows and latency degradation
+    can be injected for failure testing (:mod:`repro.chaos`).
     """
 
     def __init__(self):
         self._machines: Dict[str, "Machine"] = {}
         self._partitioned: set = set()
+        self._degraded: Dict[str, float] = {}
 
     def attach(self, machine: "Machine") -> None:
         if machine.mac_addr in self._machines:
@@ -39,12 +41,38 @@ class Fabric:
         except KeyError:
             raise Disconnected(f"no machine {mac_addr!r} on fabric") from None
 
+    def reachable(self, mac_addr: str) -> bool:
+        """True when *mac_addr* resolves (attached and not partitioned)."""
+        return (mac_addr in self._machines
+                and mac_addr not in self._partitioned)
+
     def partition(self, mac_addr: str) -> None:
-        """Inject a network partition for failure testing."""
+        """Inject a network partition (or NIC link-down) for failure
+        testing; every verb/RPC targeting the machine raises
+        :class:`Disconnected` until :meth:`heal`."""
         self._partitioned.add(mac_addr)
 
     def heal(self, mac_addr: str) -> None:
         self._partitioned.discard(mac_addr)
+
+    # -- link degradation (packet loss / latency spikes) ----------------------
+
+    def degrade(self, mac_addr: str, factor: float) -> None:
+        """Multiply the latency of traffic touching *mac_addr* by *factor*
+        (>= 1.0).  Models congestion or packet loss: retransmissions show
+        up as a deterministic latency inflation, not lost messages."""
+        if factor < 1.0:
+            raise ValueError(f"degradation factor {factor} < 1.0")
+        self._degraded[mac_addr] = float(factor)
+
+    def restore(self, mac_addr: str) -> None:
+        self._degraded.pop(mac_addr, None)
+
+    def penalty(self, *mac_addrs: str) -> float:
+        """Combined latency multiplier for a path touching *mac_addrs*
+        (worst endpoint wins; 1.0 on a healthy path)."""
+        return max([1.0] + [self._degraded.get(mac, 1.0)
+                            for mac in mac_addrs])
 
     def machines(self) -> Iterator["Machine"]:
         return iter(self._machines.values())

@@ -7,15 +7,22 @@ Only what the paper's co-design uses is modeled:
 * doorbell batching: many work-queue entries posted with one doorbell ring,
   paying the base fabric latency once (Section 4.4, citing Kalia et al.);
 * connection setup cost split between kernel-space (KRCore, ~10 us) and
-  user-space (~10 ms) control planes (Section 4.1).
+  user-space (~10 ms) control planes (Section 4.1);
+* failure semantics for :mod:`repro.chaos`: a broken or stale QP raises
+  :class:`~repro.errors.QpBroken`, a READ against memory that no longer
+  exists (deregistered / reclaimed / wiped by a crash) raises
+  :class:`~repro.errors.RemoteAccessError` — both after charging the
+  simulated time the failed verb spent on the wire before its error
+  completion arrived.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
-from repro.errors import Disconnected, NetworkError
+from repro.errors import (Disconnected, MemoryError_, NetworkError, QpBroken,
+                          RemoteAccessError)
 from repro.sim.ledger import Ledger
 from repro.units import PAGE_SIZE, CostModel, transfer_time_ns
 
@@ -43,13 +50,17 @@ class QueuePair:
 
     MAX_BATCH_ENTRIES = 1024
 
-    def __init__(self, nic: "RdmaNic", remote_mac: str):
+    def __init__(self, nic: "RdmaNic", remote_mac: str,
+                 remote_incarnation: int = 0):
         self.nic = nic
         self.remote_mac = remote_mac
+        self.remote_incarnation = remote_incarnation
         self.connected = True
+        self.broken = False
         self.reads_posted = 0
         self.bytes_read = 0
         self.doorbells_rung = 0
+        self.failed_verbs = 0
 
     # -- cost helpers ---------------------------------------------------------
 
@@ -61,11 +72,15 @@ class QueuePair:
         return max(0, cost.rdma_page_read_ns
                    - cost.rdma_base_latency_ns - wire_4k)
 
+    def _penalty(self) -> float:
+        return self.nic.fabric.penalty(self.nic.mac_addr, self.remote_mac)
+
     def read_cost_ns(self, nbytes: int) -> int:
         """Latency of a single one-sided READ of *nbytes*."""
         cost = self.nic.cost
-        return (cost.rdma_base_latency_ns + self._per_op_cpu_ns()
-                + transfer_time_ns(nbytes, cost.rdma_bandwidth_gbps))
+        return int(self._penalty()
+                   * (cost.rdma_base_latency_ns + self._per_op_cpu_ns()
+                      + transfer_time_ns(nbytes, cost.rdma_bandwidth_gbps)))
 
     def batch_cost_ns(self, requests: List[ReadRequest]) -> int:
         """Latency of a doorbell-batched READ: one base latency + posting
@@ -74,18 +89,30 @@ class QueuePair:
         cost = self.nic.cost
         total_bytes = sum(r.length for r in requests)
         rings = max(1, -(-len(requests) // self.MAX_BATCH_ENTRIES))
-        return (rings * (cost.rdma_base_latency_ns + self._per_op_cpu_ns())
-                + len(requests) * cost.rdma_doorbell_entry_ns
-                + transfer_time_ns(total_bytes, cost.rdma_bandwidth_gbps))
+        return int(self._penalty() * (
+            rings * (cost.rdma_base_latency_ns + self._per_op_cpu_ns())
+            + len(requests) * cost.rdma_doorbell_entry_ns
+            + transfer_time_ns(total_bytes, cost.rdma_bandwidth_gbps)))
+
+    def _error_cost_ns(self) -> int:
+        """Time a failed verb burns before its error completion: one base
+        round-trip (NAK / timeout detection at the requester)."""
+        return int(self._penalty() * self.nic.cost.rdma_base_latency_ns)
 
     # -- verbs -------------------------------------------------------------
 
     def read(self, req: ReadRequest, ledger: Ledger,
              category: str = "rdma-read") -> bytes:
         """One-sided READ: fetch remote physical bytes, charge *ledger*."""
-        self._check_connected()
-        remote = self.nic.fabric.machine(self.remote_mac)
-        data = remote.physical.read_frame(req.pfn, req.offset, req.length)
+        remote = self._check_usable(ledger)
+        try:
+            data = remote.physical.read_frame(req.pfn, req.offset,
+                                              req.length)
+        except MemoryError_ as err:
+            self._fail_verb(ledger)
+            raise RemoteAccessError(
+                f"READ of pfn {req.pfn} on {self.remote_mac!r}: remote "
+                f"memory invalid ({err})") from err
         ledger.charge(self.read_cost_ns(req.length), category)
         self.reads_posted += 1
         self.bytes_read += req.length
@@ -94,12 +121,19 @@ class QueuePair:
     def read_batch(self, requests: List[ReadRequest], ledger: Ledger,
                    category: str = "rdma-read") -> List[bytes]:
         """Doorbell-batched READ of many remote pages in one round-trip."""
-        self._check_connected()
         if not requests:
             return []
-        remote = self.nic.fabric.machine(self.remote_mac)
-        out = [remote.physical.read_frame(r.pfn, r.offset, r.length)
-               for r in requests]
+        remote = self._check_usable(ledger)
+        out = []
+        for r in requests:
+            try:
+                out.append(remote.physical.read_frame(r.pfn, r.offset,
+                                                      r.length))
+            except MemoryError_ as err:
+                self._fail_verb(ledger)
+                raise RemoteAccessError(
+                    f"batched READ of pfn {r.pfn} on {self.remote_mac!r}: "
+                    f"remote memory invalid ({err})") from err
         ledger.charge(self.batch_cost_ns(requests), category)
         self.reads_posted += len(requests)
         self.doorbells_rung += max(
@@ -110,13 +144,53 @@ class QueuePair:
     def write(self, pfn: int, data: bytes, offset: int, ledger: Ledger,
               category: str = "rdma-write") -> None:
         """One-sided WRITE into a remote physical frame."""
-        self._check_connected()
-        remote = self.nic.fabric.machine(self.remote_mac)
-        remote.physical.write_frame(pfn, data, offset)
+        remote = self._check_usable(ledger)
+        try:
+            remote.physical.write_frame(pfn, data, offset)
+        except MemoryError_ as err:
+            self._fail_verb(ledger)
+            raise RemoteAccessError(
+                f"WRITE of pfn {pfn} on {self.remote_mac!r}: remote "
+                f"memory invalid ({err})") from err
         ledger.charge(self.read_cost_ns(len(data)), category)
+
+    # -- failure handling --------------------------------------------------
+
+    def break_qp(self) -> None:
+        """Move the QP to the error state (chaos injection / remote crash
+        discovery); verbs raise :class:`QpBroken` until re-connected."""
+        self.broken = True
 
     def disconnect(self) -> None:
         self.connected = False
+
+    def _fail_verb(self, ledger: Ledger) -> None:
+        ledger.charge(self._error_cost_ns(), "rdma-fault")
+        self.failed_verbs += 1
+
+    def _check_usable(self, ledger: Ledger) -> "Machine":
+        """Resolve the remote machine, surfacing failures as typed errors
+        with the detection latency charged."""
+        if not self.connected:
+            raise Disconnected(f"QP to {self.remote_mac!r} is torn down")
+        if self.broken:
+            self._fail_verb(ledger)
+            raise QpBroken(f"QP to {self.remote_mac!r} is in error state")
+        try:
+            remote = self.nic.fabric.machine(self.remote_mac)
+        except Disconnected:
+            # transient partition / link-down window: charge the timeout
+            # but leave the QP intact — it works again once the link heals
+            # (an explicit chaos QpBreak models the error-state case)
+            self._fail_verb(ledger)
+            raise
+        if remote.incarnation != self.remote_incarnation:
+            # the remote rebooted: this QP's context died with it
+            self._fail_verb(ledger)
+            self.broken = True
+            raise QpBroken(
+                f"QP to {self.remote_mac!r} is stale (remote restarted)")
+        return remote
 
     def _check_connected(self) -> None:
         if not self.connected:
@@ -140,17 +214,35 @@ class RdmaNic:
         """
         if remote_mac == self.mac_addr:
             raise NetworkError("loopback QP is unnecessary; use local memory")
+        remote = self.fabric.machine(remote_mac)  # raises if unreachable
         qp = self._qps.get(remote_mac)
-        if qp is not None and qp.connected:
+        if qp is not None and qp.connected and not qp.broken \
+                and qp.remote_incarnation == remote.incarnation:
             return qp
-        self.fabric.machine(remote_mac)  # raises if unreachable
         setup = (self.cost.kernel_connect_ns if kernel_space
                  else self.cost.user_connect_ns)
         ledger.charge(setup, category)
-        qp = QueuePair(self, remote_mac)
+        qp = QueuePair(self, remote_mac,
+                       remote_incarnation=remote.incarnation)
         self._qps[remote_mac] = qp
         return qp
 
     def connected_to(self, remote_mac: str) -> bool:
         qp = self._qps.get(remote_mac)
-        return qp is not None and qp.connected
+        return qp is not None and qp.connected and not qp.broken
+
+    # -- failure handling --------------------------------------------------
+
+    def break_qps_to(self, remote_mac: str) -> int:
+        """Chaos injection: break every cached QP to *remote_mac*."""
+        qp = self._qps.get(remote_mac)
+        if qp is None or qp.broken:
+            return 0
+        qp.break_qp()
+        return 1
+
+    def reset(self) -> None:
+        """Drop all QP state (the NIC lost power with its machine)."""
+        for qp in self._qps.values():
+            qp.break_qp()
+        self._qps.clear()

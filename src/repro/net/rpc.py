@@ -79,6 +79,8 @@ class RpcEndpoint:
                                  self.cost.rdma_bandwidth_gbps)
                 + transfer_time_ns(estimate_payload_bytes(result),
                                    self.cost.rdma_bandwidth_gbps))
-        ledger.charge(self.cost.rpc_roundtrip_ns + wire, category)
+        penalty = self.fabric.penalty(self.mac_addr, remote_mac)
+        ledger.charge(int(penalty * (self.cost.rpc_roundtrip_ns + wire)),
+                      category)
         remote.calls_served += 1
         return result

@@ -16,7 +16,6 @@ The builder only sugars construction; validation still happens in
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import WorkflowError
 from repro.platform.dag import FunctionSpec, Handler, Workflow

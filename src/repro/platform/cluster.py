@@ -5,8 +5,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.errors import PlatformError
-from repro.kernel.machine import Machine, make_cluster
-from repro.net.fabric import Fabric
+from repro.kernel.machine import make_cluster
 from repro.platform.coordinator import InvocationRecord, WorkflowCoordinator
 from repro.platform.dag import Workflow
 from repro.platform.planner import VmPlan, plan_workflow
@@ -46,17 +45,21 @@ class ServerlessPlatform:
 
     # -- deployment -------------------------------------------------------------
 
-    def deploy(self, workflow: Workflow,
-               transport: StateTransport) -> WorkflowCoordinator:
+    def deploy(self, workflow: Workflow, transport: StateTransport,
+               resilience=None) -> WorkflowCoordinator:
         """Upload a workflow: generates its static VM plan (Section 4.2)
-        and binds it to a transport."""
+        and binds it to a transport.  ``resilience`` (a
+        :class:`~repro.chaos.policies.ResiliencePolicy`) opts the
+        coordinator into the fault-recovery ladder; the default stays
+        fail-stop."""
         if workflow.name in self._coordinators:
             raise PlatformError(f"workflow {workflow.name!r} already "
                                 "deployed")
         plan = plan_workflow(workflow)
         coordinator = WorkflowCoordinator(self.engine, workflow, plan,
                                           self.scheduler, transport,
-                                          self.cost, tracer=self.tracer)
+                                          self.cost, tracer=self.tracer,
+                                          resilience=resilience)
         self._coordinators[workflow.name] = coordinator
         self._plans[workflow.name] = plan
         return coordinator

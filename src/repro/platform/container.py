@@ -11,6 +11,7 @@ from repro.mem.vma import AnonymousVMA
 from repro.platform.dag import FunctionSpec
 from repro.platform.planner import Slot
 from repro.runtime.heap import ManagedHeap
+from repro.sim.event import Event
 from repro.transfer.base import Endpoint
 from repro.units import PAGE_SIZE
 
@@ -54,6 +55,7 @@ class Container(Endpoint):
         self.state = STATE_IDLE
         self.cached_since: Optional[int] = None
         self.invocations_served = 0
+        self.failed_event = Event(f"{self.name}.failed")
 
     @property
     def name(self) -> str:
@@ -76,6 +78,24 @@ class Container(Endpoint):
         for vma in self.space.vmas():
             self.space.unmap_vma(vma)
         self.state = STATE_DEAD
+
+    def kill(self, reason: str = "killed") -> None:
+        """Abrupt death (OOM-kill injection): tear down and notify any
+        in-flight work racing on ``failed_event``."""
+        if self.state == STATE_DEAD:
+            return
+        self.destroy()
+        if not self.failed_event.triggered:
+            self.failed_event.succeed(reason)
+
+    def mark_dead(self) -> None:
+        """The machine under this container died: its frames are already
+        gone, so record the death without unmapping anything."""
+        if self.state == STATE_DEAD:
+            return
+        self.state = STATE_DEAD
+        if not self.failed_event.triggered:
+            self.failed_event.succeed("machine-crash")
 
     def reset_heap(self) -> None:
         """Drop all heap state between invocations (fresh sandbox)."""

@@ -14,12 +14,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.errors import WorkflowError
-from repro.platform.container import Container
+from repro.analysis.chaos import ResilienceStats
+from repro.chaos.policies import RECOVERABLE_FAULTS, ResiliencePolicy
+from repro.errors import (AuthenticationFailed, ContainerKilled,
+                          MachineCrashed, RegistrationNotFound,
+                          RemoteAccessError, ReproError, WorkflowError)
+from repro.kernel.remote_pager import FETCH_RPC
+from repro.net.rpc import RpcError
+from repro.platform.container import STATE_DEAD, Container
 from repro.platform.dag import Edge, FunctionSpec, Workflow
 from repro.platform.planner import VmPlan
 from repro.platform.scheduler import Scheduler
-from repro.sim.engine import AllOf, Engine, Timeout
+from repro.sim.engine import AllOf, AnyOf, Engine, Timeout
 from repro.sim.ledger import Ledger
 from repro.transfer.base import (StateHandle, StateTransport, StageMeter,
                                  TransferBreakdown, TransferToken)
@@ -166,12 +172,30 @@ class _InstanceOutput:
         self.producer_container: Optional[Container] = None
 
 
+class _InvocationState:
+    """Mutable per-invocation bookkeeping shared by all its instances.
+
+    ``reexec`` dedups producer re-executions (concurrent consumers of one
+    lost state join a single re-run); ``replacements`` maps a producer
+    instance to the output of its latest successful re-execution so every
+    consumer's retry routes the fresh tokens.
+    """
+
+    def __init__(self, record: InvocationRecord, params: Dict[str, Any]):
+        self.record = record
+        self.params = params
+        self.instance_procs: Dict[str, List] = {}
+        self.reexec: Dict[tuple, Any] = {}
+        self.replacements: Dict[tuple, _InstanceOutput] = {}
+
+
 class WorkflowCoordinator:
     """Executes invocations of one deployed workflow."""
 
     def __init__(self, engine: Engine, workflow: Workflow, plan: VmPlan,
                  scheduler: Scheduler, transport: StateTransport,
-                 cost: CostModel, tracer=None):
+                 cost: CostModel, tracer=None,
+                 resilience: Optional[ResiliencePolicy] = None):
         from repro.analysis.tracing import Tracer
 
         self.engine = engine
@@ -182,6 +206,10 @@ class WorkflowCoordinator:
         self.cost = cost
         self.tracer = tracer if tracer is not None else Tracer(False)
         self.ledger = Ledger()  # coordinator-side charges (reclamation)
+        # fail-stop by default; a policy turns on the recovery ladder
+        self.resilience = resilience
+        self.stats = ResilienceStats()
+        self._suspended_until = 0  # coordinator-crash failover window
         self._next_request = 0
         # Section 6: RMMAP cannot bridge different language runtimes
         # (object layouts differ); mixed-runtime edges fall back to
@@ -208,6 +236,71 @@ class WorkflowCoordinator:
             return self._fallback_transport
         return self.transport
 
+    # -- failure handling (repro.chaos) ----------------------------------------------
+
+    def crash(self, failover_ns: int) -> None:
+        """Kill the coordinator; a standby takes over after *failover_ns*.
+
+        Invocation state (the durable token/progress log) survives the
+        crash; control-plane actions — launching instances, retries,
+        reclamation — stall until the standby is live.  Data-plane work
+        already running in containers continues unaffected.
+        """
+        self._suspended_until = max(self._suspended_until,
+                                    self.engine.now + int(failover_ns))
+        self.stats.failovers += 1
+        self.stats.note(self.engine.now,
+                        f"coordinator crash, failover {failover_ns} ns")
+
+    def _control_barrier(self):
+        """Stall until any in-progress coordinator failover completes.
+
+        Yields nothing on the happy path, so non-chaos runs are untouched.
+        """
+        while self.engine.now < self._suspended_until:
+            yield Timeout(self._suspended_until - self.engine.now)
+
+    def _check_host(self, container: Container) -> None:
+        """Raise if *container* or its machine died while the coordinator
+        was parked on a yield.  Receives and sends are synchronous against
+        the container's address space, so running one against a dead host
+        would fault pages into an address space nothing will ever free.
+        No-op (and no yield) without a resilience policy.
+        """
+        if self.resilience is None:
+            return
+        machine = container.machine
+        if not machine.alive:
+            raise MachineCrashed(
+                f"{machine.mac_addr} is down under {container.name}")
+        if container.state == STATE_DEAD:
+            reason = (container.failed_event.value
+                      if container.failed_event.triggered else "killed")
+            raise ContainerKilled(f"{container.name}: {reason}")
+
+    def _charged_sleep(self, container: Container, ns: int):
+        """Advance simulated time for *container*'s work, crash-aware.
+
+        Without a resilience policy this is a plain ``Timeout`` (identical
+        to the seed behaviour).  With one, the sleep races the container's
+        and machine's failure events so an injected crash interrupts the
+        work mid-flight instead of being noticed only afterwards.
+        """
+        if self.resilience is None:
+            yield Timeout(ns)
+            return
+        self._check_host(container)
+        machine = container.machine
+        yield AnyOf([self.engine.timeout_event(ns),
+                     container.failed_event, machine.failed_event])
+        if not machine.alive:
+            raise MachineCrashed(
+                f"{machine.mac_addr} crashed under {container.name}")
+        if container.state == STATE_DEAD:
+            reason = (container.failed_event.value
+                      if container.failed_event.triggered else "killed")
+            raise ContainerKilled(f"{container.name}: {reason}")
+
     # -- public API -----------------------------------------------------------------
 
     def invoke(self, params: Optional[Dict[str, Any]] = None):
@@ -226,26 +319,27 @@ class WorkflowCoordinator:
     def _run_invocation(self, record: InvocationRecord,
                         params: Dict[str, Any]):
         wf = self.workflow
+        inv = _InvocationState(record, params)
+        yield from self._control_barrier()
         inv_span = self.tracer.begin(
             f"{wf.name}#{record.request_id}", self.engine.now)
-        instance_procs: Dict[str, List] = {}
         for fname in wf.topological_order():
             spec = wf.spec(fname)
             upstream_procs = [p for e in wf.upstream(fname)
-                              for p in instance_procs[e.producer]]
-            instance_procs[fname] = [
+                              for p in inv.instance_procs[e.producer]]
+            inv.instance_procs[fname] = [
                 self.engine.spawn(
-                    self._run_instance(record, spec, i, upstream_procs,
-                                       params),
+                    self._run_instance(inv, spec, i, upstream_procs),
                     name=f"{fname}#{i}")
                 for i in range(spec.width)]
 
         sink_values: Dict[str, List[Any]] = {}
         for sink in wf.sinks():
-            outputs = yield AllOf(instance_procs[sink])
+            outputs = yield AllOf(inv.instance_procs[sink])
             sink_values[sink] = [o.value_for_sink for o in outputs]
         # everything finished: reclaim registered memory / storage objects
-        yield from self._cleanup(instance_procs)
+        yield from self._control_barrier()
+        yield from self._cleanup(inv)
         record.end_ns = self.engine.now
         self.tracer.end(inv_span, self.engine.now)
         if len(sink_values) == 1:
@@ -255,64 +349,94 @@ class WorkflowCoordinator:
             record.result = sink_values
         return record
 
-    def _run_instance(self, record: InvocationRecord, spec: FunctionSpec,
-                      index: int, upstream_procs: List, params):
+    def _run_instance(self, inv: _InvocationState, spec: FunctionSpec,
+                      index: int, upstream_procs: List):
+        record = inv.record
         # wait for every upstream instance to finish
         upstream_outputs = yield AllOf(upstream_procs)
+        yield from self._control_barrier()
         frec = FunctionRecord(function=spec.name, index=index,
                               start_ns=self.engine.now)
 
         # coordinator schedules + triggers the function (platform overhead)
         yield Timeout(self.cost.coordinator_invoke_ns)
-        platform_start = self.engine.now
 
-        cold_before = self.scheduler.cold_starts
-        container = yield from self.scheduler.acquire(
-            self.workflow.name, spec, index, self.plan)
-        frec.cold_start = self.scheduler.cold_starts > cold_before
-        frec.platform_ns = (self.engine.now - frec.start_ns)
+        policy = self.resilience
+        attempt = 0
+        while True:
+            container = None
+            span = None
+            try:
+                cold_before = self.scheduler.cold_starts
+                container = yield from self.scheduler.acquire(
+                    self.workflow.name, spec, index, self.plan)
+                frec.cold_start = self.scheduler.cold_starts > cold_before
+                frec.platform_ns = (self.engine.now - frec.start_ns)
 
-        span = self.tracer.begin(
-            f"{spec.name}#{index}", frec.start_ns,
-            parent=f"{self.workflow.name}#{record.request_id}",
-            cold=frec.cold_start)
-        try:
-            output = yield from self._execute_in_container(
-                record, frec, spec, index, container,
-                upstream_outputs, params)
-        finally:
-            self.scheduler.release(container)
+                span = self.tracer.begin(
+                    f"{spec.name}#{index}", frec.start_ns,
+                    parent=f"{self.workflow.name}#{record.request_id}",
+                    cold=frec.cold_start)
+                try:
+                    output = yield from self._execute_in_container(
+                        inv, frec, spec, index, container,
+                        upstream_outputs)
+                finally:
+                    self.scheduler.release(container)
+                break
+            except Exception as err:
+                host_died = container is not None and (
+                    not container.machine.alive
+                    or container.state == STATE_DEAD)
+                recoverable = (isinstance(err, RECOVERABLE_FAULTS)
+                               or host_died)
+                attempt += 1
+                if (policy is None or not recoverable
+                        or policy.retry.exhausted(attempt)):
+                    raise
+                if span is not None:
+                    self.tracer.end(span, self.engine.now)
+                self.stats.retries += 1
+                self.stats.note(
+                    self.engine.now,
+                    f"retry {spec.name}#{index} attempt {attempt + 1} "
+                    f"after {type(err).__name__}")
+                yield from self._control_barrier()
+                yield Timeout(policy.retry.delay_ns(attempt, policy.rng))
         frec.end_ns = self.engine.now
         self.tracer.end(span, frec.end_ns)
         record.functions.append(frec)
         return output
 
-    def _execute_in_container(self, record, frec, spec, index, container,
-                              upstream_outputs, params):
-        engine = self.engine
+    def _execute_in_container(self, inv: _InvocationState, frec, spec,
+                              index, container, upstream_outputs):
         meter = StageMeter(container.ledger)
         cpu = container.machine.cpu
         yield cpu.acquire()
+        # the container can die while we queue for a core (OOM-kill of a
+        # claimed-but-waiting pod, or a crash/restart of its machine)
+        self._check_host(container)
+        handles: List[StateHandle] = []
+        output: Optional[_InstanceOutput] = None
         try:
             # 1. receive upstream states
             inputs: Dict[str, List[Any]] = {}
-            handles: List[StateHandle] = []
             for edge in self.workflow.upstream(spec.name):
                 values = []
-                for output in self._outputs_from(upstream_outputs,
-                                                 edge.producer):
-                    token = self._route_token(output, edge, index)
-                    transport = self._transport_for_token(token)
-                    handle = transport.receive(container, token)
+                for up in self._outputs_from(upstream_outputs,
+                                             edge.producer):
+                    handle, value = yield from self._receive_one(
+                        inv, container, up, edge, index)
                     handles.append(handle)
-                    values.append(handle.load())
+                    values.append(value)
                 inputs[edge.producer] = values
             frec.receive_breakdown = meter.delta()
-            yield Timeout(container.ledger.drain())
+            yield from self._charged_sleep(container,
+                                           container.ledger.drain())
 
             # 2. run the function body; building the output object graph on
             #    the local heap is function work, not transfer work
-            ctx = FunctionContext(container, inputs, index, params)
+            ctx = FunctionContext(container, inputs, index, inv.params)
             output_value = spec.handler(ctx)
             downstream = self.workflow.downstream(spec.name)
             output_root = None
@@ -322,7 +446,7 @@ class WorkflowCoordinator:
             meter.delta()  # fold handler + boxing charges into compute
             compute = (container.ledger.drain() + ctx._extra_compute_ns)
             frec.compute_ns = compute
-            yield Timeout(compute)
+            yield from self._charged_sleep(container, compute)
 
             # 3. ship the output downstream
             output = _InstanceOutput(spec.name, index)
@@ -331,17 +455,203 @@ class WorkflowCoordinator:
                 yield from self._send_outputs(container, output,
                                               output_root, downstream)
                 frec.send_breakdown = meter.delta()
-                yield Timeout(container.ledger.drain())
+                yield from self._charged_sleep(container,
+                                               container.ledger.drain())
             else:
                 output.value_for_sink = output_value
 
             # 4. inputs no longer needed: release remote maps / buffers
             for handle in handles:
                 handle.release()
-            yield Timeout(container.ledger.drain())
+            yield from self._charged_sleep(container,
+                                           container.ledger.drain())
             return output
+        except Exception:
+            if self.resilience is not None:
+                self._scrub_failed_attempt(container, handles, output)
+            raise
         finally:
             cpu.release()
+
+    # -- fault recovery (repro.chaos) --------------------------------------------------
+
+    def _receive_one(self, inv: _InvocationState, container: Container,
+                     output: _InstanceOutput, edge: Edge,
+                     consumer_index: int):
+        """Receive one producer output, riding the recovery ladder.
+
+        Without a resilience policy this routes/receives/loads exactly as
+        the seed did and propagates any fault.  With one: transient faults
+        retry with backoff; repeated one-sided failures trip the breaker
+        and degrade to two-sided RPC paging; a producer whose registered
+        state died with its machine is re-executed and the fresh token
+        re-routed.
+        """
+        policy = self.resilience
+        attempt = 0
+        while True:
+            # the retry path parks on unguarded yields (producer
+            # re-execution, control barrier); never receive into a host
+            # that died while we waited
+            self._check_host(container)
+            current = output
+            if policy is not None:
+                current = inv.replacements.get(
+                    (output.function, output.index), output)
+            token = self._route_token(current, edge, consumer_index)
+            producer_mac = getattr(token.payload, "mac_addr", None)
+            transport = self._transport_for_token(token)
+            if (policy is not None and policy.transport_fallback
+                    and producer_mac is not None
+                    and token.transport.startswith("rmmap")
+                    and policy.breaker.is_open(producer_mac,
+                                               self.engine.now)):
+                token = self._degraded_token(token)
+                self.stats.fallbacks += 1
+                self.stats.note(
+                    self.engine.now,
+                    f"degrade {edge.producer}->{edge.consumer}"
+                    f"#{consumer_index} to rpc fetch ({producer_mac})")
+            handle = None
+            try:
+                handle = transport.receive(container, token)
+                value = handle.load()
+            except Exception as err:
+                if handle is not None:
+                    try:
+                        handle.release()
+                    except ReproError:
+                        pass
+                if policy is None \
+                        or not isinstance(err, RECOVERABLE_FAULTS):
+                    raise
+                if not container.machine.alive \
+                        or container.state == STATE_DEAD:
+                    raise  # our own host died; instance retry handles it
+                attempt += 1
+                if producer_mac is not None:
+                    if policy.breaker.record_failure(producer_mac,
+                                                     self.engine.now):
+                        self.stats.breaker_trips += 1
+                        self.stats.note(self.engine.now,
+                                        f"breaker open {producer_mac}")
+                if policy.retry.exhausted(attempt):
+                    raise
+                self.stats.retries += 1
+                self.stats.note(
+                    self.engine.now,
+                    f"retry receive {edge.producer}->{edge.consumer}"
+                    f"#{consumer_index} after {type(err).__name__}")
+                # the failed verb/RPC burned its detection timeout
+                container.ledger.charge(policy.retry.syscall_timeout_ns,
+                                        "fault-timeout")
+                yield from self._charged_sleep(container,
+                                               container.ledger.drain())
+                if policy.reexecute_lost_producers \
+                        and self._producer_state_lost(current, err):
+                    yield from self._reexecute_producer(inv, current)
+                yield from self._charged_sleep(
+                    container, policy.retry.delay_ns(attempt, policy.rng))
+                yield from self._control_barrier()
+                continue
+            if policy is not None and producer_mac is not None:
+                policy.breaker.record_success(producer_mac)
+            return handle, value
+
+    def _degraded_token(self, token: TransferToken) -> TransferToken:
+        """A copy of *token* forcing the two-sided RPC fetch path (the
+        circuit-breaker's RMMAP degradation); the shared token is left
+        untouched for consumers whose fast path still works."""
+        return TransferToken(
+            transport=token.transport, payload=token.payload,
+            root_addr=token.root_addr, wire_bytes=token.wire_bytes,
+            object_count=token.object_count,
+            extra={**token.extra, "fetch_mode": FETCH_RPC})
+
+    def _producer_state_lost(self, output: _InstanceOutput,
+                             err: Exception) -> bool:
+        """Did the fault destroy the producer's registered state (vs a
+        transient path failure a plain retry can ride out)?
+
+        A dead producer *container* is NOT lost state: the registration's
+        shadow-copy pins keep the snapshot frames alive (Section 4.2).
+        Only a machine crash — wiped frames, dropped registry — or an
+        auth-layer miss (registration reclaimed/revoked) forces
+        re-execution.
+        """
+        producer = output.producer_container
+        if producer is not None and not producer.machine.alive:
+            return True
+        if isinstance(err, (RemoteAccessError, RegistrationNotFound,
+                            AuthenticationFailed)):
+            return True
+        if isinstance(err, RpcError) and isinstance(
+                err.__cause__,
+                (RegistrationNotFound, AuthenticationFailed)):
+            return True
+        return False
+
+    def _reexecute_producer(self, inv: _InvocationState,
+                            output: _InstanceOutput):
+        """Re-run a producer instance whose state died with its machine.
+
+        Deduplicated per (function, index): concurrent consumers of the
+        same lost state join one re-execution instead of each spawning
+        their own.  The fresh output is published in ``inv.replacements``
+        so every consumer's retry routes the new tokens.
+        """
+        key = (output.function, output.index)
+        proc = inv.reexec.get(key)
+        stale = (proc is not None and proc.triggered
+                 and proc.failure is None
+                 and self._output_lost(proc.value))
+        if proc is None or proc.failure is not None or stale:
+            spec = self.workflow.spec(output.function)
+            upstream = [p for e in self.workflow.upstream(output.function)
+                        for p in inv.instance_procs[e.producer]]
+            self.stats.reexecutions += 1
+            self.stats.note(
+                self.engine.now,
+                f"reexecute {output.function}#{output.index}")
+            proc = self.engine.spawn(
+                self._run_instance(inv, spec, output.index, upstream),
+                name=f"{output.function}#{output.index}~retry")
+            inv.reexec[key] = proc
+        replacement = yield proc
+        inv.replacements[key] = replacement
+        return replacement
+
+    @staticmethod
+    def _output_lost(output: Optional[_InstanceOutput]) -> bool:
+        producer = output.producer_container if output else None
+        return producer is not None and not producer.machine.alive
+
+    def _scrub_failed_attempt(self, container: Container,
+                              handles: List[StateHandle],
+                              output: Optional[_InstanceOutput]) -> None:
+        """Best-effort teardown of a failed attempt's partial state so a
+        retry can rmap the same planned range and the final frame audit
+        sees no orphan registrations."""
+        if container.machine.alive and container.state != STATE_DEAD:
+            for handle in handles:
+                try:
+                    handle.release()
+                except ReproError:
+                    pass
+        if output is None:
+            return
+        seen = set()
+        for tokens in output.tokens.values():
+            for token in tokens:
+                key = id(token.payload)
+                if key in seen:
+                    continue
+                seen.add(key)
+                try:
+                    self._transport_for_token(token).cleanup(
+                        container, token, self.ledger)
+                except ReproError:
+                    pass  # machine crash already reclaimed it wholesale
 
     # -- routing helpers --------------------------------------------------------------
 
@@ -408,20 +718,37 @@ class WorkflowCoordinator:
 
     # -- reclamation -------------------------------------------------------------------
 
-    def _cleanup(self, instance_procs: Dict[str, List]):
-        """Reclaim every producer's transfer resources (Section 4.2)."""
+    def _cleanup(self, inv: _InvocationState):
+        """Reclaim every producer's transfer resources (Section 4.2).
+
+        Covers re-executed producers too: their replacement outputs carry
+        fresh registrations that must be deregistered like the originals.
+        Under a resilience policy, reclamation of state a machine crash
+        already destroyed is skipped rather than fatal.
+        """
         seen = set()
-        for procs in instance_procs.values():
-            for proc in procs:
-                output = proc.value
-                if output is None:
-                    continue
-                for tokens in output.tokens.values():
-                    for token in tokens:
-                        key = id(token.payload)
-                        if key in seen:
-                            continue
-                        seen.add(key)
+        procs = [p for procs in inv.instance_procs.values() for p in procs]
+        procs.extend(inv.reexec.values())
+        for proc in procs:
+            if not proc.triggered or proc.failure is not None:
+                continue
+            output = proc.value
+            if output is None:
+                continue
+            for tokens in output.tokens.values():
+                for token in tokens:
+                    key = id(token.payload)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    try:
                         self._transport_for_token(token).cleanup(
                             output.producer_container, token, self.ledger)
+                    except ReproError:
+                        if self.resilience is None:
+                            raise
+                        self.stats.note(
+                            self.engine.now,
+                            f"cleanup skipped for {output.function}"
+                            f"#{output.index} (already reclaimed)")
         yield Timeout(self.ledger.drain())

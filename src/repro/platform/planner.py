@@ -15,9 +15,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import PlanningError
-from repro.mem.layout import AddressRange, USER_SPACE_TOP, page_round_up
+from repro.mem.layout import AddressRange, page_round_up
 from repro.platform.dag import Workflow
-from repro.units import GB, MB
+from repro.units import GB
 
 #: Low memory is reserved for the platform runtime (and NULL protection).
 PLAN_BASE = 1 << 30

@@ -5,9 +5,9 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.errors import PlatformError
 from repro.kernel.machine import Machine
-from repro.platform.container import STATE_IDLE, Container
+from repro.platform.container import (STATE_BUSY, STATE_DEAD, STATE_IDLE,
+                                      Container)
 from repro.platform.dag import FunctionSpec
 from repro.platform.planner import VmPlan
 from repro.sim.engine import Engine, Timeout
@@ -60,9 +60,23 @@ class Scheduler:
     def containers_alive(self) -> int:
         return sum(len(pool) for pool in self._pool.values())
 
+    def busy_containers(self) -> List[Container]:
+        """Pods currently executing an invocation, in a stable order
+        (the deterministic victim pool for OOM-kill injection)."""
+        busy = [c for pool in self._pool.values()
+                for c in pool if c.state == STATE_BUSY]
+        busy.sort(key=lambda c: c.name)
+        return busy
+
+    def pooled_containers(self) -> List[Container]:
+        """Every pod the scheduler currently tracks (frame audits)."""
+        return [c for pool in self._pool.values() for c in pool]
+
     def _least_loaded_machine(self) -> Optional[Machine]:
         best, best_count = None, None
         for machine in self.machines:
+            if not machine.alive:
+                continue
             count = self._per_machine_count[machine.mac_addr]
             if count >= self.containers_per_machine:
                 continue
@@ -124,10 +138,54 @@ class Scheduler:
         return None
 
     def release(self, container: Container) -> None:
+        if container.state == STATE_DEAD:
+            # died (crash/OOM injection) while the invocation held it; its
+            # slot was already reclaimed by machine_failed/kill_container
+            self._signal_capacity()
+            return
         container.release(self.engine.now)
         container.reset_heap()
         self._signal_capacity()
         self._notify(container)
+
+    # -- failure handling (repro.chaos) -------------------------------------------
+
+    def machine_failed(self, machine: Machine) -> int:
+        """Deschedule every pod on a dead machine.
+
+        The containers' frames died with the machine's memory, so they are
+        marked dead rather than torn down; capacity waiters are woken so
+        queued work reschedules onto the survivors.  Returns the number of
+        pods lost.
+        """
+        lost = 0
+        for key in list(self._pool):
+            for container in list(self._pool[key]):
+                if container.machine is not machine:
+                    continue
+                self._pool[key].remove(container)
+                container.mark_dead()
+                lost += 1
+            if not self._pool[key]:
+                del self._pool[key]
+        self._per_machine_count[machine.mac_addr] = 0
+        for _ in range(lost):
+            self._signal_capacity()
+        return lost
+
+    def kill_container(self, container: Container,
+                       reason: str = "oom-kill") -> bool:
+        """OOM-kill one pod (machine survives); frees its frames."""
+        for key in list(self._pool):
+            if container in self._pool[key]:
+                self._pool[key].remove(container)
+                if not self._pool[key]:
+                    del self._pool[key]
+                self._per_machine_count[container.machine.mac_addr] -= 1
+                container.kill(reason)
+                self._signal_capacity()
+                return True
+        return False
 
     # -- eviction -----------------------------------------------------------------
 

@@ -23,7 +23,7 @@ from repro.mem.address_space import AddressSpace
 from repro.mem.layout import AddressRange
 from repro.mem.allocator import HeapAllocator
 from repro.runtime import objects as enc
-from repro.runtime.objects import (CONTAINER_TAGS, CODE_DTYPES, DTYPE_CODES,
+from repro.runtime.objects import (CODE_DTYPES, DTYPE_CODES,
                                    HEADER_SIZE, PTR_SIZE, TypeTag)
 from repro.runtime.values import (DataFrameValue, ImageValue, MLModelValue,
                                   NdArrayValue, TreeValue)

@@ -12,7 +12,7 @@ scheme — also the mechanism for cascading state transfer (Section 4.4).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import DanglingRemoteReference
 from repro.kernel.kernel import RmapHandle

@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.errors import SerializationError
 from repro.mem.layout import page_round_down
-from repro.runtime import objects as enc
 from repro.runtime.heap import _PACK_MIN, _PRIM_SLOT, ManagedHeap
 from repro.runtime.objects import HEADER_SIZE, TypeTag
 from repro.units import PAGE_SIZE

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.event import Event
@@ -100,6 +100,19 @@ class Engine:
                       name: str = "timeout") -> Event:
         """An event that triggers after *delay* nanoseconds."""
         return self.schedule(delay, Event(name), value)
+
+    def call_at(self, at: int, fn: Callable[[], None]) -> None:
+        """Run *fn* when the clock reaches *at* (absolute ns).
+
+        The interposition point used by :mod:`repro.chaos`: a fault
+        schedule registers callbacks that mutate fabric/machine state at
+        exact simulated instants, deterministically ordered with respect
+        to every other queued event (insertion-order tie-break).
+        """
+        if at < self._now:
+            raise SimulationError(
+                f"call_at({at}) is in the past (now={self._now})")
+        self._push(at, ("call", fn))
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new process; it runs from the current time."""
@@ -219,6 +232,9 @@ class Engine:
                 _, proc, value, exc = item
                 if not proc.triggered:
                     self._step_process(proc, value, exc)
+            elif kind == "call":
+                _, fn = item
+                fn()
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown queue item {kind!r}")
         return self._now

@@ -36,6 +36,8 @@ STAGE_CATEGORIES: Dict[str, str] = {
     "rpc-page-read": "network",
     "reclaim": "network",
     "remote-fault": "network",
+    "rdma-fault": "network",
+    "fault-timeout": "network",
     "cow-break": "access",
     "mmu": "access",
 }

@@ -39,16 +39,20 @@ class RmmapTransport(StateTransport):
                  prefetch_threshold: Optional[int] = None,
                  fetch_mode: str = FETCH_RDMA,
                  registration_mode: str = "whole",
-                 page_table_mode: str = "eager"):
+                 page_table_mode: str = "eager",
+                 rpc_fallback: bool = False):
         # ``prefetch_threshold`` bounds producer-side traversal (Section
         # 4.4): states with more objects fall back to demand paging.
         # ``page_table_mode="ondemand"`` enables lazy region-granular PTE
         # fetch (Section 6's future-work direction).
+        # ``rpc_fallback`` degrades broken-QP page reads to the two-sided
+        # RPC path instead of failing the fault (repro.chaos resilience).
         self.prefetch = prefetch
         self.prefetch_threshold = prefetch_threshold
         self.fetch_mode = fetch_mode
         self.registration_mode = registration_mode
         self.page_table_mode = page_table_mode
+        self.rpc_fallback = rpc_fallback
 
     @property
     def name(self) -> str:
@@ -81,13 +85,24 @@ class RmmapTransport(StateTransport):
     def receive(self, consumer: Endpoint,
                 token: TransferToken) -> RmmapHandle:
         meta = token.payload
+        # a resilience layer (circuit breaker) may force the degraded
+        # two-sided path for this one transfer via token metadata
+        fetch_mode = token.extra.get("fetch_mode", self.fetch_mode)
         handle = consumer.kernel.rmap(
             consumer.space, meta.mac_addr, meta.fid, meta.key,
-            fetch_mode=self.fetch_mode,
-            page_table_mode=self.page_table_mode)
-        page_addrs = token.extra.get("page_addrs")
-        if self.prefetch and page_addrs:
-            handle.prefetch(page_addrs)
+            fetch_mode=fetch_mode,
+            page_table_mode=self.page_table_mode,
+            rpc_fallback=self.rpc_fallback)
+        try:
+            page_addrs = token.extra.get("page_addrs")
+            if self.prefetch and page_addrs:
+                handle.prefetch(page_addrs)
+        except BaseException:
+            # a half-received state must not occupy the planned range:
+            # unmap so a retry (possibly via another transport) can rmap
+            # the same addresses again
+            handle.unmap()
+            raise
         proxy = RemoteRoot(consumer.heap, handle, token.root_addr)
         return RmmapHandle(proxy)
 

@@ -8,7 +8,7 @@ single object to change the machine model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 # --- time helpers (return integer nanoseconds) -----------------------------
 

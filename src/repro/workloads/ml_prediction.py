@@ -17,12 +17,11 @@ from typing import List
 import numpy as np
 
 from repro.platform.dag import FunctionSpec, Workflow
-from repro.runtime.values import MLModelValue, NdArrayValue
+from repro.runtime.values import MLModelValue
 from repro.units import MB, us
 from repro.workloads.data import make_images
-from repro.workloads.ml_training import (binary_labels, fit_pca,
-                                         images_to_matrix, pca_transform,
-                                         predict_margins)
+from repro.workloads.ml_training import (binary_labels, images_to_matrix,
+                                         pca_transform, predict_margins)
 
 PREDICT_WIDTH = 16
 DEFAULT_IMAGES = 640

@@ -4,7 +4,6 @@ import csv
 import io
 import json
 
-import pytest
 
 from repro.analysis.results import ResultSink, to_csv, to_json
 from repro.transfer.base import TransferBreakdown

@@ -1,0 +1,56 @@
+"""The acceptance demo: coordinator crash + producer machine crash.
+
+One Fig-14 workflow survives losing its coordinator *and* a producer
+machine mid-run: invocations complete via retry/failover, the
+ledger-verified frame audit shows zero leaked frames, and re-running the
+same seed reproduces a byte-identical ChaosReport.
+"""
+
+from repro.chaos.faults import CoordinatorCrash, MachineCrash
+from repro.chaos.runner import run_chaos_workflow
+from repro.chaos.schedule import FaultSchedule
+from repro.units import ms
+
+SCALE = 0.02
+
+
+def demo_schedule(macs, start_ns, horizon_ns):
+    return FaultSchedule([
+        CoordinatorCrash(at_ns=start_ns + horizon_ns // 4,
+                         failover_ns=ms(10)),
+        MachineCrash(at_ns=start_ns + horizon_ns // 3, machine=macs[0],
+                     restart_after_ns=ms(50)),
+    ])
+
+
+def run_demo(seed=1):
+    return run_chaos_workflow("ml-prediction", seed=seed, requests=3,
+                              n_machines=4, schedule=demo_schedule,
+                              scale=SCALE)
+
+
+def test_demo_completes_with_zero_leaked_frames():
+    report = run_demo()
+    assert report.completed == report.invocations == 3
+    assert report.availability == 1.0
+    # failover actually happened and the crash forced recovery work
+    assert report.failovers >= 1
+    assert report.retries + report.reexecutions >= 1
+    # the acceptance bar: no frame survives unaccounted, no orphan
+    # registration outlives the run
+    assert report.leaked_frames == 0
+    assert report.live_registrations == 0
+
+
+def test_demo_is_reproducible_byte_for_byte():
+    a, b = run_demo(), run_demo()
+    assert a.event_trace == b.event_trace
+    assert a.to_dict() == b.to_dict()
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_demo_report_renders():
+    report = run_demo()
+    text = report.render()
+    assert "leaked frames" in text
+    assert "availability" in text

@@ -1,0 +1,164 @@
+"""Fault schedule + injector: deterministic cluster-state mutations."""
+
+import pytest
+
+from repro.chaos.faults import (CoordinatorCrash, LatencySpike, LinkFlap,
+                                MachineCrash, OomKill, QpBreak)
+from repro.chaos.injector import FaultInjector
+from repro.chaos.schedule import FaultSchedule, random_schedule
+from repro.errors import Disconnected, QpBroken
+from repro.kernel.machine import make_cluster
+from repro.net.rdma import ReadRequest
+from repro.sim import Engine
+from repro.sim.ledger import Ledger
+from repro.sim.rng import SeededRng
+from repro.units import ms, us
+
+
+@pytest.fixture()
+def cluster():
+    engine = Engine()
+    fabric, machines = make_cluster(engine, 3)
+    return engine, fabric, machines
+
+
+class TestFaultSchedule:
+    def test_sorted_by_time_then_description(self):
+        schedule = FaultSchedule([
+            QpBreak(at_ns=ms(2), machine="mac0"),
+            MachineCrash(at_ns=ms(1), machine="mac1"),
+            LinkFlap(at_ns=ms(2), machine="mac0", down_ns=ms(1)),
+        ])
+        times = [f.at_ns for f in schedule]
+        assert times == sorted(times)
+        assert len(schedule) == 3
+
+    def test_fingerprint_is_content_addressed(self):
+        faults = [MachineCrash(at_ns=ms(1), machine="mac1"),
+                  OomKill(at_ns=ms(2))]
+        assert FaultSchedule(faults).fingerprint() == \
+            FaultSchedule(reversed(faults)).fingerprint()
+        other = FaultSchedule([MachineCrash(at_ns=ms(1), machine="mac2")])
+        assert other.fingerprint() != FaultSchedule(faults).fingerprint()
+
+    def test_random_schedule_same_seed_same_schedule(self):
+        macs = ["mac0", "mac1", "mac2"]
+        a = random_schedule(macs, SeededRng(11), horizon_ns=ms(100))
+        b = random_schedule(macs, SeededRng(11), horizon_ns=ms(100))
+        c = random_schedule(macs, SeededRng(12), horizon_ns=ms(100))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_random_schedule_respects_window(self):
+        schedule = random_schedule(["mac0"], SeededRng(5),
+                                   horizon_ns=ms(10), start_ns=ms(100))
+        for fault in schedule:
+            assert ms(100) <= fault.at_ns < ms(110)
+
+    def test_machine_faults_need_machines(self):
+        with pytest.raises(ValueError):
+            random_schedule([], SeededRng(0), horizon_ns=ms(1))
+
+
+class TestInjector:
+    def test_machine_crash_breaks_peer_qps_and_fires_event(self, cluster):
+        engine, _fabric, machines = cluster
+        m0, m1, _m2 = machines
+        ledger = Ledger()
+        qp = m0.nic.connect("mac1", ledger)
+        injector = FaultInjector(engine, machines)
+        injector.arm(FaultSchedule([MachineCrash(at_ns=us(10),
+                                                 machine="mac1")]))
+        engine.run(until=us(20))
+        assert not m1.alive
+        assert m1.failed_event.triggered
+        with pytest.raises(QpBroken):
+            qp.read(ReadRequest(0), ledger)
+        assert any("inject" in line for line in injector.trace)
+
+    def test_restart_bumps_incarnation_and_stales_qps(self, cluster):
+        engine, fabric, machines = cluster
+        m0, m1, _ = machines
+        ledger = Ledger()
+        m0.nic.connect("mac1", ledger)
+        injector = FaultInjector(engine, machines)
+        injector.arm(FaultSchedule([
+            MachineCrash(at_ns=us(10), machine="mac1",
+                         restart_after_ns=us(100))]))
+        engine.run(until=ms(1))
+        assert m1.alive
+        assert m1.incarnation == 1
+        assert fabric.machine("mac1") is m1
+        # a fresh connect sees the new incarnation and works again
+        qp2 = m0.nic.connect("mac1", ledger)
+        frame = m1.physical.allocate()
+        assert qp2.read(ReadRequest(frame.pfn), ledger) == bytes(4096)
+
+    def test_link_flap_partitions_then_heals(self, cluster):
+        engine, fabric, machines = cluster
+        injector = FaultInjector(engine, machines)
+        injector.arm(FaultSchedule([
+            LinkFlap(at_ns=us(10), machine="mac2", down_ns=us(50),
+                     break_qps=False)]))
+        engine.run(until=us(30))
+        with pytest.raises(Disconnected):
+            fabric.machine("mac2")
+        engine.run(until=ms(1))
+        assert fabric.machine("mac2").mac_addr == "mac2"
+
+    def test_latency_spike_degrades_then_restores(self, cluster):
+        engine, fabric, machines = cluster
+        injector = FaultInjector(engine, machines)
+        injector.arm(FaultSchedule([
+            LatencySpike(at_ns=us(10), machine="mac1", factor=4.0,
+                         duration_ns=us(100))]))
+        engine.run(until=us(50))
+        assert fabric.penalty("mac0", "mac1") == 4.0
+        engine.run(until=ms(1))
+        assert fabric.penalty("mac0", "mac1") == 1.0
+
+    def test_qp_break_hits_every_peer(self, cluster):
+        engine, _fabric, machines = cluster
+        m0, m1, m2 = machines
+        ledger = Ledger()
+        qp_a = m0.nic.connect("mac1", ledger)
+        qp_b = m2.nic.connect("mac1", ledger)
+        injector = FaultInjector(engine, machines)
+        injector.arm(FaultSchedule([QpBreak(at_ns=us(10),
+                                            machine="mac1")]))
+        engine.run(until=us(20))
+        assert qp_a.broken and qp_b.broken
+        assert m1.alive  # QP break is a NIC event, not a crash
+
+    def test_oom_kill_without_scheduler_is_noop(self, cluster):
+        engine, _fabric, machines = cluster
+        injector = FaultInjector(engine, machines)
+        injector.arm(FaultSchedule([OomKill(at_ns=us(10))]))
+        engine.run(until=us(20))
+        assert any("no-op" in line for line in injector.trace)
+
+    def test_coordinator_crash_suspends_coordinators(self, cluster):
+        engine, _fabric, machines = cluster
+
+        class FakeCoordinator:
+            def __init__(self):
+                self.crashes = []
+
+            def crash(self, failover_ns):
+                self.crashes.append(failover_ns)
+
+        coord = FakeCoordinator()
+        injector = FaultInjector(engine, machines, coordinators=[coord])
+        injector.arm(FaultSchedule([
+            CoordinatorCrash(at_ns=us(10), failover_ns=ms(5))]))
+        engine.run(until=us(20))
+        assert coord.crashes == [ms(5)]
+
+    def test_crash_of_dead_machine_is_noop(self, cluster):
+        engine, _fabric, machines = cluster
+        machines[1].crash()
+        injector = FaultInjector(engine, machines)
+        injector.arm(FaultSchedule([
+            MachineCrash(at_ns=us(10), machine="mac1")]))
+        engine.run(until=us(20))
+        assert any("already down" in line for line in injector.trace)

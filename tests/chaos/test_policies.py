@@ -1,0 +1,105 @@
+"""Unit tests for the resilience policy layer (retry / breaker)."""
+
+import pytest
+
+from repro.chaos.policies import (RECOVERABLE_FAULTS, CircuitBreaker,
+                                  ResiliencePolicy, RetryPolicy)
+from repro.errors import (ContainerKilled, Disconnected, MachineCrashed,
+                          QpBroken, RemoteAccessError, WorkflowError)
+from repro.sim.rng import SeededRng
+from repro.units import ms
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_delay_ns=ms(1), backoff=2.0,
+                             max_delay_ns=ms(50), jitter=0.0)
+        delays = [policy.delay_ns(a) for a in (1, 2, 3, 4)]
+        assert delays == [ms(1), ms(2), ms(4), ms(8)]
+
+    def test_delay_caps_at_max(self):
+        policy = RetryPolicy(base_delay_ns=ms(1), backoff=10.0,
+                             max_delay_ns=ms(50), jitter=0.0)
+        assert policy.delay_ns(10) == ms(50)
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay_ns=ms(1), backoff=2.0, jitter=0.2)
+        a = [policy.delay_ns(2, SeededRng(7)) for _ in range(5)]
+        b = []
+        rng = SeededRng(7)
+        for _ in range(5):
+            b.append(policy.delay_ns(2, rng))
+        # same seed, same draws; every delay within [base, base*(1+jitter)]
+        assert a[0] == b[0]
+        for d in b:
+            assert ms(2) <= d <= int(ms(2) * 1.2) + 1
+
+    def test_exhausted_at_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_delay_is_at_least_one_ns(self):
+        policy = RetryPolicy(base_delay_ns=0, jitter=0.0)
+        assert policy.delay_ns(1) == 1
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, reset_ns=ms(100))
+        assert not breaker.record_failure("mac1", now_ns=0)
+        assert not breaker.record_failure("mac1", now_ns=1)
+        assert breaker.record_failure("mac1", now_ns=2)  # the trip
+        assert breaker.trips == 1
+        assert breaker.is_open("mac1", now_ns=3)
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("mac1", 0)
+        breaker.record_success("mac1")
+        assert not breaker.record_failure("mac1", 1)
+        assert not breaker.is_open("mac1", 2)
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("mac1", 0)
+        breaker.record_failure("mac2", 0)
+        assert not breaker.is_open("mac1", 1)
+        assert not breaker.is_open("mac2", 1)
+
+    def test_closes_after_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, reset_ns=ms(10))
+        assert breaker.record_failure("mac1", now_ns=0)
+        assert breaker.is_open("mac1", now_ns=ms(5))
+        assert not breaker.is_open("mac1", now_ns=ms(10))
+        # after the cool-down close, failures count from zero again
+        assert breaker.record_failure("mac1", now_ns=ms(11))
+
+    def test_second_trip_counts(self):
+        breaker = CircuitBreaker(threshold=1, reset_ns=ms(10))
+        breaker.record_failure("mac1", 0)
+        assert not breaker.is_open("mac1", ms(10))
+        breaker.record_failure("mac1", ms(11))
+        assert breaker.trips == 2
+
+
+class TestRecoverableFaults:
+    @pytest.mark.parametrize("exc", [
+        Disconnected("x"), QpBroken("x"), RemoteAccessError("x"),
+        MachineCrashed("x"), ContainerKilled("x"),
+    ])
+    def test_infrastructure_faults_are_recoverable(self, exc):
+        assert isinstance(exc, RECOVERABLE_FAULTS)
+
+    def test_application_errors_are_not(self):
+        # retrying deterministic application code re-raises deterministically
+        assert not isinstance(WorkflowError("bug"), RECOVERABLE_FAULTS)
+        assert not isinstance(ValueError("bug"), RECOVERABLE_FAULTS)
+
+
+def test_default_policy_is_seeded():
+    policy = ResiliencePolicy.default(seed=3)
+    assert policy.rng is not None
+    assert policy.transport_fallback
+    assert policy.reexecute_lost_producers

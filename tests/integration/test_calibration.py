@@ -9,7 +9,7 @@ import pytest
 
 from repro.bench.microbench import make_pair
 from repro.runtime.serializer import Serializer
-from repro.units import (DEFAULT_COST_MODEL, MB, PAGE_SIZE, to_ms, to_us,
+from repro.units import (DEFAULT_COST_MODEL, MB, to_ms, to_us,
                          transfer_time_ns)
 from repro.workloads.data import make_trades
 

@@ -1,7 +1,6 @@
 """Tests for the future-work extensions: on-demand PTE fetch, multi-hop
 forwarding, and compressed messaging."""
 
-import pytest
 
 from repro.bench.microbench import make_pair
 from repro.kernel.kernel import PT_ONDEMAND
@@ -86,8 +85,7 @@ def test_forwarded_token_maps_original_producer():
     """A -> B -> C where B forwards A's registration: C maps A directly,
     no copy at B (the Section 4.4 multi-hop future-work design)."""
     from repro.kernel.machine import Machine
-    from repro.bench.microbench import (CONSUMER_BASE, PRODUCER_BASE,
-                                        make_pair)
+    from repro.bench.microbench import make_pair
     from repro.mem import AddressRange, AddressSpace, AnonymousVMA
     from repro.runtime.heap import ManagedHeap
     from repro.transfer.base import Endpoint

@@ -1,0 +1,122 @@
+"""Lease-based orphan reclamation (Section 4.2).
+
+A registration is an implicit lease: if nobody deregisters it within the
+platform's maximum function lifetime plus a grace period, each pod's
+periodic scanner reclaims it locally — no surviving coordinator required.
+"""
+
+import pytest
+
+from repro.kernel.machine import make_cluster
+from repro.mem import AddressRange, AddressSpace, AnonymousVMA
+from repro.net.rpc import RpcError
+from repro.runtime.heap import ManagedHeap
+from repro.sim import Engine
+from repro.units import MB, ms
+
+LEASE = ms(10)
+GRACE = ms(1)
+
+
+def build_heap(machine, base, name):
+    space = AddressSpace(machine.physical, name=name)
+    rng = AddressRange(base, base + 64 * MB)
+    space.map_vma(AnonymousVMA(rng, name=f"{name}-heap"))
+    return ManagedHeap(space, rng=rng, name=name)
+
+
+def advance(engine, delay_ns):
+    """Move the clock forward (the queue is otherwise empty)."""
+    engine.timeout_event(delay_ns)
+    engine.run()
+
+
+def teardown(space):
+    """The owning function exits: its address space is torn down."""
+    for vma in list(space.vmas()):
+        space.unmap_vma(vma)
+
+
+@pytest.fixture()
+def producer():
+    engine = Engine()
+    _fabric, (m0, m1) = make_cluster(engine, 2)
+    heap = build_heap(m0, 0x1000_0000, "producer")
+    heap.box({"payload": list(range(2000))})
+    return engine, m0, m1, heap
+
+
+def test_scan_expired_honours_lease_plus_grace(producer):
+    engine, m0, _m1, heap = producer
+    m0.kernel.register_mem(heap.space, "orphan", key=7)
+    advance(engine, LEASE + GRACE)  # exactly at the bound: still leased
+    assert m0.kernel.scan_expired(LEASE, GRACE) == []
+    assert len(m0.kernel.registry) == 1
+    advance(engine, 1)
+    assert m0.kernel.scan_expired(LEASE, GRACE) == ["orphan"]
+    assert len(m0.kernel.registry) == 0
+
+
+def test_scan_releases_shadow_pins_after_producer_exit(producer):
+    engine, m0, _m1, heap = producer
+    m0.kernel.register_mem(heap.space, "orphan", key=7)
+    pinned = m0.kernel.registry.pinned_bytes()
+    assert pinned > 0
+    teardown(heap.space)
+    # shadow pins keep the snapshot frames alive past the owner's exit
+    assert m0.physical.used_frames * 4096 == pinned
+    advance(engine, LEASE + GRACE + 1)
+    assert m0.kernel.scan_expired(LEASE, GRACE) == ["orphan"]
+    assert m0.physical.used_frames == 0
+
+
+def test_lease_scanner_fires_and_reports(producer):
+    engine, m0, _m1, heap = producer
+    m0.kernel.register_mem(heap.space, "orphan", key=7)
+    events = []
+    engine.spawn(
+        m0.kernel.lease_scanner(
+            interval_ns=ms(1), lease_ns=LEASE, grace_ns=GRACE,
+            on_reclaim=lambda mac, fids: events.append((mac, fids))),
+        name="scanner")
+    engine.run(until=LEASE + GRACE + ms(2))
+    assert events == [("mac0", ["orphan"])]
+    assert len(m0.kernel.registry) == 0
+
+
+def test_scanner_leaves_fresh_registrations_alone(producer):
+    engine, m0, _m1, heap = producer
+    m0.kernel.register_mem(heap.space, "orphan", key=7)
+    events = []
+    engine.spawn(
+        m0.kernel.lease_scanner(
+            interval_ns=ms(1), lease_ns=LEASE, grace_ns=GRACE,
+            on_reclaim=lambda mac, fids: events.append((mac, fids))),
+        name="scanner")
+    engine.run(until=ms(5))  # well inside the lease
+    assert events == []
+    assert len(m0.kernel.registry) == 1
+
+
+def test_scanner_is_noop_on_dead_machine(producer):
+    engine, m0, _m1, heap = producer
+    m0.kernel.register_mem(heap.space, "orphan", key=7)
+    events = []
+    engine.spawn(
+        m0.kernel.lease_scanner(
+            interval_ns=ms(1), lease_ns=LEASE, grace_ns=GRACE,
+            on_reclaim=lambda mac, fids: events.append((mac, fids))),
+        name="scanner")
+    m0.crash()  # the registry died with the machine; the scanner stays quiet
+    engine.run(until=LEASE + GRACE + ms(2))
+    assert events == []
+
+
+def test_rmap_after_reclaim_raises_typed_error(producer):
+    engine, m0, m1, heap = producer
+    m0.kernel.register_mem(heap.space, "orphan", key=7)
+    advance(engine, LEASE + GRACE + 1)
+    m0.kernel.scan_expired(LEASE, GRACE)
+    consumer = build_heap(m1, 0x9000_0000, "consumer")
+    with pytest.raises(RpcError):
+        m1.kernel.rmap(consumer.space, "mac0", "orphan", 7)

@@ -5,8 +5,7 @@ import pytest
 from repro.errors import MemoryError_, OutOfMemory, SegmentationFault
 from repro.mem import (PAGE_SIZE, AddressRange, AddressSpace, AnonymousVMA,
                        PhysicalMemory, SegmentLayout)
-from repro.mem.pagetable import PTE, PTE_COW, PTE_PRESENT, PTE_WRITE, \
-    PageTable
+from repro.mem.pagetable import PTE, PTE_PRESENT, PageTable
 
 BASE = 0x1000_0000
 

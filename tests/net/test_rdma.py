@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import Disconnected, NetworkError
 from repro.kernel.machine import Machine, make_cluster
-from repro.net.fabric import Fabric
 from repro.net.rdma import ReadRequest
 from repro.net.rpc import RpcError, estimate_payload_bytes
 from repro.sim import Engine

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.tracing import Span, Tracer, render_gantt
+from repro.analysis.tracing import Tracer, render_gantt
 from repro.platform.cluster import ServerlessPlatform
 from repro.transfer import MessagingTransport
 
@@ -142,8 +142,6 @@ def test_autoscaler_respects_width_bound():
     platform.run_closed_loop("fanout", clients=2, requests_per_client=2,
                              params={"n": 64})
     # even with absurd headroom, per-type containers never exceed width
-    from collections import Counter
-    per_fn = Counter(key[1] for key in platform.scheduler._pool)
     for fn, spec_width in (("partition", 1), ("worker", 4), ("merge", 1)):
         alive = sum(len(p) for k, p in platform.scheduler._pool.items()
                     if k[1] == fn)

@@ -1,0 +1,114 @@
+"""Orphan reclamation end-to-end: the producer dies, reads stay valid.
+
+The RMMAP contract (Section 4.2): registered state outlives its producer
+through the registry's shadow-copy pins, and is freed only once the
+consumer has unmapped AND the registration is dropped — explicitly by the
+framework, or by the per-pod lease scanner when the coordinator was lost
+before it could call ``deregister_mem``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.kernel.machine import make_cluster
+from repro.mem import AddressRange, AddressSpace, AnonymousVMA
+from repro.net.rpc import RpcError
+from repro.runtime.heap import ManagedHeap
+from repro.runtime.proxy import RemoteRoot
+from repro.sim import Engine
+from repro.units import MB, ms
+
+LEASE = ms(10)
+GRACE = ms(1)
+PAYLOAD = {"weights": list(range(4000)), "tag": "model-v1"}
+
+
+def build_heap(machine, base, name):
+    space = AddressSpace(machine.physical, name=name)
+    rng = AddressRange(base, base + 64 * MB)
+    space.map_vma(AnonymousVMA(rng, name=f"{name}-heap"))
+    return ManagedHeap(space, rng=rng, name=name)
+
+
+def teardown(space):
+    """The producer pod exits: its address space is torn down."""
+    for vma in list(space.vmas()):
+        space.unmap_vma(vma)
+
+
+def advance(engine, delay_ns):
+    engine.timeout_event(delay_ns)
+    engine.run()
+
+
+@pytest.fixture()
+def pipeline():
+    engine = Engine()
+    _fabric, (m0, m1) = make_cluster(engine, 2)
+    producer = build_heap(m0, 0x1000_0000, "producer")
+    consumer = build_heap(m1, 0x9000_0000, "consumer")
+    root = producer.box(PAYLOAD)
+    meta = m0.kernel.register_mem(producer.space, "out", key=3)
+    handle = m1.kernel.rmap(consumer.space, meta.mac_addr, meta.fid,
+                            meta.key)
+    return SimpleNamespace(engine=engine, m0=m0, m1=m1, producer=producer,
+                           consumer=consumer, root=root, handle=handle,
+                           proxy=RemoteRoot(consumer, handle, root))
+
+
+def test_producer_exit_keeps_consumer_reads_valid(pipeline):
+    # the producer is gone before the consumer touches a single page
+    teardown(pipeline.producer.space)
+    assert pipeline.proxy.load() == PAYLOAD
+
+
+def test_second_consumer_can_rmap_within_the_lease(pipeline):
+    teardown(pipeline.producer.space)
+    late = build_heap(pipeline.m1, 0xD000_0000, "late-consumer")
+    handle = pipeline.m1.kernel.rmap(late.space, "mac0", "out", 3)
+    assert RemoteRoot(late, handle, pipeline.root).load() == PAYLOAD
+
+
+def test_frames_survive_until_unmap_plus_lease_expiry(pipeline):
+    teardown(pipeline.producer.space)
+    assert pipeline.proxy.load() == PAYLOAD
+    assert pipeline.m0.physical.used_frames > 0
+    # the consumer unmapping alone must not free the producer frames —
+    # another consumer may still rmap within the lease
+    pipeline.proxy.release()
+    assert pipeline.m1.physical.used_frames == 0
+    assert pipeline.m0.physical.used_frames > 0
+    # lease + grace pass with no coordinator left to deregister
+    advance(pipeline.engine, LEASE + GRACE + 1)
+    assert pipeline.m0.kernel.scan_expired(LEASE, GRACE) == ["out"]
+    assert pipeline.m0.physical.used_frames == 0
+
+
+def test_explicit_deregister_frees_without_waiting_for_the_lease(pipeline):
+    assert pipeline.proxy.load() == PAYLOAD
+    pipeline.proxy.release()
+    teardown(pipeline.producer.space)
+    pipeline.m1.kernel.deregister_remote("mac0", "out", 3,
+                                         pipeline.consumer.ledger)
+    assert pipeline.m0.physical.used_frames == 0
+
+
+def test_scanner_reclaims_orphan_after_coordinator_loss(pipeline):
+    assert pipeline.proxy.load() == PAYLOAD
+    pipeline.proxy.release()
+    teardown(pipeline.producer.space)
+    reclaimed = []
+    pipeline.engine.spawn(
+        pipeline.m0.kernel.lease_scanner(
+            interval_ns=ms(2), lease_ns=LEASE, grace_ns=GRACE,
+            on_reclaim=lambda mac, fids: reclaimed.append((mac, fids))),
+        name="scanner")
+    pipeline.engine.run(until=LEASE + GRACE + ms(4))
+    assert reclaimed == [("mac0", ["out"])]
+    assert pipeline.m0.physical.used_frames == 0
+    # a consumer arriving after reclamation gets a typed error, not stale
+    # bytes
+    late = build_heap(pipeline.m1, 0xD000_0000, "late-consumer")
+    with pytest.raises(RpcError):
+        pipeline.m1.kernel.rmap(late.space, "mac0", "out", 3)

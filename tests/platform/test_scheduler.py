@@ -1,6 +1,5 @@
 """Unit tests for the scheduler: caching, eviction, capacity."""
 
-import pytest
 
 from repro.kernel.machine import make_cluster
 from repro.platform.container import STATE_DEAD, STATE_IDLE, Container

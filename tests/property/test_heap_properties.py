@@ -5,7 +5,6 @@ a faithful isomorphism between heaps; rmap'd remote loading agrees with
 local loading.
 """
 
-import math
 
 from hypothesis import given, settings, strategies as st
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SerializationError
-from repro.runtime.heap import _PACK_MIN, _PRIM_SLOT, ManagedHeap
+from repro.runtime.heap import _PACK_MIN, _PRIM_SLOT
 from repro.runtime.objects import HEADER_SIZE, TypeTag
 from repro.runtime.values import (DataFrameValue, ImageValue, MLModelValue,
                                   NdArrayValue, TreeValue)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import DanglingRemoteReference, SerializationError
+from repro.errors import DanglingRemoteReference
 from repro.runtime.proxy import RemoteRoot
 from repro.runtime.traverse import ObjectTraverser, pages_of_state
 from repro.runtime.values import DataFrameValue, NdArrayValue

@@ -64,7 +64,7 @@ def test_dangling_index_in_container():
     data[idx_offset:idx_offset + 8] = struct.pack("<Q", 0xFFFF)
     with pytest.raises((SerializationError, IndexError, TypeError,
                         ReproError)):
-        root = try_deserialize(bytes(data))
+        try_deserialize(bytes(data))
 
 
 @given(st.binary(min_size=0, max_size=200))

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import SimulationError
 from repro.sim import AllOf, AnyOf, Engine, Event, Timeout
 
 

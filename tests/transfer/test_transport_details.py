@@ -1,6 +1,5 @@
 """Finer-grained transport behaviours: tokens, stats, stage metering."""
 
-import pytest
 
 from repro.bench.microbench import make_pair, measure_transfer
 from repro.sim.ledger import Ledger

@@ -59,8 +59,6 @@ def test_images_classes_are_separable():
              if len(v) >= 2}
     classes = sorted(means)
     assert len(classes) >= 3
-    intra = np.linalg.norm(by_class[classes[0]][0]
-                           - by_class[classes[0]][1])
     inter = np.linalg.norm(means[classes[0]] - means[classes[1]])
     assert inter > 0  # distinct class centers
 

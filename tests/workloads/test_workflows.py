@@ -6,8 +6,7 @@ import pytest
 from repro.platform.cluster import ServerlessPlatform
 from repro.transfer import MessagingTransport, RmmapTransport
 from repro.workloads.data import make_book_text, make_images, make_trades
-from repro.workloads.finra import (build_finra, check_rule, make_audit_rules,
-                                   make_market_data)
+from repro.workloads.finra import build_finra, check_rule
 from repro.workloads.ml_prediction import (build_ml_prediction,
                                            train_reference_model)
 from repro.workloads.ml_training import (binary_labels, build_ml_training,

@@ -37,7 +37,6 @@ def test_check_rule_price_band_skips_unknown_symbols():
 
 
 def test_split_respects_word_boundaries():
-    from repro.platform.coordinator import FunctionContext
     from repro.workloads.wordcount import split_text
 
     class FakeCtx:
