@@ -13,8 +13,7 @@ import sys
 
 from repro.analysis.report import Table, ascii_bar_chart
 from repro.platform.cluster import ServerlessPlatform
-from repro.transfer import (MessagingTransport, RmmapTransport,
-                            StorageRdmaTransport, StorageTransport)
+from repro.transfer import get_transport
 from repro.workloads.finra import build_finra
 
 
@@ -26,14 +25,10 @@ def main(width: int = 24) -> None:
     table = Table("FINRA end-to-end", ["transport", "latency_ms",
                                        "violations", "transfer_ms"])
     latencies = {}
-    for name, factory in (
-            ("messaging", MessagingTransport),
-            ("storage", StorageTransport),
-            ("storage-rdma", StorageRdmaTransport),
-            ("rmmap", lambda: RmmapTransport(prefetch=False)),
-            ("rmmap-prefetch", RmmapTransport)):
+    for name in ("messaging", "storage", "storage-rdma", "rmmap",
+                 "rmmap-prefetch"):
         platform = ServerlessPlatform(n_machines=10)
-        platform.deploy(build_finra(width=width), factory())
+        platform.deploy(build_finra(width=width), get_transport(name))
         platform.prewarm("finra", dict(params, n_rows=500))
         record = platform.run_once("finra", params)
         table.add_row(name, record.latency_ns / 1e6,

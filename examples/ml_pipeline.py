@@ -12,7 +12,7 @@ Run:  python examples/ml_pipeline.py
 
 from repro.analysis.report import Table
 from repro.platform.cluster import ServerlessPlatform
-from repro.transfer import RmmapTransport, StorageRdmaTransport
+from repro.transfer import get_transport
 from repro.workloads.ml_prediction import build_ml_prediction
 from repro.workloads.ml_training import build_ml_training
 
@@ -23,10 +23,9 @@ def main() -> None:
 
     table = Table("ML pipeline", ["stage", "transport", "latency_ms",
                                   "accuracy"])
-    for name, factory in (("storage-rdma", StorageRdmaTransport),
-                          ("rmmap", RmmapTransport)):
+    for name in ("storage-rdma", "rmmap-prefetch"):
         platform = ServerlessPlatform(n_machines=10)
-        platform.deploy(build_ml_training(), factory())
+        platform.deploy(build_ml_training(), get_transport(name))
         platform.prewarm("ml-training",
                          dict(train_params, n_images=100, epochs=1))
         record = platform.run_once("ml-training", train_params)
@@ -35,7 +34,8 @@ def main() -> None:
         assert record.result["accuracy"] > 0.6, "model failed to learn"
 
         platform2 = ServerlessPlatform(n_machines=10)
-        platform2.deploy(build_ml_prediction(width=8), factory())
+        platform2.deploy(build_ml_prediction(width=8),
+                         get_transport(name))
         platform2.prewarm("ml-prediction", dict(pred_params, n_images=32))
         record2 = platform2.run_once("ml-prediction", pred_params)
         table.add_row("prediction", name, record2.latency_ns / 1e6,

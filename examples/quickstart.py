@@ -1,24 +1,23 @@
 #!/usr/bin/env python3
 """Quickstart: transfer a Python object between two functions with RMMAP.
 
-Builds a two-machine simulated cluster, boxes a pandas-like dataframe into
-the producer's managed heap, and moves it to a consumer on another machine
-two ways:
-
-1. the classic path — pickle-style serialization over messaging;
-2. RMMAP — ``register_mem`` at the producer, ``rmap`` at the consumer, and
-   the consumer just chases the producer's pointers.
+Part 1 moves a pandas-like dataframe between two machines two ways —
+pickle-over-messaging vs RMMAP — using the microbenchmark pair; both
+transports come from the name registry.  Part 2 runs a whole WordCount
+workflow through the :func:`repro.api.run` façade with telemetry on and
+shows the layers the run touched.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.analysis.report import Table, format_ns
+from repro.api import run
 from repro.bench.microbench import make_pair, measure_transfer
-from repro.transfer import MessagingTransport, RmmapTransport
+from repro.transfer import get_transport
 from repro.workloads.data import make_trades
 
 
-def main() -> None:
+def one_transfer() -> None:
     trades = make_trades(n_rows=10_000)
     print(f"state: a {trades.nrows}x{trades.ncols} trades dataframe "
           f"(every cell is a boxed object)")
@@ -27,11 +26,10 @@ def main() -> None:
                   ["approach", "transform", "network", "reconstruct",
                    "end-to-end"])
     results = {}
-    for name, transport in (
-            ("messaging+pickle", MessagingTransport()),
-            ("rmmap", RmmapTransport(prefetch=True))):
+    for name in ("messaging", "rmmap-prefetch"):
         _engine, producer, consumer = make_pair()
-        result = measure_transfer(transport, producer, consumer, trades)
+        result = measure_transfer(get_transport(name), producer,
+                                  consumer, trades)
         assert result.value == trades  # delivered intact
         b = result.breakdown
         table.add_row(name, format_ns(b.transform_ns),
@@ -40,12 +38,30 @@ def main() -> None:
         results[name] = result
     table.print()
 
-    speedup = (results["messaging+pickle"].e2e_ns
-               / results["rmmap"].e2e_ns)
+    speedup = (results["messaging"].e2e_ns
+               / results["rmmap-prefetch"].e2e_ns)
     print(f"RMMAP is {speedup:.1f}x faster end-to-end: no serialization "
           f"at the producer, no deserialization at the consumer —")
     print("the consumer mapped the producer's memory and read the same "
-          "pointers directly.")
+          "pointers directly.\n")
+
+
+def one_workflow() -> None:
+    table = Table("Quickstart: WordCount through the run façade",
+                  ["transport", "latency_ms", "distinct words"])
+    for name in ("messaging", "rmmap-prefetch"):
+        result = run("wordcount", name, scale=0.05, telemetry=True)
+        table.add_row(name, f"{result.latency_ms:.2f}",
+                      result.record.result["distinct_words"])
+        if name == "rmmap-prefetch":
+            layers = ", ".join(sorted(result.telemetry.layers()))
+            print(f"telemetry layers observed under {name}: {layers}")
+    table.print()
+
+
+def main() -> None:
+    one_transfer()
+    one_workflow()
 
 
 if __name__ == "__main__":

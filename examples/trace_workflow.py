@@ -1,34 +1,32 @@
 #!/usr/bin/env python3
 """Trace one FINRA invocation and render its timeline.
 
-Enables span tracing on the platform, runs a small FINRA invocation under
-RMMAP, and prints a text Gantt chart: the two fetch functions overlap, the
-audit fan-out runs as one parallel band, and the merge waits for it all.
+Runs a small FINRA invocation under RMMAP through the
+:func:`repro.api.run` façade with telemetry on, prints a text Gantt chart
+— the two fetch functions overlap, the audit fan-out runs as one parallel
+band, and the merge waits for it all — then exports the full cross-layer
+Chrome trace for chrome://tracing or https://ui.perfetto.dev.
 
 Run:  python examples/trace_workflow.py
 """
 
 from repro.analysis.tracing import render_gantt
-from repro.platform.cluster import ServerlessPlatform
-from repro.transfer import RmmapTransport
-from repro.workloads.finra import build_finra
+from repro.api import run
 
 
 def main() -> None:
-    platform = ServerlessPlatform(n_machines=4)
-    tracer = platform.enable_tracing()
-    platform.deploy(build_finra(width=6), RmmapTransport(prefetch=True))
-    params = {"n_rows": 3000, "width": 6}
-    platform.prewarm("finra", dict(params, n_rows=300))
-    tracer.clear()  # keep only the measured invocation
-
-    record = platform.run_once("finra", params)
+    result = run("finra", "rmmap-prefetch", scale=0.1, telemetry=True)
+    record = result.record
     print(f"FINRA invocation: {record.latency_ns / 1e6:.2f} ms, "
           f"{record.result['total_violations']} violations\n")
-    print(render_gantt(tracer))
-    print("\nNote how the six audit instances form one parallel band: "
+    print(render_gantt(result.tracer))
+    print("\nNote how the audit instances form one parallel band: "
           "their (de)serialization-free receives all map the same "
           "registered producer memory.")
+
+    out = "/tmp/finra_trace.json"
+    result.write_trace(out)
+    print(f"\nChrome trace with spans + per-layer counters: {out}")
 
 
 if __name__ == "__main__":

@@ -11,20 +11,17 @@ Run:  python examples/wordcount_mapreduce.py
 
 from repro.analysis.report import Table
 from repro.platform.cluster import ServerlessPlatform
-from repro.transfer import (MessagingTransport, RmmapTransport,
-                            StorageRdmaTransport)
+from repro.transfer import get_transport
 from repro.workloads.wordcount import build_wordcount
 
 
 def run(runtime: str, table: Table) -> None:
     params = {"n_bytes": 2 << 20, "map_width": 8}
     wf_name = "wordcount" if runtime == "python" else f"wordcount-{runtime}"
-    for name, factory in (("messaging", MessagingTransport),
-                          ("storage-rdma", StorageRdmaTransport),
-                          ("rmmap", lambda: RmmapTransport(prefetch=False))):
+    for name in ("messaging", "storage-rdma", "rmmap"):
         platform = ServerlessPlatform(n_machines=10)
         platform.deploy(build_wordcount(width=8, runtime=runtime),
-                        factory())
+                        get_transport(name))
         platform.prewarm(wf_name, dict(params, n_bytes=64 << 10))
         record = platform.run_once(wf_name, params)
         table.add_row(runtime, name, record.latency_ns / 1e6,

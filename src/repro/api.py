@@ -1,0 +1,180 @@
+"""The run façade: one call from workload name to results.
+
+Every entry point into the repro — CLI experiments, examples, notebooks,
+chaos drills — ultimately does the same dance: build a seeded platform,
+deploy a workflow bound to a transport, pre-warm, invoke, and collect the
+record.  :func:`run` is that dance behind one signature, with telemetry
+(:mod:`repro.obs`) and chaos (:mod:`repro.chaos`) as opt-in knobs:
+
+>>> from repro.api import run
+>>> result = run("wordcount", "rmmap-prefetch", scale=0.05,
+...              telemetry=True)
+>>> result.latency_ms
+13.5...
+>>> sorted(result.telemetry.layers())
+['kernel', 'mem', 'net.rdma', 'net.rpc', 'platform', 'sim.engine']
+
+The non-chaos path reproduces the bench harness
+(:func:`repro.bench.figures_workflow.run_workflow_once`) exactly at
+``seed=0``: same platform shape, same pre-warm, same ledger charges — so
+figures computed either way agree to the nanosecond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro import obs
+from repro.platform.coordinator import InvocationRecord
+from repro.transfer.base import StateTransport
+from repro.transfer.registry import get_transport
+
+
+def workloads() -> list:
+    """Names accepted as :func:`run`'s *workload* argument, sorted."""
+    from repro.bench.figures_workflow import workflow_configs
+    return sorted(workflow_configs(1.0))
+
+
+@dataclass
+class RunResult:
+    """Everything one :func:`run` call produced."""
+
+    workload: str
+    transport: str
+    seed: int
+    record: Optional[InvocationRecord] = None
+    telemetry: Optional["obs.Telemetry"] = None
+    tracer: Any = None
+    chaos_report: Any = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def latency_ns(self) -> int:
+        if self.record is None:
+            raise ValueError("chaos runs report latency via chaos_report")
+        return self.record.latency_ns
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_ns / 1e6
+
+    def stage_totals(self) -> Dict[str, int]:
+        """Fig 11 transform / network / reconstruct totals (ns)."""
+        if self.record is None:
+            raise ValueError("chaos runs do not keep a single record")
+        return self.record.stage_totals()
+
+    def write_trace(self, path: str) -> None:
+        """Export the run's Chrome trace (requires ``telemetry=True``)."""
+        if self.telemetry is None:
+            raise ValueError("run(..., telemetry=True) to collect a trace")
+        obs.write_chrome_trace(self.telemetry, path, tracer=self.tracer)
+
+
+def _resolve_transport(transport: Union[str, StateTransport],
+                       **opts) -> StateTransport:
+    if isinstance(transport, str):
+        return get_transport(transport, **opts)
+    if opts:
+        raise ValueError("transport options need a transport *name*, "
+                         "not an instance")
+    return transport
+
+
+def _resolve_hub(telemetry) -> Optional["obs.Telemetry"]:
+    if telemetry is None or telemetry is False:
+        return None
+    if telemetry is True:
+        return obs.Telemetry()
+    return telemetry
+
+
+def run(workload: str, transport: Union[str, StateTransport] = "rmmap",
+        *, seed: int = 0, scale: Optional[float] = None,
+        chaos: Optional[Dict[str, Any]] = None,
+        telemetry: Union[None, bool, "obs.Telemetry"] = None,
+        params: Optional[Dict[str, Any]] = None,
+        n_machines: int = 10, prewarm: bool = True,
+        transport_opts: Optional[Dict[str, Any]] = None) -> RunResult:
+    """Run one workflow invocation end to end and return the results.
+
+    *workload* is a name from :func:`workloads` (``finra``,
+    ``ml-training``, ``ml-prediction``, ``wordcount``); *transport* is a
+    registry name (see :func:`repro.transfer.list_transports`) or a
+    ready-made :class:`StateTransport`.  *scale* shrinks the paper-scale
+    inputs (default: the ``REPRO_BENCH_SCALE`` environment variable);
+    *params* overrides individual workload knobs on top of the scaled
+    defaults.
+
+    ``telemetry=True`` (or an existing :class:`~repro.obs.Telemetry`)
+    collects cross-layer counters, histograms and spans for the duration
+    of the run — the hub comes back on ``RunResult.telemetry`` and
+    ``RunResult.write_trace(path)`` exports it for ``chrome://tracing`` /
+    Perfetto.  Telemetry observes the clock only: ledger charges and
+    Fig 11 stage totals are bit-identical with it on or off.
+
+    ``chaos={...}`` runs the workload under a seeded fault schedule
+    instead (kwargs forwarded to
+    :func:`repro.chaos.runner.run_chaos_workflow`, e.g. ``requests``,
+    ``schedule``, ``policy``); the report lands on
+    ``RunResult.chaos_report``.
+    """
+    from repro.bench.figures_workflow import (_light_params,
+                                              workflow_configs)
+
+    configs = workflow_configs(scale)
+    if workload not in configs:
+        raise ValueError(f"unknown workload {workload!r}; "
+                         f"pick one of {sorted(configs)}")
+    builder, defaults = configs[workload]
+    merged = dict(defaults)
+    if params:
+        merged.update(params)
+
+    hub = _resolve_hub(telemetry)
+
+    if chaos is not None:
+        from repro.chaos.runner import run_chaos_workflow
+        transport_obj = _resolve_transport(transport,
+                                           **(transport_opts or {}))
+        kwargs = dict(chaos)
+        kwargs.setdefault("transport_factory", lambda: transport_obj)
+        with obs.capture(hub) if hub is not None else _noop():
+            report = run_chaos_workflow(workload=workload, seed=seed,
+                                        scale=scale, **kwargs)
+        return RunResult(workload=workload, transport=transport_obj.name,
+                         seed=seed, telemetry=hub, chaos_report=report,
+                         params=merged)
+
+    from repro.platform.cluster import ServerlessPlatform
+    from repro.sim.rng import make_rng
+
+    transport_obj = _resolve_transport(transport, **(transport_opts or {}))
+    with obs.capture(hub) if hub is not None else _noop():
+        platform = ServerlessPlatform(n_machines=n_machines,
+                                      rng=make_rng(seed))
+        tracer = platform.enable_tracing() if hub is not None else None
+        workflow = builder()
+        platform.deploy(workflow, transport_obj)
+        if prewarm:
+            platform.prewarm(workflow.name, _light_params(merged))
+            if tracer is not None:
+                tracer.clear()  # spans cover the measured invocation only
+        record = platform.run_once(workflow.name, merged)
+    if hub is not None:
+        obs.rollup_record(hub, record)
+    return RunResult(workload=workload, transport=transport_obj.name,
+                     seed=seed, record=record, telemetry=hub,
+                     tracer=tracer, params=merged)
+
+
+class _noop:
+    """Stand-in context manager when telemetry is off."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False

@@ -7,6 +7,7 @@ state-transfer shares.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.config import bench_scale, scaled
@@ -14,7 +15,7 @@ from repro.platform.cluster import ServerlessPlatform
 from repro.platform.dag import Workflow
 from repro.transfer import (MessagingTransport, RmmapTransport,
                             StateTransport, StorageRdmaTransport,
-                            StorageTransport)
+                            StorageTransport, get_transport)
 from repro.workloads.finra import build_finra
 from repro.workloads.ml_prediction import build_ml_prediction
 from repro.workloads.ml_training import build_ml_training
@@ -60,13 +61,10 @@ def workflow_configs(scale: Optional[float] = None
 
 
 def transport_factories() -> Dict[str, Callable[[], StateTransport]]:
-    return {
-        "messaging": MessagingTransport,
-        "storage": StorageTransport,
-        "storage-rdma": StorageRdmaTransport,
-        "rmmap": lambda: RmmapTransport(prefetch=False),
-        "rmmap-prefetch": RmmapTransport,
-    }
+    """Fig 14's transport column, resolved through the registry."""
+    return {name: partial(get_transport, name)
+            for name in ("messaging", "storage", "storage-rdma",
+                         "rmmap", "rmmap-prefetch")}
 
 
 def _light_params(params: dict) -> dict:

@@ -16,15 +16,15 @@ This is the Fig 11 measurement loop.  Stage attribution follows the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.kernel.machine import make_cluster
 from repro.mem import AddressRange, AddressSpace, AnonymousVMA
 from repro.runtime.heap import ManagedHeap
 from repro.sim import Engine
-from repro.transfer import (Endpoint, MessagingTransport, RmmapTransport,
-                            StateTransport, StorageRdmaTransport,
-                            StorageTransport, TransferBreakdown)
+from repro.transfer import (Endpoint, StateTransport, TransferBreakdown,
+                            get_transport)
 from repro.units import MB, CostModel, DEFAULT_COST_MODEL
 
 PRODUCER_BASE = 0x1000_0000
@@ -103,12 +103,12 @@ def standard_transports(prefetch_threshold: Optional[int] = None
                         ) -> Dict[str, Callable[[], StateTransport]]:
     """Factories for the five approaches compared throughout Section 5."""
     return {
-        "messaging": MessagingTransport,
-        "storage": StorageTransport,
-        "storage-rdma": StorageRdmaTransport,
-        "rmmap": lambda: RmmapTransport(prefetch=False),
-        "rmmap-prefetch": lambda: RmmapTransport(
-            prefetch=True, prefetch_threshold=prefetch_threshold),
+        "messaging": partial(get_transport, "messaging"),
+        "storage": partial(get_transport, "storage"),
+        "storage-rdma": partial(get_transport, "storage-rdma"),
+        "rmmap": partial(get_transport, "rmmap"),
+        "rmmap-prefetch": partial(get_transport, "rmmap-prefetch",
+                                  prefetch_threshold=prefetch_threshold),
     }
 
 

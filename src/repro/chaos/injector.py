@@ -16,6 +16,7 @@ from repro.chaos.faults import (CoordinatorCrash, Fault, LatencySpike,
                                 LinkFlap, MachineCrash, OomKill, QpBreak)
 from repro.chaos.schedule import FaultSchedule
 from repro.kernel.machine import Machine
+from repro.obs.telemetry import current as _telemetry
 from repro.platform.scheduler import Scheduler
 from repro.sim.engine import Engine
 
@@ -69,6 +70,13 @@ class FaultInjector:
     def _fire(self, fault: Fault) -> None:
         self.injected.append(fault.describe())
         self._note(f"inject {fault.describe()}")
+        hub = _telemetry()
+        if hub is not None:
+            hub.count("cluster", "chaos", "faults.injected")
+            hub.count("cluster", "chaos",
+                      f"faults.{type(fault).__name__}")
+            hub.event("cluster", "chaos", "fault",
+                      description=fault.describe())
         if isinstance(fault, MachineCrash):
             self._crash_machine(fault)
         elif isinstance(fault, LinkFlap):

@@ -27,6 +27,7 @@ from repro.errors import (AuthenticationFailed, ContainerKilled,
                           Disconnected, MachineCrashed, QpBroken,
                           RegistrationNotFound, RemoteAccessError)
 from repro.net.rpc import RpcError
+from repro.obs.telemetry import current as _telemetry
 from repro.sim.rng import SeededRng
 from repro.units import ms, seconds, us
 
@@ -93,12 +94,16 @@ class CircuitBreaker:
         if count >= self.threshold and key not in self._opened_at:
             self._opened_at[key] = now_ns
             self.trips += 1
+            self._observe_flip(key, "breaker.opened")
             return True
         return False
 
     def record_success(self, key: str) -> None:
+        was_open = key in self._opened_at
         self._failures.pop(key, None)
         self._opened_at.pop(key, None)
+        if was_open:
+            self._observe_flip(key, "breaker.closed")
 
     def is_open(self, key: str, now_ns: int) -> bool:
         opened = self._opened_at.get(key)
@@ -108,8 +113,15 @@ class CircuitBreaker:
             # cool-down elapsed: close and let the next transfer probe
             self._opened_at.pop(key, None)
             self._failures.pop(key, None)
+            self._observe_flip(key, "breaker.closed")
             return False
         return True
+
+    @staticmethod
+    def _observe_flip(key: str, name: str) -> None:
+        hub = _telemetry()
+        if hub is not None:
+            hub.count(key, "chaos", name)
 
 
 @dataclass

@@ -20,6 +20,7 @@ from repro.chaos.schedule import FaultSchedule, random_schedule
 from repro.errors import SimulationError
 from repro.sim.engine import Timeout
 from repro.sim.rng import SeededRng
+from repro.transfer.registry import get_transport
 from repro.transfer.rmmap import RmmapTransport
 from repro.units import ms, seconds
 
@@ -36,7 +37,7 @@ MAX_SIM_NS = seconds(600)
 
 def default_transport() -> RmmapTransport:
     """RMMAP with prefetch and the two-sided degradation path enabled."""
-    return RmmapTransport(rpc_fallback=True)
+    return get_transport("rmmap-prefetch", rpc_fallback=True)
 
 
 def run_chaos_workflow(workload: str = "ml-prediction",

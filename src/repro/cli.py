@@ -5,7 +5,14 @@ Examples::
     python -m repro list
     python -m repro fig14
     python -m repro fig11b --scale 1.0
-    python -m repro quickstart
+    python -m repro quickstart --trace-out /tmp/trace.json
+    python -m repro chaos-wordcount --seed 7
+
+Global flags: ``--scale`` (input scale; also settable via
+``REPRO_BENCH_SCALE``), ``--seed`` (run seed; also ``REPRO_CHAOS_SEED``
+for chaos experiments), and ``--trace-out PATH`` (collect cross-layer
+telemetry for the whole run and export a Chrome trace-event file loadable
+in chrome://tracing or Perfetto).
 """
 
 from __future__ import annotations
@@ -170,6 +177,32 @@ def _calibration() -> None:
     table.print()
 
 
+def _quickstart() -> None:
+    """WordCount through the run façade: messaging vs RMMAP."""
+    from repro import obs
+    from repro.api import run
+    from repro.bench.config import bench_scale
+
+    scale = bench_scale(0.05)
+    seed = int(os.environ.get("REPRO_SEED", "0") or 0)
+    table = Table("Quickstart: WordCount, messaging vs RMMAP",
+                  ["transport", "latency_ms", "transfer_ms", "distinct"])
+    rows = {}
+    for name in ("messaging", "rmmap-prefetch"):
+        # reuse a --trace-out hub so the trace covers both runs
+        hub = obs.current()
+        result = run("wordcount", name, seed=seed, scale=scale,
+                     telemetry=hub if hub is not None else True)
+        record = result.record
+        table.add_row(name, record.latency_ns / 1e6,
+                      record.transfer_ns / 1e6,
+                      record.result["distinct_words"])
+        rows[name] = record.latency_ns
+    table.print()
+    speedup = rows["messaging"] / rows["rmmap-prefetch"]
+    print(f"RMMAP end-to-end speedup over messaging: {speedup:.2f}x")
+
+
 def _chaos(workload: str) -> Callable[[], None]:
     """A ``chaos-<workload>`` entry: the Fig-14 workflow under a seeded
     fault schedule (seed via REPRO_CHAOS_SEED, default 0)."""
@@ -187,6 +220,7 @@ def _chaos(workload: str) -> Callable[[], None]:
 
 
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "quickstart": _quickstart,
     "fig3": _fig3,
     "fig5": _fig5,
     "fig11a": _fig11a,
@@ -217,21 +251,45 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=None,
                         help="input scale factor (sets REPRO_BENCH_SCALE; "
                              "1.0 approaches paper-size inputs)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run seed (sets REPRO_SEED and "
+                             "REPRO_CHAOS_SEED; env vars remain the "
+                             "fallback)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="collect cross-layer telemetry and write a "
+                             "Chrome trace-event JSON file here")
     args = parser.parse_args(argv)
 
     if args.scale is not None:
         os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    if args.seed is not None:
+        os.environ["REPRO_SEED"] = str(args.seed)
+        os.environ["REPRO_CHAOS_SEED"] = str(args.seed)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    if args.experiment == "all":
-        for name, fn in sorted(EXPERIMENTS.items()):
-            print(f"### {name}")
-            fn()
-        return 0
-    EXPERIMENTS[args.experiment]()
+
+    hub = None
+    if args.trace_out is not None:
+        from repro import obs
+        hub = obs.Telemetry()
+        obs.install(hub)
+    try:
+        if args.experiment == "all":
+            for name, fn in sorted(EXPERIMENTS.items()):
+                print(f"### {name}")
+                fn()
+        else:
+            EXPERIMENTS[args.experiment]()
+    finally:
+        if hub is not None:
+            from repro import obs
+            obs.uninstall()
+            obs.write_chrome_trace(hub, args.trace_out)
+            print(f"wrote Chrome trace to {args.trace_out}",
+                  file=sys.stderr)
     return 0
 
 

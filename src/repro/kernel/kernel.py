@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.errors import (AddressConflict, AuthenticationFailed, KernelError,
                           RmapFailed)
 from repro.mem.address_space import AddressSpace
+from repro.obs.telemetry import current as _telemetry
 from repro.mem.layout import AddressRange, SegmentLayout, page_number
 from repro.kernel.registry import (Registration, RegistrationRegistry,
                                    VmMeta)
@@ -85,6 +86,25 @@ class Kernel:
         machine.rpc.register_handler(DEREGISTER_RPC,
                                      self._handle_deregister_rpc)
 
+    # --- telemetry helpers ----------------------------------------------------
+
+    def _observe_syscall(self, hub, name: str, ledger, before_ns: int
+                         ) -> None:
+        """File the simulated latency one syscall charged to *ledger*
+        (everything it accrued during the call) into a per-syscall
+        histogram, plus a per-syscall counter."""
+        mac = self.machine.mac_addr
+        hub.count(mac, "kernel", "syscalls")
+        hub.count(mac, "kernel", f"syscall.{name}.calls")
+        hub.observe(mac, "kernel", f"syscall.{name}.ns",
+                    ledger.total() - before_ns)
+
+    def _observe_registry(self, hub) -> None:
+        hub.gauge(self.machine.mac_addr, "kernel", "registry.size",
+                  len(self.registry))
+        hub.gauge_max(self.machine.mac_addr, "kernel",
+                      "registry.size.hw", len(self.registry))
+
     # --- register_mem (producer side) ----------------------------------------
 
     def register_mem(self, space: AddressSpace, fid: str, key: int,
@@ -97,6 +117,8 @@ class Kernel:
         (``mode=MAP_WHOLE_SPACE``, the paper's final design) or just the heap
         segment (``MAP_HEAP_ONLY``, the initial design Section 6 discusses).
         """
+        hub = _telemetry()
+        before_ns = space.ledger.total() if hub is not None else 0
         space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
         rng = self._resolve_range(space, vm_start, vm_end, mode)
         snapshot: Dict[int, int] = {}
@@ -122,6 +144,12 @@ class Kernel:
                            registered_at=self.machine.engine.now,
                            owner=space.name, extra_pages=extra_pages)
         self.registry.add(reg)
+        if hub is not None:
+            self._observe_syscall(hub, "register_mem", space.ledger,
+                                  before_ns)
+            self._observe_registry(hub)
+            hub.count(self.machine.mac_addr, "kernel",
+                      "pages.registered", len(snapshot))
         return VmMeta(mac_addr=self.machine.mac_addr, fid=fid, key=key,
                       vm_start=rng.start, vm_end=rng.end,
                       pages_registered=len(snapshot))
@@ -160,6 +188,8 @@ class Kernel:
         :class:`~repro.errors.AuthenticationFailed` on bad (id, key) and
         :class:`~repro.errors.RmapFailed` on address conflicts.
         """
+        hub = _telemetry()
+        before_ns = space.ledger.total() if hub is not None else 0
         space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
         lazy = page_table_mode == PT_ONDEMAND
         reply = self.machine.rpc.call(
@@ -202,6 +232,8 @@ class Kernel:
         meta = VmMeta(mac_addr=mac_addr, fid=fid, key=key,
                       vm_start=rng.start, vm_end=rng.end,
                       pages_registered=len(snapshot))
+        if hub is not None:
+            self._observe_syscall(hub, "rmap", space.ledger, before_ns)
         return RmapHandle(self, space, vma, meta)
 
     def _handle_auth_rpc(self, payload) -> dict:
@@ -241,6 +273,12 @@ class Kernel:
         if framework_key is not None and framework_key != self.framework_key:
             raise AuthenticationFailed("bad framework credential")
         self.registry.remove(fid, key)
+        hub = _telemetry()
+        if hub is not None:
+            hub.count(self.machine.mac_addr, "kernel",
+                      "syscall.deregister_mem.calls")
+            hub.count(self.machine.mac_addr, "kernel", "syscalls")
+            self._observe_registry(hub)
 
     def deregister_remote(self, mac_addr: str, fid: str, key: int,
                           ledger) -> None:
@@ -251,6 +289,9 @@ class Kernel:
 
     def _handle_deregister_rpc(self, payload) -> bool:
         self.registry.remove(payload["fid"], payload["key"])
+        hub = _telemetry()
+        if hub is not None:
+            self._observe_registry(hub)
         return True
 
     # --- set_segment ------------------------------------------------------------
@@ -275,6 +316,12 @@ class Kernel:
         for reg in self.registry.expired(now, lease_ns + grace_ns):
             self.registry.remove(reg.fid, reg.key)
             reclaimed.append(reg.fid)
+        if reclaimed:
+            hub = _telemetry()
+            if hub is not None:
+                hub.count(self.machine.mac_addr, "kernel",
+                          "lease.reclaimed", len(reclaimed))
+                self._observe_registry(hub)
         return reclaimed
 
     def lease_scanner(self, interval_ns: int,

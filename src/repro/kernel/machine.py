@@ -38,6 +38,7 @@ class Machine:
         self.fabric = fabric
         self.cost = cost
         self.physical = PhysicalMemory(memory_bytes)
+        self.physical.owner = mac_addr
         self.nic = RdmaNic(mac_addr, fabric, cost)
         self.rpc = RpcEndpoint(mac_addr, fabric, cost)
         self.cpu = Resource(engine, cores, name=f"{mac_addr}.cpu")

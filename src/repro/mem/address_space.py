@@ -11,6 +11,7 @@ from repro.mem.pagetable import (PTE, PTE_PRESENT, PTE_WRITE,
                                  PageTable)
 from repro.mem.physical import PhysicalMemory
 from repro.mem.vma import VMA
+from repro.obs.telemetry import current as _telemetry
 from repro.sim.ledger import Ledger
 from repro.units import PAGE_SIZE, CostModel, DEFAULT_COST_MODEL
 
@@ -90,6 +91,11 @@ class AddressSpace:
                 raise SegmentationFault(vaddr)
             self.fault_count += 1
             pte = vma.handle_fault(self, vpn, write)
+            hub = _telemetry()
+            if hub is not None:
+                hub.count(self.name, "mem", "faults")
+                hub.gauge_max(self.name, "mem", "resident.pages.hw",
+                              len(self.page_table))
         if write:
             if pte.cow:
                 pte = self._break_cow(vpn, pte)
@@ -104,6 +110,9 @@ class AddressSpace:
         frame = self.physical.duplicate(old_pfn)
         self.physical.put(old_pfn)
         self.ledger.charge(self.cost.page_fault_ns, "cow-break")
+        hub = _telemetry()
+        if hub is not None:
+            hub.count(self.name, "mem", "cow.breaks")
         return self.page_table.remap(vpn, frame.pfn, PTE_PRESENT | PTE_WRITE)
 
     # --- byte access -----------------------------------------------------------
@@ -158,6 +167,10 @@ class AddressSpace:
                 pte.mark_cow()
                 marked += 1
         self.ledger.charge(marked * self.cost.cow_mark_per_page_ns, "cow-mark")
+        if marked:
+            hub = _telemetry()
+            if hub is not None:
+                hub.count(self.name, "mem", "cow.marked", marked)
         return marked
 
     # --- introspection -----------------------------------------------------------

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import MemoryError_, OutOfMemory
+from repro.obs.telemetry import current as _telemetry
 from repro.units import PAGE_SIZE
 
 
@@ -41,6 +42,8 @@ class PhysicalMemory:
         self._free_pfns: List[int] = []
         self._next_pfn = 0
         self.peak_frames = 0
+        # telemetry label; the owning Machine sets this to its MAC
+        self.owner = "pm"
 
     # --- accounting ---------------------------------------------------------
 
@@ -84,6 +87,10 @@ class PhysicalMemory:
         self._frames[pfn] = frame
         if self.used_frames > self.peak_frames:
             self.peak_frames = self.used_frames
+            hub = _telemetry()
+            if hub is not None:
+                hub.gauge_max(self.owner, "mem", "frames.resident.hw",
+                              self.peak_frames)
         return frame
 
     def live_pfns(self) -> List[int]:

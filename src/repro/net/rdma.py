@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, List
 
 from repro.errors import (Disconnected, MemoryError_, NetworkError, QpBroken,
                           RemoteAccessError)
+from repro.obs.telemetry import current as _telemetry
 from repro.sim.ledger import Ledger
 from repro.units import PAGE_SIZE, CostModel, transfer_time_ns
 
@@ -113,9 +114,13 @@ class QueuePair:
             raise RemoteAccessError(
                 f"READ of pfn {req.pfn} on {self.remote_mac!r}: remote "
                 f"memory invalid ({err})") from err
-        ledger.charge(self.read_cost_ns(req.length), category)
+        cost_ns = self.read_cost_ns(req.length)
+        ledger.charge(cost_ns, category)
         self.reads_posted += 1
         self.bytes_read += req.length
+        hub = _telemetry()
+        if hub is not None:
+            self._observe_ops(hub, "reads", 1, req.length, cost_ns)
         return data
 
     def read_batch(self, requests: List[ReadRequest], ledger: Ledger,
@@ -134,11 +139,20 @@ class QueuePair:
                 raise RemoteAccessError(
                     f"batched READ of pfn {r.pfn} on {self.remote_mac!r}: "
                     f"remote memory invalid ({err})") from err
-        ledger.charge(self.batch_cost_ns(requests), category)
+        cost_ns = self.batch_cost_ns(requests)
+        ledger.charge(cost_ns, category)
+        rings = max(1, -(-len(requests) // self.MAX_BATCH_ENTRIES))
+        nbytes = sum(r.length for r in requests)
         self.reads_posted += len(requests)
-        self.doorbells_rung += max(
-            1, -(-len(requests) // self.MAX_BATCH_ENTRIES))
-        self.bytes_read += sum(r.length for r in requests)
+        self.doorbells_rung += rings
+        self.bytes_read += nbytes
+        hub = _telemetry()
+        if hub is not None:
+            self._observe_ops(hub, "reads", len(requests), nbytes, cost_ns)
+            mac = self.nic.mac_addr
+            hub.count(mac, "net.rdma", "doorbells", rings)
+            hub.observe(mac, "net.rdma", "doorbell.batch_entries",
+                        len(requests))
         return out
 
     def write(self, pfn: int, data: bytes, offset: int, ledger: Ledger,
@@ -152,7 +166,21 @@ class QueuePair:
             raise RemoteAccessError(
                 f"WRITE of pfn {pfn} on {self.remote_mac!r}: remote "
                 f"memory invalid ({err})") from err
-        ledger.charge(self.read_cost_ns(len(data)), category)
+        cost_ns = self.read_cost_ns(len(data))
+        ledger.charge(cost_ns, category)
+        hub = _telemetry()
+        if hub is not None:
+            self._observe_ops(hub, "writes", 1, len(data), cost_ns)
+
+    def _observe_ops(self, hub, op: str, n: int, nbytes: int,
+                     cost_ns: int) -> None:
+        """Publish per-QP and per-NIC counters for *n* verbs."""
+        mac = self.nic.mac_addr
+        hub.count(mac, "net.rdma", op, n)
+        hub.count(mac, "net.rdma", "bytes", nbytes)
+        hub.count(mac, "net.rdma", "busy.ns", cost_ns)
+        hub.count(mac, "net.rdma", f"qp.{self.remote_mac}.{op}", n)
+        hub.count(mac, "net.rdma", f"qp.{self.remote_mac}.bytes", nbytes)
 
     # -- failure handling --------------------------------------------------
 
@@ -167,6 +195,9 @@ class QueuePair:
     def _fail_verb(self, ledger: Ledger) -> None:
         ledger.charge(self._error_cost_ns(), "rdma-fault")
         self.failed_verbs += 1
+        hub = _telemetry()
+        if hub is not None:
+            hub.count(self.nic.mac_addr, "net.rdma", "verbs.failed")
 
     def _check_usable(self, ledger: Ledger) -> "Machine":
         """Resolve the remote machine, surfacing failures as typed errors
@@ -225,6 +256,10 @@ class RdmaNic:
         qp = QueuePair(self, remote_mac,
                        remote_incarnation=remote.incarnation)
         self._qps[remote_mac] = qp
+        hub = _telemetry()
+        if hub is not None:
+            hub.count(self.mac_addr, "net.rdma", "qp.connects")
+            hub.count(self.mac_addr, "net.rdma", "busy.ns", setup)
         return qp
 
     def connected_to(self, remote_mac: str) -> bool:

@@ -11,6 +11,7 @@ import sys
 from typing import TYPE_CHECKING, Any, Callable, Dict
 
 from repro.errors import NetworkError
+from repro.obs.telemetry import current as _telemetry
 from repro.sim.ledger import Ledger
 from repro.units import CostModel, transfer_time_ns
 
@@ -75,12 +76,21 @@ class RpcEndpoint:
         except Exception as err:  # noqa: BLE001 - surfaces as RPC failure
             raise RpcError(f"remote handler {method!r} failed: {err}") \
                 from err
-        wire = (transfer_time_ns(estimate_payload_bytes(payload),
+        payload_bytes = estimate_payload_bytes(payload)
+        result_bytes = estimate_payload_bytes(result)
+        wire = (transfer_time_ns(payload_bytes,
                                  self.cost.rdma_bandwidth_gbps)
-                + transfer_time_ns(estimate_payload_bytes(result),
+                + transfer_time_ns(result_bytes,
                                    self.cost.rdma_bandwidth_gbps))
         penalty = self.fabric.penalty(self.mac_addr, remote_mac)
-        ledger.charge(int(penalty * (self.cost.rpc_roundtrip_ns + wire)),
-                      category)
+        cost_ns = int(penalty * (self.cost.rpc_roundtrip_ns + wire))
+        ledger.charge(cost_ns, category)
         remote.calls_served += 1
+        hub = _telemetry()
+        if hub is not None:
+            hub.count(self.mac_addr, "net.rpc", "calls")
+            hub.count(self.mac_addr, "net.rpc", f"method.{method}")
+            hub.count(self.mac_addr, "net.rpc", "bytes",
+                      payload_bytes + result_bytes)
+            hub.count(self.mac_addr, "net.rpc", "busy.ns", cost_ns)
         return result

@@ -1,0 +1,49 @@
+"""repro.obs — cross-layer telemetry behind one hub.
+
+Counters, gauges, log-binned histograms, structured events and spans from
+every layer of the simulated stack (engine, memory, RDMA/RPC, kernel,
+platform, chaos), keyed by ``(machine, layer, name)``, at zero simulated
+cost.  Exporters serialize a hub to JSON, CSV, or Chrome trace-event
+format (loadable in Perfetto), merging spans from the existing
+:class:`~repro.analysis.tracing.Tracer`.
+
+Quick use::
+
+    from repro import obs
+
+    with obs.capture() as hub:
+        result = repro.api.run("wordcount", "rmmap", seed=1)
+    obs.write_chrome_trace(hub, "trace.json")
+
+See ``docs/observability.md`` for the metric naming scheme.
+"""
+
+from repro.obs.telemetry import (Histogram, MetricKey, Telemetry,
+                                 WALL_PREFIX, capture, current, install,
+                                 uninstall)
+from repro.obs.export import (to_chrome_trace, to_chrome_trace_json,
+                              to_csv, to_json, write_chrome_trace,
+                              write_csv, write_json)
+from repro.obs.rollup import (TRANSFER_LAYER, rollup_ledger,
+                              rollup_record)
+
+__all__ = [
+    "Histogram",
+    "MetricKey",
+    "Telemetry",
+    "WALL_PREFIX",
+    "capture",
+    "current",
+    "install",
+    "uninstall",
+    "to_chrome_trace",
+    "to_chrome_trace_json",
+    "to_csv",
+    "to_json",
+    "write_chrome_trace",
+    "write_csv",
+    "write_json",
+    "TRANSFER_LAYER",
+    "rollup_ledger",
+    "rollup_record",
+]

@@ -1,0 +1,164 @@
+"""Telemetry exporters: JSON, CSV and Chrome trace-event format.
+
+The Chrome export targets the `trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+understood by Perfetto / ``chrome://tracing``:
+
+* hub spans and (optionally) :class:`~repro.analysis.tracing.Tracer` spans
+  become complete ``"X"`` events;
+* counter/gauge time series become ``"C"`` counter tracks;
+* structured events become instant ``"i"`` events.
+
+Processes (``pid``) map to machines and threads (``tid``) to layers, with
+``"M"`` metadata records naming both, so a trace opens as one row per
+(machine, layer).  Host wall-clock metrics (``wall.`` prefix) are skipped,
+making the export a deterministic function of the seeded run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.telemetry import Telemetry, WALL_PREFIX
+
+
+def to_json(hub: Telemetry, deterministic: bool = False,
+            indent: Optional[int] = 2) -> str:
+    """The hub snapshot as a JSON document."""
+    return json.dumps(hub.snapshot(deterministic=deterministic),
+                      indent=indent, sort_keys=True)
+
+
+def write_json(hub: Telemetry, path: str,
+               deterministic: bool = False) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_json(hub, deterministic=deterministic))
+        fh.write("\n")
+
+
+def to_csv(hub: Telemetry, deterministic: bool = False) -> str:
+    """Counters, gauges and histogram summaries as flat CSV rows."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["kind", "machine", "layer", "name", "field", "value"])
+    for kind, (machine, layer, name), value in hub.iter_metrics():
+        if deterministic and name.startswith(WALL_PREFIX):
+            continue
+        if kind == "histogram":
+            for fname, fvalue in (("count", value.count),
+                                  ("sum", value.sum),
+                                  ("min", value.min), ("max", value.max),
+                                  ("p50", value.quantile(0.5)),
+                                  ("p99", value.quantile(0.99))):
+                writer.writerow([kind, machine, layer, name, fname,
+                                 fvalue])
+        else:
+            writer.writerow([kind, machine, layer, name, "value", value])
+    return out.getvalue()
+
+
+def write_csv(hub: Telemetry, path: str,
+              deterministic: bool = False) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        fh.write(to_csv(hub, deterministic=deterministic))
+
+
+# -- Chrome trace-event format -------------------------------------------------
+
+def _us(ns: int) -> float:
+    """Trace-event timestamps are microseconds."""
+    return ns / 1000.0
+
+
+def to_chrome_trace(hub: Telemetry, tracer=None) -> Dict[str, Any]:
+    """The hub (plus an optional span Tracer) as a trace-event dict.
+
+    ``tracer`` may be an :class:`~repro.analysis.tracing.Tracer` whose
+    finished spans are merged in under the ``platform`` layer — the paper
+    figures' existing span source rides along in the same timeline.
+    Events are sorted by timestamp (stable on insertion order), so ``ts``
+    is monotone across the whole file.
+    """
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    meta: List[Dict[str, Any]] = []
+
+    def pid_of(machine: str) -> int:
+        pid = pids.get(machine)
+        if pid is None:
+            pid = pids[machine] = len(pids) + 1
+            meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                         "tid": 0, "args": {"name": machine}})
+        return pid
+
+    def tid_of(machine: str, layer: str) -> int:
+        key = (machine, layer)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = sum(1 for k in tids if k[0] == machine) + 1
+            meta.append({"ph": "M", "name": "thread_name",
+                         "pid": pid_of(machine), "tid": tid,
+                         "args": {"name": layer}})
+        return tid
+
+    body: List[Dict[str, Any]] = []
+
+    for span in hub.spans:
+        machine, layer = span["machine"], span["layer"]
+        body.append({
+            "ph": "X", "name": span["name"], "cat": layer,
+            "pid": pid_of(machine), "tid": tid_of(machine, layer),
+            "ts": _us(span["start_ns"]),
+            "dur": _us(span["end_ns"] - span["start_ns"]),
+            "args": dict(span["attributes"]),
+        })
+
+    if tracer is not None:
+        for span in tracer.finished_spans():
+            body.append({
+                "ph": "X", "name": span.name, "cat": "platform.trace",
+                "pid": pid_of("coordinator"),
+                "tid": tid_of("coordinator", "platform.trace"),
+                "ts": _us(span.start_ns),
+                "dur": _us(span.end_ns - span.start_ns),
+                "args": dict(span.attributes),
+            })
+
+    for key in sorted(hub.series):
+        machine, layer, name = key
+        if name.startswith(WALL_PREFIX):
+            continue
+        track = f"{layer}/{name}"
+        for ts, value in hub.series[key].samples:
+            body.append({
+                "ph": "C", "name": track, "cat": layer,
+                "pid": pid_of(machine), "tid": 0,
+                "ts": _us(ts), "args": {name: value},
+            })
+
+    for event in hub.events:
+        machine, layer = event["machine"], event["layer"]
+        body.append({
+            "ph": "i", "s": "t", "name": event["name"], "cat": layer,
+            "pid": pid_of(machine), "tid": tid_of(machine, layer),
+            "ts": _us(event["ts"]), "args": dict(event["attributes"]),
+        })
+
+    body.sort(key=lambda e: e["ts"])
+    return {"traceEvents": meta + body,
+            "displayTimeUnit": "ms",
+            "otherData": {"source": "repro.obs",
+                          "clock_domain": "simulated-ns"}}
+
+
+def to_chrome_trace_json(hub: Telemetry, tracer=None) -> str:
+    return json.dumps(to_chrome_trace(hub, tracer=tracer), sort_keys=True)
+
+
+def write_chrome_trace(hub: Telemetry, path: str, tracer=None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_chrome_trace_json(hub, tracer=tracer))
+        fh.write("\n")

@@ -1,0 +1,51 @@
+"""Fold Ledger category totals onto the hub via ``STAGE_CATEGORIES``.
+
+This is the same category→stage mapping that Fig 11's
+:class:`~repro.transfer.base.StageMeter` uses; the rollup only *reads*
+ledgers and invocation records, so T/N/R semantics are untouched — the hub
+just gains ``transfer`` layer counters mirroring the per-figure rollups
+every experiment used to hand-roll.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
+    from repro.sim.ledger import Ledger
+
+#: Layer under which ledger rollups are filed.
+TRANSFER_LAYER = "transfer"
+
+
+def rollup_ledger(hub: "Telemetry", ledger: "Ledger",
+                  machine: str = "cluster",
+                  layer: str = TRANSFER_LAYER) -> None:
+    """Fold one ledger's lifetime category totals into hub counters.
+
+    Emits both the raw ``category.<cat>.ns`` counters and the Fig 11
+    ``stage.<transform|network|reconstruct|access>.ns`` rollup.
+    """
+    from repro.transfer.base import STAGE_CATEGORIES  # lazy: avoid cycle
+
+    for cat, ns in ledger.items():
+        stage = STAGE_CATEGORIES.get(cat, "network")
+        hub.count(machine, layer, f"category.{cat}.ns", ns)
+        hub.count(machine, layer, f"stage.{stage}.ns", ns)
+
+
+def rollup_record(hub: "Telemetry", record,
+                  machine: str = "cluster",
+                  layer: str = TRANSFER_LAYER) -> None:
+    """Fold one :class:`InvocationRecord`'s stage totals into hub counters.
+
+    Uses the record's own :meth:`stage_totals` — the exact numbers the
+    figures report — so hub totals and figure totals can never diverge.
+    """
+    for stage, ns in record.stage_totals().items():
+        hub.count(machine, layer, f"stage.{stage}.ns", ns)
+    hub.count(machine, layer, "invocation.latency.ns", record.latency_ns)
+    hub.count(machine, layer, "invocation.compute.ns", record.compute_ns)
+    hub.count(machine, layer, "invocation.platform.ns",
+              record.platform_ns)

@@ -1,0 +1,330 @@
+"""The cross-layer telemetry hub.
+
+A :class:`Telemetry` hub collects counters, gauges, log-binned histograms,
+structured events and finished spans from every layer of the simulated
+stack, keyed by ``(machine, layer, name)``.  Like the span
+:class:`~repro.analysis.tracing.Tracer`, it is a pure *clock observer*: no
+hub operation ever charges a ledger or advances simulated time, so an
+instrumented run produces byte-identical Fig 11 T/N/R totals.
+
+Instrumentation points follow one pattern::
+
+    from repro.obs import current as obs_hub
+    ...
+    hub = obs_hub()
+    if hub is not None:
+        hub.count(machine, "net.rdma", "reads")
+
+With no hub installed (the default) the cost is one global read and a
+``None`` check.  Installation is process-global and explicit —
+:func:`install` / :func:`uninstall`, or the :func:`capture` context
+manager — mirroring how tracing is opt-in.
+
+Determinism: every recorded value derives from the simulated clock and the
+seeded simulation, except metrics whose name carries the ``wall.`` prefix
+(host wall-clock measurements).  :meth:`Telemetry.snapshot` with
+``deterministic=True`` filters those, so same seed ⇒ identical snapshot.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: (machine, layer, name) — the key every metric is filed under.
+MetricKey = Tuple[str, str, str]
+
+#: Prefix marking metrics measured against the host wall clock; they are
+#: excluded from deterministic snapshots and the Chrome-trace export.
+WALL_PREFIX = "wall."
+
+
+class Histogram:
+    """A log2-binned histogram over non-negative integers (ns domain).
+
+    Bin ``b`` holds values whose bit length is ``b``: bin 0 is exactly 0,
+    bin 1 is {1}, bin 2 is [2, 3], bin ``b`` is [2**(b-1), 2**b - 1].
+    Integer-only arithmetic keeps recording exact and deterministic.
+    """
+
+    __slots__ = ("bins", "count", "sum", "min", "max")
+
+    def __init__(self):
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        v = int(value)
+        if v < 0:
+            v = 0
+        b = v.bit_length()
+        self.bins[b] = self.bins.get(b, 0) + 1
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    @staticmethod
+    def bin_bounds(b: int) -> Tuple[int, int]:
+        """Inclusive [lo, hi] value range of bin *b*."""
+        if b <= 0:
+            return (0, 0)
+        return (1 << (b - 1), (1 << b) - 1)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> int:
+        """Approximate quantile: the upper bound of the covering bin."""
+        if not self.count:
+            return 0
+        target = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for b in sorted(self.bins):
+            seen += self.bins[b]
+            if seen >= target:
+                return self.bin_bounds(b)[1]
+        return self.bin_bounds(max(self.bins))[1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max,
+                "bins": {str(b): n for b, n in sorted(self.bins.items())}}
+
+
+class _Series:
+    """A decimated (ts, value) time series for one counter/gauge.
+
+    Keeps at most *cap* samples: when full, every other sample is dropped
+    and the sampling stride doubles.  Decimation depends only on the
+    number of updates, never on wall time, so it is deterministic.
+    """
+
+    __slots__ = ("samples", "stride", "cap", "_updates")
+
+    def __init__(self, cap: int = 512):
+        self.samples: List[Tuple[int, int]] = []
+        self.stride = 1
+        self.cap = cap
+        self._updates = 0
+
+    def add(self, ts: int, value: int) -> None:
+        self._updates += 1
+        if self._updates % self.stride:
+            return
+        self.samples.append((ts, value))
+        if len(self.samples) >= self.cap:
+            self.samples = self.samples[::2]
+            self.stride *= 2
+
+
+class Telemetry:
+    """Hub carrying all telemetry of one (or several sequential) runs.
+
+    All mutating methods are cheap and allocation-light; none touches a
+    ledger or the event queue.  ``clock`` is attached by the simulation
+    engine (see :meth:`attach_clock`); before any engine exists it reads 0.
+    """
+
+    def __init__(self, max_events: int = 20_000,
+                 series_cap: int = 512):
+        self.counters: Dict[MetricKey, int] = {}
+        self.gauges: Dict[MetricKey, int] = {}
+        self.histograms: Dict[MetricKey, Histogram] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.spans: List[Dict[str, Any]] = []
+        self.series: Dict[MetricKey, _Series] = {}
+        self.max_events = max_events
+        self.dropped_events = 0
+        self._series_cap = series_cap
+        self._clock: Callable[[], int] = lambda: 0
+        self._clock_owner: Optional[object] = None
+
+    # -- clock ---------------------------------------------------------------
+
+    def attach_clock(self, engine) -> None:
+        """Follow *engine*'s simulated clock (idempotent per engine).
+
+        Experiments that build several engines sequentially re-attach as
+        each engine starts running; timestamps always come from the engine
+        currently driving the simulation.
+        """
+        if self._clock_owner is engine:
+            return
+        self._clock_owner = engine
+        self._clock = lambda: engine.now
+
+    def now(self) -> int:
+        return self._clock()
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, machine: str, layer: str, name: str,
+              value: int = 1) -> None:
+        """Add *value* to a monotonically growing counter."""
+        key = (machine, layer, name)
+        total = self.counters.get(key, 0) + int(value)
+        self.counters[key] = total
+        self._sample(key, total)
+
+    def gauge(self, machine: str, layer: str, name: str,
+              value: int) -> None:
+        """Set a point-in-time gauge."""
+        key = (machine, layer, name)
+        self.gauges[key] = int(value)
+        self._sample(key, int(value))
+
+    def gauge_max(self, machine: str, layer: str, name: str,
+                  value: int) -> None:
+        """Raise a high-water-mark gauge (no-op when below the mark)."""
+        key = (machine, layer, name)
+        value = int(value)
+        if value > self.gauges.get(key, -(1 << 62)):
+            self.gauges[key] = value
+            self._sample(key, value)
+
+    def observe(self, machine: str, layer: str, name: str,
+                value: int) -> None:
+        """Record *value* into a log-binned histogram."""
+        key = (machine, layer, name)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.record(value)
+
+    def event(self, machine: str, layer: str, name: str,
+              **attributes: Any) -> None:
+        """Record one timestamped structured event."""
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append({"ts": self.now(), "machine": machine,
+                            "layer": layer, "name": name,
+                            "attributes": attributes})
+
+    def span(self, machine: str, layer: str, name: str, start_ns: int,
+             end_ns: int, **attributes: Any) -> None:
+        """Record one finished interval (same shape as Tracer spans)."""
+        self.spans.append({"machine": machine, "layer": layer,
+                           "name": name, "start_ns": int(start_ns),
+                           "end_ns": int(end_ns),
+                           "attributes": attributes})
+
+    def _sample(self, key: MetricKey, value: int) -> None:
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = _Series(self._series_cap)
+        series.add(self._clock(), value)
+
+    # -- introspection -------------------------------------------------------
+
+    def layers(self) -> List[str]:
+        """Distinct layers that recorded anything."""
+        seen = {k[1] for k in self.counters}
+        seen.update(k[1] for k in self.gauges)
+        seen.update(k[1] for k in self.histograms)
+        seen.update(e["layer"] for e in self.events)
+        seen.update(s["layer"] for s in self.spans)
+        return sorted(seen)
+
+    def counter(self, machine: str, layer: str, name: str) -> int:
+        return self.counters.get((machine, layer, name), 0)
+
+    def total(self, layer: str, name: str) -> int:
+        """Sum one counter name across machines within a layer."""
+        return sum(v for (_m, lyr, n), v in self.counters.items()
+                   if lyr == layer and n == name)
+
+    def iter_metrics(self) -> Iterator[Tuple[str, MetricKey, Any]]:
+        """(kind, key, value) over counters, gauges and histograms."""
+        for key in sorted(self.counters):
+            yield "counter", key, self.counters[key]
+        for key in sorted(self.gauges):
+            yield "gauge", key, self.gauges[key]
+        for key in sorted(self.histograms):
+            yield "histogram", key, self.histograms[key]
+
+    def snapshot(self, deterministic: bool = False) -> Dict[str, Any]:
+        """A JSON-ready dict of everything the hub holds.
+
+        ``deterministic=True`` drops ``wall.``-prefixed metrics so the
+        result is a pure function of the seeded simulation.
+        """
+        def keep(key: MetricKey) -> bool:
+            return not (deterministic and key[2].startswith(WALL_PREFIX))
+
+        return {
+            "counters": [
+                {"machine": m, "layer": lyr, "name": n, "value": v}
+                for (m, lyr, n), v in sorted(self.counters.items())
+                if keep((m, lyr, n))],
+            "gauges": [
+                {"machine": m, "layer": lyr, "name": n, "value": v}
+                for (m, lyr, n), v in sorted(self.gauges.items())
+                if keep((m, lyr, n))],
+            "histograms": [
+                {"machine": m, "layer": lyr, "name": n,
+                 **self.histograms[(m, lyr, n)].to_dict()}
+                for (m, lyr, n) in sorted(self.histograms)
+                if keep((m, lyr, n))],
+            "events": list(self.events),
+            "spans": list(self.spans),
+            "dropped_events": self.dropped_events,
+        }
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.events.clear()
+        self.spans.clear()
+        self.series.clear()
+        self.dropped_events = 0
+
+
+# -- the process-global current hub -------------------------------------------
+
+_current: Optional[Telemetry] = None
+
+
+def current() -> Optional[Telemetry]:
+    """The installed hub, or None (the no-telemetry fast path)."""
+    return _current
+
+
+def install(hub: Optional[Telemetry] = None) -> Telemetry:
+    """Make *hub* (or a fresh one) the process-global current hub."""
+    global _current
+    _current = hub if hub is not None else Telemetry()
+    return _current
+
+
+def uninstall() -> Optional[Telemetry]:
+    """Remove and return the current hub."""
+    global _current
+    hub, _current = _current, None
+    return hub
+
+
+@contextmanager
+def capture(hub: Optional[Telemetry] = None):
+    """Install *hub* for the duration of a ``with`` block.
+
+    Nests safely: the previously installed hub (if any) is restored on
+    exit, so a façade run inside a CLI-wide capture reuses or shadows the
+    outer hub without clobbering it.
+    """
+    global _current
+    previous = _current
+    active = hub if hub is not None else Telemetry()
+    _current = active
+    try:
+        yield active
+    finally:
+        _current = previous

@@ -21,6 +21,7 @@ from repro.errors import (AuthenticationFailed, ContainerKilled,
                           RemoteAccessError, ReproError, WorkflowError)
 from repro.kernel.remote_pager import FETCH_RPC
 from repro.net.rpc import RpcError
+from repro.obs.telemetry import current as _telemetry
 from repro.platform.container import STATE_DEAD, Container
 from repro.platform.dag import Edge, FunctionSpec, Workflow
 from repro.platform.planner import VmPlan
@@ -211,6 +212,7 @@ class WorkflowCoordinator:
         self.stats = ResilienceStats()
         self._suspended_until = 0  # coordinator-crash failover window
         self._next_request = 0
+        self._inflight = 0
         # Section 6: RMMAP cannot bridge different language runtimes
         # (object layouts differ); mixed-runtime edges fall back to
         # messaging.  Lazily constructed to avoid the cost when unused.
@@ -251,6 +253,9 @@ class WorkflowCoordinator:
         self.stats.failovers += 1
         self.stats.note(self.engine.now,
                         f"coordinator crash, failover {failover_ns} ns")
+        hub = _telemetry()
+        if hub is not None:
+            hub.count("cluster", "chaos", "coordinator.failovers")
 
     def _control_barrier(self):
         """Stall until any in-progress coordinator failover completes.
@@ -320,6 +325,14 @@ class WorkflowCoordinator:
                         params: Dict[str, Any]):
         wf = self.workflow
         inv = _InvocationState(record, params)
+        self._inflight += 1
+        hub = _telemetry()
+        if hub is not None:
+            hub.count("coordinator", "platform", "invocations.started")
+            hub.gauge("coordinator", "platform", "invocations.inflight",
+                      self._inflight)
+            hub.gauge_max("coordinator", "platform",
+                          "invocations.inflight.hw", self._inflight)
         yield from self._control_barrier()
         inv_span = self.tracer.begin(
             f"{wf.name}#{record.request_id}", self.engine.now)
@@ -342,6 +355,17 @@ class WorkflowCoordinator:
         yield from self._cleanup(inv)
         record.end_ns = self.engine.now
         self.tracer.end(inv_span, self.engine.now)
+        self._inflight -= 1
+        hub = _telemetry()
+        if hub is not None:
+            hub.count("coordinator", "platform", "invocations.completed")
+            hub.gauge("coordinator", "platform", "invocations.inflight",
+                      self._inflight)
+            hub.span("coordinator", "platform",
+                     f"{wf.name}#{record.request_id}",
+                     record.start_ns, record.end_ns,
+                     request_id=record.request_id,
+                     functions=len(record.functions))
         if len(sink_values) == 1:
             values = next(iter(sink_values.values()))
             record.result = values[0] if len(values) == 1 else values
@@ -397,6 +421,9 @@ class WorkflowCoordinator:
                 if span is not None:
                     self.tracer.end(span, self.engine.now)
                 self.stats.retries += 1
+                hub = _telemetry()
+                if hub is not None:
+                    hub.count("cluster", "chaos", "retries")
                 self.stats.note(
                     self.engine.now,
                     f"retry {spec.name}#{index} attempt {attempt + 1} "
@@ -406,6 +433,15 @@ class WorkflowCoordinator:
         frec.end_ns = self.engine.now
         self.tracer.end(span, frec.end_ns)
         record.functions.append(frec)
+        hub = _telemetry()
+        if hub is not None:
+            hub.count("coordinator", "platform", "instances.completed")
+            hub.span(container.machine.mac_addr, "platform",
+                     f"{spec.name}#{index}", frec.start_ns, frec.end_ns,
+                     request_id=record.request_id, cold=frec.cold_start,
+                     compute_ns=frec.compute_ns,
+                     platform_ns=frec.platform_ns,
+                     transfer_ns=frec.transfer_ns)
         return output
 
     def _execute_in_container(self, inv: _InvocationState, frec, spec,
@@ -508,6 +544,9 @@ class WorkflowCoordinator:
                                                self.engine.now)):
                 token = self._degraded_token(token)
                 self.stats.fallbacks += 1
+                hub = _telemetry()
+                if hub is not None:
+                    hub.count("cluster", "chaos", "fallbacks")
                 self.stats.note(
                     self.engine.now,
                     f"degrade {edge.producer}->{edge.consumer}"
@@ -533,11 +572,17 @@ class WorkflowCoordinator:
                     if policy.breaker.record_failure(producer_mac,
                                                      self.engine.now):
                         self.stats.breaker_trips += 1
+                        hub = _telemetry()
+                        if hub is not None:
+                            hub.count("cluster", "chaos", "breaker.trips")
                         self.stats.note(self.engine.now,
                                         f"breaker open {producer_mac}")
                 if policy.retry.exhausted(attempt):
                     raise
                 self.stats.retries += 1
+                hub = _telemetry()
+                if hub is not None:
+                    hub.count("cluster", "chaos", "retries")
                 self.stats.note(
                     self.engine.now,
                     f"retry receive {edge.producer}->{edge.consumer}"
@@ -610,6 +655,9 @@ class WorkflowCoordinator:
             upstream = [p for e in self.workflow.upstream(output.function)
                         for p in inv.instance_procs[e.producer]]
             self.stats.reexecutions += 1
+            hub = _telemetry()
+            if hub is not None:
+                hub.count("cluster", "chaos", "reexecutions")
             self.stats.note(
                 self.engine.now,
                 f"reexecute {output.function}#{output.index}")

@@ -6,6 +6,7 @@ from collections import defaultdict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.kernel.machine import Machine
+from repro.obs.telemetry import current as _telemetry
 from repro.platform.container import (STATE_BUSY, STATE_DEAD, STATE_IDLE,
                                       Container)
 from repro.platform.dag import FunctionSpec
@@ -47,6 +48,13 @@ class Scheduler:
     def _notify(self, container: Container) -> None:
         for listener in self.listeners:
             listener(container)
+
+    def _observe_pods(self, hub) -> None:
+        in_use = self.containers_in_use()
+        hub.gauge("cluster", "platform", "pods.in_use", in_use)
+        hub.gauge_max("cluster", "platform", "pods.in_use.hw", in_use)
+        hub.gauge("cluster", "platform", "pods.alive",
+                  self.containers_alive())
 
     # -- capacity accounting -----------------------------------------------------
 
@@ -101,6 +109,10 @@ class Scheduler:
                 self.warm_starts += 1
                 container.acquire(self.engine.now)  # claim before yielding
                 self._notify(container)
+                hub = _telemetry()
+                if hub is not None:
+                    hub.count("cluster", "platform", "pods.warm_starts")
+                    self._observe_pods(hub)
                 yield Timeout(self.cost.container_warmstart_ns)
                 return container
             machine = self._least_loaded_machine()
@@ -120,6 +132,10 @@ class Scheduler:
         self._pool[key].append(container)
         container.acquire(self.engine.now)
         self._notify(container)
+        hub = _telemetry()
+        if hub is not None:
+            hub.count("cluster", "platform", "pods.cold_starts")
+            self._observe_pods(hub)
         return container
 
     def _signal_capacity(self) -> None:
@@ -147,6 +163,9 @@ class Scheduler:
         container.reset_heap()
         self._signal_capacity()
         self._notify(container)
+        hub = _telemetry()
+        if hub is not None:
+            self._observe_pods(hub)
 
     # -- failure handling (repro.chaos) -------------------------------------------
 
@@ -171,6 +190,11 @@ class Scheduler:
         self._per_machine_count[machine.mac_addr] = 0
         for _ in range(lost):
             self._signal_capacity()
+        if lost:
+            hub = _telemetry()
+            if hub is not None:
+                hub.count("cluster", "platform", "pods.lost", lost)
+                self._observe_pods(hub)
         return lost
 
     def kill_container(self, container: Container,
@@ -184,6 +208,10 @@ class Scheduler:
                 self._per_machine_count[container.machine.mac_addr] -= 1
                 container.kill(reason)
                 self._signal_capacity()
+                hub = _telemetry()
+                if hub is not None:
+                    hub.count("cluster", "platform", "pods.killed")
+                    self._observe_pods(hub)
                 return True
         return False
 
@@ -222,3 +250,7 @@ class Scheduler:
         if not self._pool[key]:
             del self._pool[key]
         self._signal_capacity()
+        hub = _telemetry()
+        if hub is not None:
+            hub.count("cluster", "platform", "pods.evicted")
+            self._observe_pods(hub)

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.telemetry import current as _telemetry
 from repro.sim.event import Event
 
 
@@ -77,6 +79,9 @@ class Engine:
         self._seq = 0
         self._queue: List[Tuple[int, int, Any]] = []
         self._active = 0
+        hub = _telemetry()
+        if hub is not None:
+            hub.attach_clock(self)
 
     # --- clock ------------------------------------------------------------
 
@@ -119,6 +124,9 @@ class Engine:
         proc = Process(self, gen, name)
         self._active += 1
         self._push(self._now, ("resume", proc, None, None))
+        hub = _telemetry()
+        if hub is not None:
+            hub.count("sim", "sim.engine", "processes.spawned")
         return proc
 
     def _resume(self, proc: Process, value: Any = None) -> None:
@@ -214,6 +222,13 @@ class Engine:
 
         Returns the final simulated time.
         """
+        hub = _telemetry()
+        if hub is None:
+            return self._run_plain(until)
+        return self._run_observed(hub, until)
+
+    def _run_plain(self, until: Optional[int]) -> int:
+        """The uninstrumented event loop (no hub installed)."""
         while self._queue:
             at, _seq, item = self._queue[0]
             if until is not None and at > until:
@@ -238,6 +253,62 @@ class Engine:
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown queue item {kind!r}")
         return self._now
+
+    def _run_observed(self, hub, until: Optional[int]) -> int:
+        """The same loop with telemetry: per-kind dispatch counts, queue
+        depth high-water, and wall-clock per simulated second.  All
+        deterministic metrics observe the seeded simulation only; the
+        ``wall.*`` ones are excluded from deterministic exports."""
+        hub.attach_clock(self)
+        sim0 = self._now
+        wall0 = time.perf_counter_ns()
+        dispatched = {"trigger": 0, "resume": 0, "call": 0}
+        depth_hw = 0
+        try:
+            while self._queue:
+                depth = len(self._queue)
+                if depth > depth_hw:
+                    depth_hw = depth
+                at, _seq, item = self._queue[0]
+                if until is not None and at > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._queue)
+                if at < self._now:
+                    raise SimulationError("time went backwards")
+                self._now = at
+                kind = item[0]
+                dispatched[kind] = dispatched.get(kind, 0) + 1
+                if kind == "trigger":
+                    _, event, value = item
+                    if not event.triggered:
+                        event.succeed(value)
+                elif kind == "resume":
+                    _, proc, value, exc = item
+                    if not proc.triggered:
+                        self._step_process(proc, value, exc)
+                elif kind == "call":
+                    _, fn = item
+                    fn()
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(f"unknown queue item {kind!r}")
+            return self._now
+        finally:
+            total = 0
+            for kind, n in dispatched.items():
+                if n:
+                    hub.count("sim", "sim.engine", f"events.{kind}", n)
+                    total += n
+            if total:
+                hub.count("sim", "sim.engine", "events.dispatched", total)
+            hub.gauge_max("sim", "sim.engine", "queue.depth.hw", depth_hw)
+            sim_ns = self._now - sim0
+            if sim_ns > 0:
+                hub.count("sim", "sim.engine", "sim.advanced.ns", sim_ns)
+                wall_ns = time.perf_counter_ns() - wall0
+                hub.count("sim", "sim.engine", "wall.run.ns", wall_ns)
+                hub.gauge("sim", "sim.engine", "wall.ns_per_sim_s",
+                          wall_ns * 1_000_000_000 // sim_ns)
 
     def run_process(self, gen: Generator, name: str = "") -> Any:
         """Spawn *gen*, run to completion, and return its result."""

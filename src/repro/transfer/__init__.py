@@ -28,8 +28,11 @@ from repro.transfer.rmmap import RmmapTransport
 from repro.transfer.naos import NaosTransport
 from repro.transfer.adaptive import AdaptiveTransport
 from repro.transfer.compressed import CompressedMessagingTransport
+from repro.transfer.registry import get_transport, list_transports
 
 __all__ = [
+    "get_transport",
+    "list_transports",
     "Endpoint",
     "StateTransport",
     "StateHandle",

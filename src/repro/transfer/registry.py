@@ -1,0 +1,67 @@
+"""Transport registry: resolve transports by name.
+
+Every comparison surface (CLI, bench figures, the :mod:`repro.api`
+façade, chaos runs) needs "give me the transport called X" — previously
+each kept its own dict of constructors.  This registry is the single
+source of truth: names match each transport's ``name`` attribute, with
+``rmmap`` / ``rmmap-prefetch`` splitting the prefetch flag exactly as the
+paper's Fig 14 legend does.
+
+Keyword options pass through to the underlying constructor, so
+``get_transport("rmmap", registration_mode="subtree")`` works wherever a
+bare name does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.transfer.adaptive import AdaptiveTransport
+from repro.transfer.base import StateTransport
+from repro.transfer.compressed import CompressedMessagingTransport
+from repro.transfer.messaging import MessagingTransport
+from repro.transfer.naos import NaosTransport
+from repro.transfer.rmmap import RmmapTransport
+from repro.transfer.storage import StorageRdmaTransport, StorageTransport
+
+
+def _rmmap(**opts) -> RmmapTransport:
+    opts.setdefault("prefetch", False)
+    return RmmapTransport(**opts)
+
+
+def _rmmap_prefetch(**opts) -> RmmapTransport:
+    opts.setdefault("prefetch", True)
+    return RmmapTransport(**opts)
+
+
+_FACTORIES: Dict[str, Callable[..., StateTransport]] = {
+    "messaging": MessagingTransport,
+    "messaging-compressed": CompressedMessagingTransport,
+    "storage": StorageTransport,
+    "storage-rdma": StorageRdmaTransport,
+    "rmmap": _rmmap,
+    "rmmap-prefetch": _rmmap_prefetch,
+    "naos": NaosTransport,
+    "adaptive": AdaptiveTransport,
+}
+
+
+def list_transports() -> List[str]:
+    """Every registered transport name, sorted."""
+    return sorted(_FACTORIES)
+
+
+def get_transport(name: str, **opts) -> StateTransport:
+    """Build the transport registered under *name*.
+
+    Extra keyword arguments go to the transport's constructor (e.g.
+    ``get_transport("messaging", null_network=True)``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport {name!r}; "
+            f"pick one of {list_transports()}") from None
+    return factory(**opts)

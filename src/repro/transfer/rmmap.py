@@ -20,8 +20,6 @@ from repro.sim.ledger import Ledger
 from repro.transfer.base import (Endpoint, StateHandle, StateTransport,
                                  TransferToken)
 
-_fid_counter = itertools.count()
-
 
 class RmmapHandle(StateHandle):
     """State handle backed by a remote mapping."""
@@ -53,13 +51,17 @@ class RmmapTransport(StateTransport):
         self.registration_mode = registration_mode
         self.page_table_mode = page_table_mode
         self.rpc_fallback = rpc_fallback
+        # Per-instance so identically-seeded runs mint identical fid
+        # strings (a module-global counter leaks prior runs' progress
+        # into the RPC payload-size estimate via the fid length).
+        self._fid_counter = itertools.count()
 
     @property
     def name(self) -> str:
         return "rmmap-prefetch" if self.prefetch else "rmmap"
 
     def send(self, producer: Endpoint, root_addr: int) -> TransferToken:
-        fid = f"rmmap-{next(_fid_counter)}"
+        fid = f"rmmap-{next(self._fid_counter)}"
         key = (hash(fid) ^ 0x5EED) & 0xFFFFFFFF
         page_addrs = None
         object_count = 0

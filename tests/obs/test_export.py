@@ -1,0 +1,97 @@
+"""Exporter tests: JSON/CSV well-formedness and the Chrome trace format."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.tracing import Tracer
+from repro.bench.microbench import make_pair, measure_transfer
+from repro.obs import (Telemetry, capture, to_chrome_trace,
+                       to_chrome_trace_json, to_csv, to_json)
+from repro.transfer import get_transport
+from repro.workloads.data import make_trades
+
+
+@pytest.fixture()
+def instrumented_transfer():
+    """One rmmap transfer measured with a hub installed."""
+    hub = Telemetry()
+    with capture(hub):
+        _engine, producer, consumer = make_pair()
+        result = measure_transfer(get_transport("rmmap-prefetch"),
+                                  producer, consumer,
+                                  make_trades(n_rows=500))
+    return hub, result
+
+
+def test_transfer_touches_at_least_four_layers(instrumented_transfer):
+    hub, _ = instrumented_transfer
+    layers = set(hub.layers())
+    assert {"mem", "net.rdma", "net.rpc", "kernel"} <= layers
+
+
+def test_json_export_parses(instrumented_transfer):
+    hub, _ = instrumented_transfer
+    doc = json.loads(to_json(hub, deterministic=True))
+    assert doc["counters"]
+    names = {c["name"] for c in doc["counters"]}
+    assert "reads" in names or "bytes" in names
+
+
+def test_csv_export_parses(instrumented_transfer):
+    hub, _ = instrumented_transfer
+    rows = list(csv.reader(io.StringIO(to_csv(hub))))
+    assert rows[0] == ["kind", "machine", "layer", "name", "field",
+                       "value"]
+    kinds = {r[0] for r in rows[1:]}
+    assert "counter" in kinds
+    # histogram rows expand into summary fields
+    hist_fields = {r[4] for r in rows[1:] if r[0] == "histogram"}
+    if hist_fields:
+        assert {"count", "sum", "p50", "p99"} <= hist_fields
+
+
+def test_chrome_trace_valid_json_and_monotone(instrumented_transfer):
+    hub, _ = instrumented_transfer
+    trace = json.loads(to_chrome_trace_json(hub))
+    events = trace["traceEvents"]
+    assert events
+    body_ts = [e["ts"] for e in events if e["ph"] != "M"]
+    assert body_ts == sorted(body_ts)
+    cats = {e.get("cat") for e in events if e.get("cat")}
+    assert len(cats) >= 4
+    assert {"mem", "net.rdma", "net.rpc", "kernel"} <= cats
+
+
+def test_chrome_trace_excludes_wall_metrics(instrumented_transfer):
+    hub, _ = instrumented_transfer
+    hub.count("sim", "sim.engine", "wall.run.ns", 123456)
+    trace = to_chrome_trace(hub)
+    for event in trace["traceEvents"]:
+        assert "wall." not in event.get("name", "")
+
+
+def test_chrome_trace_merges_tracer_spans():
+    hub = Telemetry()
+    hub.span("mac0", "platform", "fn#0", 100, 2000, cold=True)
+    tracer = Tracer(True)
+    span = tracer.begin("wf#0", 50)
+    tracer.end(span, 5000)
+    trace = to_chrome_trace(hub, tracer=tracer)
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    names = {e["name"] for e in xs}
+    assert names == {"fn#0", "wf#0"}
+    tracer_event = next(e for e in xs if e["name"] == "wf#0")
+    assert tracer_event["cat"] == "platform.trace"
+    assert tracer_event["ts"] == pytest.approx(0.05)  # 50 ns -> 0.05 us
+    assert tracer_event["dur"] == pytest.approx(4.95)
+
+
+def test_chrome_trace_has_process_metadata(instrumented_transfer):
+    hub, _ = instrumented_transfer
+    trace = to_chrome_trace(hub)
+    proc_names = {e["args"]["name"] for e in trace["traceEvents"]
+                  if e["ph"] == "M" and e["name"] == "process_name"}
+    assert any(name.startswith("mac") for name in proc_names)

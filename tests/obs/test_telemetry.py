@@ -1,0 +1,181 @@
+"""Unit tests for the telemetry hub: histograms, series, capture."""
+
+import pytest
+
+from repro.obs import Telemetry, capture, current, install, uninstall
+from repro.obs.telemetry import Histogram, _Series
+
+
+class TestHistogramBinning:
+    def test_zero_lands_in_bin_zero(self):
+        h = Histogram()
+        h.record(0)
+        assert h.bins == {0: 1}
+        assert Histogram.bin_bounds(0) == (0, 0)
+
+    def test_one_lands_in_bin_one(self):
+        h = Histogram()
+        h.record(1)
+        assert h.bins == {1: 1}
+        assert Histogram.bin_bounds(1) == (1, 1)
+
+    def test_two_and_three_share_bin_two(self):
+        h = Histogram()
+        h.record(2)
+        h.record(3)
+        assert h.bins == {2: 2}
+        assert Histogram.bin_bounds(2) == (2, 3)
+
+    def test_four_starts_bin_three(self):
+        h = Histogram()
+        h.record(4)
+        assert h.bins == {3: 1}
+        assert Histogram.bin_bounds(3) == (4, 7)
+
+    @pytest.mark.parametrize("k", [4, 10, 20, 40])
+    def test_power_of_two_edges(self, k):
+        h = Histogram()
+        h.record((1 << k) - 1)   # top of bin k
+        h.record(1 << k)         # bottom of bin k+1
+        assert h.bins == {k: 1, k + 1: 1}
+        lo, hi = Histogram.bin_bounds(k)
+        assert lo == 1 << (k - 1) and hi == (1 << k) - 1
+
+    def test_negative_clamped_to_zero(self):
+        h = Histogram()
+        h.record(-5)
+        assert h.bins == {0: 1}
+        assert h.min == 0 and h.max == 0
+
+    def test_summary_stats(self):
+        h = Histogram()
+        for v in (1, 2, 3, 100):
+            h.record(v)
+        assert h.count == 4
+        assert h.sum == 106
+        assert h.min == 1 and h.max == 100
+        assert h.mean == pytest.approx(26.5)
+
+    def test_quantile_upper_bound_of_covering_bin(self):
+        h = Histogram()
+        for _ in range(99):
+            h.record(3)      # bin 2, upper bound 3
+        h.record(1000)       # bin 10, upper bound 1023
+        assert h.quantile(0.5) == 3
+        assert h.quantile(1.0) == 1023
+        assert Histogram().quantile(0.5) == 0
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+        h = Histogram()
+        h.record(7)
+        d = json.loads(json.dumps(h.to_dict()))
+        assert d["count"] == 1 and d["bins"] == {"3": 1}
+
+
+class TestSeries:
+    def test_decimation_is_count_deterministic(self):
+        a, b = _Series(cap=16), _Series(cap=16)
+        for i in range(1000):
+            a.add(i, i * 2)
+            b.add(i, i * 2)
+        assert a.samples == b.samples
+        assert a.stride == b.stride
+        assert len(a.samples) < 16
+
+    def test_small_series_keeps_everything(self):
+        s = _Series(cap=16)
+        for i in range(10):
+            s.add(i, i)
+        assert s.samples == [(i, i) for i in range(10)]
+
+    def test_stride_doubles_when_full(self):
+        s = _Series(cap=8)
+        for i in range(8):
+            s.add(i, i)
+        assert s.stride == 2
+        assert len(s.samples) == 4
+
+
+class TestTelemetry:
+    def test_counters_accumulate_and_total_sums_machines(self):
+        hub = Telemetry()
+        hub.count("mac0", "net.rdma", "reads", 3)
+        hub.count("mac0", "net.rdma", "reads")
+        hub.count("mac1", "net.rdma", "reads", 10)
+        assert hub.counter("mac0", "net.rdma", "reads") == 4
+        assert hub.total("net.rdma", "reads") == 14
+
+    def test_gauge_max_only_raises(self):
+        hub = Telemetry()
+        hub.gauge_max("m", "mem", "hw", 5)
+        hub.gauge_max("m", "mem", "hw", 3)
+        assert hub.gauges[("m", "mem", "hw")] == 5
+        hub.gauge_max("m", "mem", "hw", 9)
+        assert hub.gauges[("m", "mem", "hw")] == 9
+
+    def test_layers_cover_all_stores(self):
+        hub = Telemetry()
+        hub.count("m", "a", "x")
+        hub.gauge("m", "b", "y", 1)
+        hub.observe("m", "c", "z", 1)
+        hub.event("m", "d", "e")
+        hub.span("m", "e", "s", 0, 1)
+        assert hub.layers() == ["a", "b", "c", "d", "e"]
+
+    def test_event_cap_counts_drops(self):
+        hub = Telemetry(max_events=2)
+        for i in range(5):
+            hub.event("m", "l", f"e{i}")
+        assert len(hub.events) == 2
+        assert hub.dropped_events == 3
+
+    def test_deterministic_snapshot_drops_wall_metrics(self):
+        hub = Telemetry()
+        hub.count("sim", "sim.engine", "wall.run.ns", 123)
+        hub.count("sim", "sim.engine", "events.dispatched", 7)
+        snap = hub.snapshot(deterministic=True)
+        names = {c["name"] for c in snap["counters"]}
+        assert names == {"events.dispatched"}
+        full = hub.snapshot()
+        assert {c["name"] for c in full["counters"]} == {
+            "events.dispatched", "wall.run.ns"}
+
+    def test_clock_attaches_idempotently_and_rebinds(self):
+        class FakeEngine:
+            now = 42
+
+        hub = Telemetry()
+        assert hub.now() == 0
+        e1 = FakeEngine()
+        hub.attach_clock(e1)
+        assert hub.now() == 42
+        e2 = FakeEngine()
+        e2.now = 99
+        hub.attach_clock(e2)
+        assert hub.now() == 99
+
+
+class TestGlobalHub:
+    def test_capture_nests_and_restores(self):
+        assert current() is None
+        outer = Telemetry()
+        with capture(outer) as got_outer:
+            assert got_outer is outer and current() is outer
+            inner = Telemetry()
+            with capture(inner):
+                assert current() is inner
+            assert current() is outer
+        assert current() is None
+
+    def test_install_uninstall(self):
+        hub = install()
+        assert current() is hub
+        assert uninstall() is hub
+        assert current() is None
+
+    def test_capture_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with capture():
+                raise RuntimeError("boom")
+        assert current() is None

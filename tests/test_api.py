@@ -1,0 +1,200 @@
+"""Tests for the run façade, the transport registry, the CLI flags and
+the bench-scale config fix."""
+
+import json
+
+import pytest
+
+from repro.api import RunResult, run, workloads
+from repro.obs import to_chrome_trace_json
+from repro.transfer import get_transport, list_transports
+from repro.transfer.base import StateTransport
+
+SCALE = 0.05
+
+
+# -- transport registry ----------------------------------------------------------
+
+def test_list_transports_is_sorted_and_complete():
+    names = list_transports()
+    assert names == sorted(names)
+    assert {"messaging", "storage", "storage-rdma", "rmmap",
+            "rmmap-prefetch", "naos", "adaptive",
+            "messaging-compressed"} <= set(names)
+
+
+@pytest.mark.parametrize("name", ["messaging", "storage", "storage-rdma",
+                                  "rmmap", "rmmap-prefetch", "naos",
+                                  "adaptive", "messaging-compressed"])
+def test_get_transport_name_round_trips(name):
+    transport = get_transport(name)
+    assert isinstance(transport, StateTransport)
+    assert transport.name == name
+
+
+def test_get_transport_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown transport"):
+        get_transport("carrier-pigeon")
+
+
+def test_get_transport_forwards_options():
+    t = get_transport("messaging", null_network=True)
+    assert t.null_network is True
+    r = get_transport("rmmap", rpc_fallback=True)
+    assert r.prefetch is False and r.rpc_fallback is True
+
+
+# -- the run façade --------------------------------------------------------------
+
+def test_workloads_lists_the_four_figures_workflows():
+    assert workloads() == ["finra", "ml-prediction", "ml-training",
+                           "wordcount"]
+
+
+def test_run_rejects_unknown_workload():
+    with pytest.raises(ValueError, match="unknown workload"):
+        run("factorize-rsa", "messaging", scale=SCALE)
+
+
+@pytest.mark.parametrize("transport", ["messaging", "rmmap-prefetch"])
+def test_facade_matches_bench_path(transport):
+    """run() must reproduce run_workflow_once to the nanosecond."""
+    from repro.bench.figures_workflow import (workflow_configs,
+                                              run_workflow_once)
+    builder, params = workflow_configs(SCALE)["wordcount"]
+    bench_record = run_workflow_once(builder, params,
+                                     get_transport(transport))
+    result = run("wordcount", transport, scale=SCALE)
+    assert result.latency_ns == bench_record.latency_ns
+    assert result.stage_totals() == bench_record.stage_totals()
+
+
+def test_telemetry_does_not_perturb_the_simulation():
+    """Ledger totals are byte-identical with the observer on or off."""
+    plain = run("wordcount", "rmmap-prefetch", scale=SCALE)
+    observed = run("wordcount", "rmmap-prefetch", scale=SCALE,
+                   telemetry=True)
+    assert observed.latency_ns == plain.latency_ns
+    assert observed.stage_totals() == plain.stage_totals()
+
+
+def test_telemetry_covers_the_stack():
+    result = run("wordcount", "rmmap-prefetch", scale=SCALE,
+                 telemetry=True)
+    layers = set(result.telemetry.layers())
+    assert {"sim.engine", "mem", "net.rdma", "net.rpc", "kernel",
+            "platform", "transfer"} <= layers
+    hub = result.telemetry
+    assert hub.total("platform", "invocations.completed") >= 1
+    assert hub.total("net.rdma", "reads") > 0
+    # the ledger rollup mirrors the record's stage totals exactly
+    totals = result.stage_totals()
+    for stage in ("transform", "network", "reconstruct"):
+        assert hub.total("transfer", f"stage.{stage}.ns") == totals[stage]
+
+
+def test_same_seed_same_telemetry():
+    """Determinism: identical seeds produce identical exports."""
+    a = run("wordcount", "rmmap-prefetch", scale=SCALE, seed=3,
+            telemetry=True)
+    b = run("wordcount", "rmmap-prefetch", scale=SCALE, seed=3,
+            telemetry=True)
+    assert (a.telemetry.snapshot(deterministic=True)
+            == b.telemetry.snapshot(deterministic=True))
+    assert (to_chrome_trace_json(a.telemetry, tracer=a.tracer)
+            == to_chrome_trace_json(b.telemetry, tracer=b.tracer))
+
+
+def test_run_accepts_transport_instance_and_param_overrides():
+    transport = get_transport("messaging")
+    result = run("wordcount", transport, scale=SCALE,
+                 params={"n_bytes": 128 << 10})
+    assert isinstance(result, RunResult)
+    assert result.transport == "messaging"
+    assert result.params["n_bytes"] == 128 << 10
+
+
+def test_run_chaos_delegates_to_chaos_runner():
+    result = run("wordcount", "rmmap-prefetch", scale=0.02, seed=1,
+                 chaos={"requests": 2, "n_machines": 4})
+    report = result.chaos_report
+    assert report is not None
+    assert report.completed + report.failed == 2
+    assert report.leaked_frames == 0
+    with pytest.raises(ValueError):
+        result.latency_ns  # no single record under chaos
+
+
+def test_write_trace_requires_telemetry(tmp_path):
+    result = run("wordcount", "messaging", scale=SCALE)
+    with pytest.raises(ValueError, match="telemetry"):
+        result.write_trace(str(tmp_path / "t.json"))
+
+
+def test_write_trace_produces_loadable_file(tmp_path):
+    result = run("wordcount", "rmmap-prefetch", scale=SCALE,
+                 telemetry=True)
+    out = tmp_path / "trace.json"
+    result.write_trace(str(out))
+    trace = json.loads(out.read_text())
+    body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+    assert body
+    ts = [e["ts"] for e in body]
+    assert ts == sorted(ts)
+    cats = {e.get("cat") for e in body if e.get("cat")}
+    assert len(cats) >= 4
+
+
+# -- bench.config fix ------------------------------------------------------------
+
+def test_malformed_scale_env_warns_once(monkeypatch):
+    from repro.bench import config
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "O.5-typo")
+    monkeypatch.setattr(config, "_warned_values", set())
+    with pytest.warns(UserWarning, match="not a number"):
+        assert config.bench_scale(0.2) == 0.2
+    import warnings
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second read must stay silent
+        assert config.bench_scale(0.2) == 0.2
+
+
+def test_nonpositive_scale_env_warns_and_falls_back(monkeypatch):
+    from repro.bench import config
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "-1-test")
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+    monkeypatch.setattr(config, "_warned_values", set())
+    with pytest.warns(UserWarning, match="not positive"):
+        assert config.bench_scale(0.4) == 0.4
+
+
+def test_scaled_rejects_explicit_nonpositive_scale():
+    from repro.bench.config import scaled
+    with pytest.raises(ValueError, match="positive"):
+        scaled(100, scale=0)
+    with pytest.raises(ValueError, match="positive"):
+        scaled(100, scale=-0.5)
+    assert scaled(10, scale=0.001, minimum=2) == 2
+
+
+# -- CLI flags -------------------------------------------------------------------
+
+def test_cli_trace_out_writes_chrome_trace(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+    out = tmp_path / "trace.json"
+    assert main(["quickstart", "--trace-out", str(out)]) == 0
+    trace = json.loads(out.read_text())
+    cats = {e.get("cat") for e in trace["traceEvents"] if e.get("cat")}
+    assert len(cats) >= 4
+    assert "RMMAP" in capsys.readouterr().out
+
+
+def test_cli_seed_flag_sets_env(monkeypatch):
+    import os
+    from repro.cli import main
+    monkeypatch.delenv("REPRO_SEED", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS_SEED", raising=False)
+    main(["list", "--seed", "7"])
+    assert os.environ["REPRO_SEED"] == "7"
+    assert os.environ["REPRO_CHAOS_SEED"] == "7"
