@@ -16,12 +16,18 @@ from repro.units import to_ms
 
 @dataclass
 class Span:
-    """One traced interval."""
+    """One traced interval.
+
+    ``parent`` names the causally enclosing span (by its ``name``) and
+    ``trace_id`` the invocation tree both belong to; the Chrome-trace
+    exporter turns the parent link into a flow arrow.
+    """
 
     name: str
     start_ns: int
     end_ns: int = -1
     parent: Optional[str] = None
+    trace_id: Optional[str] = None
     attributes: Dict[str, object] = field(default_factory=dict)
 
     @property

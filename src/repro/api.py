@@ -66,6 +66,42 @@ class RunResult:
             raise ValueError("chaos runs do not keep a single record")
         return self.record.stage_totals()
 
+    @property
+    def trace_id(self) -> str:
+        """The measured invocation's causal-trace id (prewarm invocations
+        carry their own id and never pollute the profiled tree)."""
+        if self.record is None:
+            raise ValueError("chaos runs do not keep a single record")
+        return (f"{self.record.workflow}#{self.record.request_id}"
+                f"@{self.transport}")
+
+    def _require_telemetry(self) -> "obs.Telemetry":
+        if self.telemetry is None:
+            raise ValueError("run(..., telemetry=True) to profile a run")
+        return self.telemetry
+
+    def span_tree(self) -> "obs.SpanNode":
+        """The measured invocation's rooted causal span tree."""
+        return obs.build_span_tree(self._require_telemetry(),
+                                   trace_id=self.trace_id)
+
+    def critical_path(self) -> Dict[str, Any]:
+        """The ranked bottleneck report (see
+        :func:`repro.obs.profile.critical_path_report`): critical-path
+        segments partitioning the end-to-end interval, per-location
+        ranking, and whole-tree self/wait attribution."""
+        return obs.critical_path_report(self._require_telemetry(),
+                                        trace_id=self.trace_id)
+
+    def flamegraph(self) -> str:
+        """Folded flamegraph stacks (``layer/name;... self_ns`` lines,
+        loadable by inferno / flamegraph.pl / speedscope)."""
+        return obs.folded_stacks(self.span_tree())
+
+    def write_flamegraph(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.flamegraph())
+
     def write_trace(self, path: str) -> None:
         """Export the run's Chrome trace (requires ``telemetry=True``)."""
         if self.telemetry is None:

@@ -6,11 +6,24 @@ One experiment function per paper figure lives in:
 * :mod:`repro.bench.figures_workflow` — Fig 3/5/13/14;
 * :mod:`repro.bench.figures_platform` — Fig 12/15/16a;
 * :mod:`repro.bench.ablations` — design-choice ablations.
+
+Benchmark persistence lives next to the harnesses:
+
+* :mod:`repro.bench.snapshot` — ``python -m repro bench`` writes
+  schema-versioned ``BENCH_<n>.json`` snapshots at a fixed seed/scale;
+* :mod:`repro.bench.regression` — tolerance-band comparator that fails
+  CI when a candidate snapshot regresses the committed baseline.
 """
 
 from repro.bench.config import bench_scale, scaled
 from repro.bench.microbench import (MicrobenchResult, make_pair,
                                     measure_transfer, standard_transports)
+from repro.bench.regression import (DEFAULT_TOLERANCE, RegressionReport,
+                                    check_paths, compare)
+from repro.bench.snapshot import (DEFAULT_SCALE, DEFAULT_SEED,
+                                  SCHEMA_VERSION, collect, load_snapshot,
+                                  next_snapshot_path, snapshot_paths,
+                                  write_snapshot)
 
 __all__ = [
     "MicrobenchResult",
@@ -19,4 +32,16 @@ __all__ = [
     "standard_transports",
     "bench_scale",
     "scaled",
+    "SCHEMA_VERSION",
+    "DEFAULT_SEED",
+    "DEFAULT_SCALE",
+    "DEFAULT_TOLERANCE",
+    "collect",
+    "write_snapshot",
+    "load_snapshot",
+    "snapshot_paths",
+    "next_snapshot_path",
+    "compare",
+    "check_paths",
+    "RegressionReport",
 ]

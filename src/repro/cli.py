@@ -6,13 +6,19 @@ Examples::
     python -m repro fig14
     python -m repro fig11b --scale 1.0
     python -m repro quickstart --trace-out /tmp/trace.json
+    python -m repro quickstart --profile-out /tmp/profile.json
     python -m repro chaos-wordcount --seed 7
+    python -m repro bench --json-out BENCH_ci.json
+    python -m repro bench-check --baseline BENCH_0.json \
+        --candidate BENCH_ci.json
 
 Global flags: ``--scale`` (input scale; also settable via
 ``REPRO_BENCH_SCALE``), ``--seed`` (run seed; also ``REPRO_CHAOS_SEED``
-for chaos experiments), and ``--trace-out PATH`` (collect cross-layer
+for chaos experiments), ``--trace-out PATH`` (collect cross-layer
 telemetry for the whole run and export a Chrome trace-event file loadable
-in chrome://tracing or Perfetto).
+in chrome://tracing or Perfetto), and ``--profile-out PATH`` (run the
+causal profiler: write per-trace critical-path reports to PATH and folded
+flamegraph stacks to PATH + ".folded").
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.analysis.report import Table, format_ns
 
 
 def _fig3() -> None:
+    """Fig 3: state transfer's share of workflow end-to-end latency."""
     from repro.bench.figures_workflow import fig3_transfer_share
     results = fig3_transfer_share()
     table = Table("Fig 3: state-transfer cost breakdown",
@@ -40,6 +47,7 @@ def _fig3() -> None:
 
 
 def _fig5() -> None:
+    """Fig 5: (de)serialization share over a zeroed software path."""
     from repro.bench.figures_workflow import fig5_serialization_share
     results = fig5_serialization_share()
     table = Table("Fig 5: (de)serialization share (zero software path)",
@@ -51,6 +59,7 @@ def _fig5() -> None:
 
 
 def _fig11a() -> None:
+    """Fig 11a: transform/network/reconstruct per data type."""
     from repro.bench.figures_micro import fig11a_datatypes
     results = fig11a_datatypes()
     table = Table("Fig 11a: per-type T/N/R",
@@ -65,6 +74,7 @@ def _fig11a() -> None:
 
 
 def _fig11b() -> None:
+    """Fig 11b: end-to-end transfer latency vs list(int) size."""
     from repro.bench.figures_micro import fig11b_payload_sweep
     results = fig11b_payload_sweep()
     names = list(next(iter(results.values())))
@@ -75,6 +85,7 @@ def _fig11b() -> None:
 
 
 def _fig12() -> None:
+    """Fig 12: platform throughput and tail latency under load."""
     from repro.bench.figures_platform import (fig12_fixed_rate,
                                               fig12_saturated)
     saturated = fig12_saturated()
@@ -94,6 +105,7 @@ def _fig12() -> None:
 
 
 def _fig13() -> None:
+    """Fig 13: RMMAP vs storage-RDMA across workload knobs (+ Java)."""
     from repro.bench.figures_workflow import (fig13a_epochs, fig13b_payload,
                                               fig13c_width, fig13d_java)
     for title, results, key in (
@@ -114,6 +126,7 @@ def _fig13() -> None:
 
 
 def _fig14() -> None:
+    """Fig 14: end-to-end latency of the four workflows per transport."""
     from repro.bench.figures_workflow import fig14_end_to_end
     results = fig14_end_to_end()
     names = list(next(iter(results.values())))
@@ -125,6 +138,7 @@ def _fig14() -> None:
 
 
 def _fig15() -> None:
+    """Fig 15: factor analysis of RMMAP's latency savings."""
     from repro.bench.figures_platform import fig15_factor_analysis
     results = fig15_factor_analysis()
     table = Table("Fig 15: factor analysis",
@@ -137,6 +151,7 @@ def _fig15() -> None:
 
 
 def _fig16a() -> None:
+    """Fig 16a: peak memory footprint per transport vs optimal."""
     from repro.bench.figures_platform import fig16a_memory
     results = fig16a_memory()
     table = Table("Fig 16a: peak memory (MB)",
@@ -148,6 +163,7 @@ def _fig16a() -> None:
 
 
 def _fig16b() -> None:
+    """Fig 16b: RMMAP vs Naos on linked-pair payloads."""
     from repro.bench.figures_micro import fig16b_naos
     results = fig16b_naos()
     table = Table("Fig 16b: RMMAP vs Naos",
@@ -159,6 +175,7 @@ def _fig16b() -> None:
 
 
 def _ablations() -> None:
+    """Design-choice ablations: planning, registration, prefetch, ..."""
     from repro.bench import ablations as ab
     print("planning:", ab.ablation_planning())
     print("conflict:", ab.ablation_rmap_conflict_demo())
@@ -169,6 +186,7 @@ def _ablations() -> None:
 
 
 def _calibration() -> None:
+    """Section 2.4 calibration: serializer costs vs paper measurements."""
     from repro.bench.figures_micro import section24_calibration
     result = section24_calibration()
     table = Table("Section 2.4 calibration", ["metric", "value"])
@@ -216,6 +234,8 @@ def _chaos(workload: str) -> Callable[[], None]:
                      f"got {raw!r}")
         report = run_chaos_workflow(workload, seed=seed)
         print(report.render())
+    run.__doc__ = (f"Fig-14 {workload} workflow under a seeded "
+                   f"fault schedule.")
     return run
 
 
@@ -240,14 +260,55 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 }
 
 
+def _describe(fn: Callable[[], None]) -> str:
+    doc = (fn.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+#: Commands handled outside the EXPERIMENTS table (shown by ``list``).
+_COMMANDS = {
+    "list": "print every experiment with a one-line description",
+    "all": "run every experiment in sequence",
+    "bench": "write a BENCH_<n>.json benchmark snapshot "
+             "(fixed seed/scale)",
+    "bench-check": "compare two snapshots; exit 1 on regression",
+}
+
+
+def _bench(args) -> int:
+    """Run the benchmark matrix and persist a snapshot."""
+    from repro.bench import snapshot as snap
+
+    seed = args.seed if args.seed is not None else snap.DEFAULT_SEED
+    scale = args.scale if args.scale is not None else snap.DEFAULT_SCALE
+    result = snap.collect(seed=seed, scale=scale,
+                          workloads=args.workload or None)
+    path = args.json_out or snap.next_snapshot_path(".")
+    snap.write_snapshot(result, path)
+    print(f"wrote {path} (seed={seed}, scale={scale}, "
+          f"workloads={sorted(result['workloads'])})", file=sys.stderr)
+    return 0
+
+
+def _bench_check(args) -> int:
+    """Gate a candidate snapshot against the committed baseline."""
+    from repro.bench import regression
+
+    report = regression.check_paths(args.baseline, args.candidate,
+                                    default_tolerance=args.tolerance)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the RMMAP paper's experiments "
                     "(EuroSys 2024).")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["list", "all"],
-                        help="experiment to run (or 'list' / 'all')")
+                        choices=sorted(EXPERIMENTS) + sorted(_COMMANDS),
+                        help="experiment to run (or 'list' / 'all' / "
+                             "'bench' / 'bench-check')")
     parser.add_argument("--scale", type=float, default=None,
                         help="input scale factor (sets REPRO_BENCH_SCALE; "
                              "1.0 approaches paper-size inputs)")
@@ -258,6 +319,24 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="collect cross-layer telemetry and write a "
                              "Chrome trace-event JSON file here")
+    parser.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="profile the run: write critical-path "
+                             "reports (JSON) here and folded flamegraph "
+                             "stacks to PATH + '.folded'")
+    parser.add_argument("--json-out", metavar="PATH", default=None,
+                        help="bench: snapshot output path (default: next "
+                             "free BENCH_<n>.json)")
+    parser.add_argument("--workload", action="append", default=None,
+                        help="bench: restrict the matrix to this workload "
+                             "(repeatable)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        default="BENCH_0.json",
+                        help="bench-check: baseline snapshot")
+    parser.add_argument("--candidate", metavar="PATH", default=None,
+                        help="bench-check: candidate snapshot")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="bench-check: default relative tolerance "
+                             "band per metric")
     args = parser.parse_args(argv)
 
     if args.scale is not None:
@@ -267,12 +346,24 @@ def main(argv=None) -> int:
         os.environ["REPRO_CHAOS_SEED"] = str(args.seed)
 
     if args.experiment == "list":
+        width = max(map(len, list(EXPERIMENTS) + list(_COMMANDS)))
         for name in sorted(EXPERIMENTS):
-            print(name)
+            print(f"{name:<{width}}  {_describe(EXPERIMENTS[name])}")
+        for name in sorted(_COMMANDS):
+            print(f"{name:<{width}}  {_COMMANDS[name]}")
         return 0
+    if args.experiment == "bench":
+        return _bench(args)
+    if args.experiment == "bench-check":
+        if args.candidate is None:
+            parser.error("bench-check requires --candidate PATH")
+        if args.tolerance is None:
+            from repro.bench.regression import DEFAULT_TOLERANCE
+            args.tolerance = DEFAULT_TOLERANCE
+        return _bench_check(args)
 
     hub = None
-    if args.trace_out is not None:
+    if args.trace_out is not None or args.profile_out is not None:
         from repro import obs
         hub = obs.Telemetry()
         obs.install(hub)
@@ -287,10 +378,42 @@ def main(argv=None) -> int:
         if hub is not None:
             from repro import obs
             obs.uninstall()
-            obs.write_chrome_trace(hub, args.trace_out)
-            print(f"wrote Chrome trace to {args.trace_out}",
-                  file=sys.stderr)
+            if args.trace_out is not None:
+                obs.write_chrome_trace(hub, args.trace_out)
+                print(f"wrote Chrome trace to {args.trace_out}",
+                      file=sys.stderr)
+            if args.profile_out is not None:
+                _write_profile(hub, args.profile_out)
     return 0
+
+
+def _write_profile(hub, path: str) -> None:
+    """Critical-path reports for every trace in *hub* → ``path`` (JSON);
+    folded flamegraph stacks, trace-id-prefixed, → ``path + '.folded'``."""
+    import json
+
+    from repro import obs
+
+    ids = obs.trace_ids(hub)
+    if not ids:
+        print(f"no causal traces recorded; skipping {path}",
+              file=sys.stderr)
+        return
+    reports = {}
+    folded_lines = []
+    for trace_id in ids:
+        report = obs.critical_path_report(hub, trace_id=trace_id)
+        reports[trace_id] = report
+        root = obs.build_span_tree(hub, trace_id=trace_id)
+        for line in obs.folded_stacks(root).splitlines():
+            folded_lines.append(f"{trace_id};{line}")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(reports, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open(path + ".folded", "w", encoding="utf-8") as fh:
+        fh.write("\n".join(folded_lines) + "\n")
+    print(f"wrote critical-path profile to {path} "
+          f"(+ {path}.folded, {len(ids)} traces)", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -119,40 +119,53 @@ class Kernel:
         """
         hub = _telemetry()
         before_ns = space.ledger.total() if hub is not None else 0
-        space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
-        rng = self._resolve_range(space, vm_start, vm_end, mode)
-        snapshot: Dict[int, int] = {}
-        for vma in space.vmas():
-            if isinstance(vma, RemoteVMA):
-                continue  # never re-register someone else's mapped memory
-            if not vma.range.overlaps(rng):
-                continue
-            sub = AddressRange(max(vma.range.start, rng.start),
-                               min(vma.range.end, rng.end))
-            space.mark_range_cow(sub)
-            snapshot.update(space.page_table.snapshot(
-                page_number(sub.start), page_number(sub.end - 1)))
-        extra_pages = 0
-        if mode == MAP_WHOLE_SPACE and vm_start is None:
-            # whole-space registration also marks the interpreter/library
-            # resident set — the paper's "unnecessary marked copy-on-write
-            # pages" cost of mapping the whole address space (Section 6)
-            extra_pages = space.extra_resident_pages
-            space.ledger.charge(
-                extra_pages * self.cost.cow_mark_per_page_ns, "cow-mark")
-        reg = Registration(fid=fid, key=key, rng=rng, snapshot=snapshot,
-                           registered_at=self.machine.engine.now,
-                           owner=space.name, extra_pages=extra_pages)
-        self.registry.add(reg)
+        frame = None
         if hub is not None:
-            self._observe_syscall(hub, "register_mem", space.ledger,
-                                  before_ns)
-            self._observe_registry(hub)
-            hub.count(self.machine.mac_addr, "kernel",
-                      "pages.registered", len(snapshot))
-        return VmMeta(mac_addr=self.machine.mac_addr, fid=fid, key=key,
-                      vm_start=rng.start, vm_end=rng.end,
-                      pages_registered=len(snapshot))
+            frame = hub.op_begin(self.machine.mac_addr, "kernel",
+                                 "syscall.register_mem", space.ledger,
+                                 fid=fid)
+        try:
+            space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
+            rng = self._resolve_range(space, vm_start, vm_end, mode)
+            snapshot: Dict[int, int] = {}
+            for vma in space.vmas():
+                if isinstance(vma, RemoteVMA):
+                    # never re-register someone else's mapped memory
+                    continue
+                if not vma.range.overlaps(rng):
+                    continue
+                sub = AddressRange(max(vma.range.start, rng.start),
+                                   min(vma.range.end, rng.end))
+                space.mark_range_cow(sub)
+                snapshot.update(space.page_table.snapshot(
+                    page_number(sub.start), page_number(sub.end - 1)))
+            extra_pages = 0
+            if mode == MAP_WHOLE_SPACE and vm_start is None:
+                # whole-space registration also marks the
+                # interpreter/library resident set — the paper's
+                # "unnecessary marked copy-on-write pages" cost of mapping
+                # the whole address space (Section 6)
+                extra_pages = space.extra_resident_pages
+                space.ledger.charge(
+                    extra_pages * self.cost.cow_mark_per_page_ns,
+                    "cow-mark")
+            reg = Registration(fid=fid, key=key, rng=rng,
+                               snapshot=snapshot,
+                               registered_at=self.machine.engine.now,
+                               owner=space.name, extra_pages=extra_pages)
+            self.registry.add(reg)
+            if hub is not None:
+                self._observe_syscall(hub, "register_mem", space.ledger,
+                                      before_ns)
+                self._observe_registry(hub)
+                hub.count(self.machine.mac_addr, "kernel",
+                          "pages.registered", len(snapshot))
+            return VmMeta(mac_addr=self.machine.mac_addr, fid=fid, key=key,
+                          vm_start=rng.start, vm_end=rng.end,
+                          pages_registered=len(snapshot))
+        finally:
+            if frame is not None:
+                hub.op_end(frame, space.ledger)
 
     def _resolve_range(self, space: AddressSpace, vm_start, vm_end,
                        mode: str) -> AddressRange:
@@ -190,51 +203,61 @@ class Kernel:
         """
         hub = _telemetry()
         before_ns = space.ledger.total() if hub is not None else 0
-        space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
-        lazy = page_table_mode == PT_ONDEMAND
-        reply = self.machine.rpc.call(
-            mac_addr, AUTH_RPC,
-            {"fid": fid, "key": key, "with_snapshot": not lazy},
-            space.ledger, category="rmap-auth")
-        snapshot: Dict[int, int] = reply["snapshot"]
-        space.ledger.charge(
-            (len(snapshot)
-             + (0 if lazy else reply.get("extra_pages", 0)))
-            * self.cost.page_table_fetch_per_page_ns,
-            "rmap-auth")
-        pte_source = None
-        if lazy:
-            pte_source = PteSource(
-                lambda first, last: self._fetch_remote_ptes(
-                    space, mac_addr, fid, key, first, last))
-        rng = AddressRange(reply["vm_start"], reply["vm_end"])
-        if vm_start is not None and vm_end is not None:
-            sub = AddressRange(vm_start, vm_end)
-            if not rng.contains_range(sub):
-                raise RmapFailed(
-                    f"requested {sub!r} outside registered {rng!r}")
-            rng = sub
-            first, last = page_number(sub.start), page_number(sub.end - 1)
-            snapshot = {vpn: pfn for vpn, pfn in snapshot.items()
-                        if first <= vpn <= last}
-        if mac_addr == self.machine.mac_addr:
-            qp = None  # same machine: plain shared memory, no QP
-        else:
-            qp = self.machine.nic.connect(mac_addr, space.ledger,
-                                          kernel_space=True)
-        vma = RemoteVMA(rng, snapshot, qp, name=f"rmap:{fid}",
-                        fetch_mode=fetch_mode, pte_source=pte_source,
-                        rpc_fallback=rpc_fallback)
-        try:
-            space.map_vma(vma)
-        except AddressConflict as err:
-            raise RmapFailed(str(err)) from err
-        meta = VmMeta(mac_addr=mac_addr, fid=fid, key=key,
-                      vm_start=rng.start, vm_end=rng.end,
-                      pages_registered=len(snapshot))
+        frame = None
         if hub is not None:
-            self._observe_syscall(hub, "rmap", space.ledger, before_ns)
-        return RmapHandle(self, space, vma, meta)
+            frame = hub.op_begin(self.machine.mac_addr, "kernel",
+                                 "syscall.rmap", space.ledger, fid=fid,
+                                 remote=mac_addr)
+        try:
+            space.ledger.charge(self.cost.syscall_overhead_ns, "syscall")
+            lazy = page_table_mode == PT_ONDEMAND
+            reply = self.machine.rpc.call(
+                mac_addr, AUTH_RPC,
+                {"fid": fid, "key": key, "with_snapshot": not lazy},
+                space.ledger, category="rmap-auth")
+            snapshot: Dict[int, int] = reply["snapshot"]
+            space.ledger.charge(
+                (len(snapshot)
+                 + (0 if lazy else reply.get("extra_pages", 0)))
+                * self.cost.page_table_fetch_per_page_ns,
+                "rmap-auth")
+            pte_source = None
+            if lazy:
+                pte_source = PteSource(
+                    lambda first, last: self._fetch_remote_ptes(
+                        space, mac_addr, fid, key, first, last))
+            rng = AddressRange(reply["vm_start"], reply["vm_end"])
+            if vm_start is not None and vm_end is not None:
+                sub = AddressRange(vm_start, vm_end)
+                if not rng.contains_range(sub):
+                    raise RmapFailed(
+                        f"requested {sub!r} outside registered {rng!r}")
+                rng = sub
+                first, last = (page_number(sub.start),
+                               page_number(sub.end - 1))
+                snapshot = {vpn: pfn for vpn, pfn in snapshot.items()
+                            if first <= vpn <= last}
+            if mac_addr == self.machine.mac_addr:
+                qp = None  # same machine: plain shared memory, no QP
+            else:
+                qp = self.machine.nic.connect(mac_addr, space.ledger,
+                                              kernel_space=True)
+            vma = RemoteVMA(rng, snapshot, qp, name=f"rmap:{fid}",
+                            fetch_mode=fetch_mode, pte_source=pte_source,
+                            rpc_fallback=rpc_fallback)
+            try:
+                space.map_vma(vma)
+            except AddressConflict as err:
+                raise RmapFailed(str(err)) from err
+            meta = VmMeta(mac_addr=mac_addr, fid=fid, key=key,
+                          vm_start=rng.start, vm_end=rng.end,
+                          pages_registered=len(snapshot))
+            if hub is not None:
+                self._observe_syscall(hub, "rmap", space.ledger, before_ns)
+            return RmapHandle(self, space, vma, meta)
+        finally:
+            if frame is not None:
+                hub.op_end(frame, space.ledger)
 
     def _handle_auth_rpc(self, payload) -> dict:
         reg = self.registry.lookup(payload["fid"], payload["key"])

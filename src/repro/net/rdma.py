@@ -121,6 +121,8 @@ class QueuePair:
         hub = _telemetry()
         if hub is not None:
             self._observe_ops(hub, "reads", 1, req.length, cost_ns)
+            hub.op(self.nic.mac_addr, "net.rdma", "read", ledger, cost_ns,
+                   remote=self.remote_mac, bytes=req.length)
         return data
 
     def read_batch(self, requests: List[ReadRequest], ledger: Ledger,
@@ -153,6 +155,9 @@ class QueuePair:
             hub.count(mac, "net.rdma", "doorbells", rings)
             hub.observe(mac, "net.rdma", "doorbell.batch_entries",
                         len(requests))
+            hub.op(mac, "net.rdma", "read.batch", ledger, cost_ns,
+                   remote=self.remote_mac, entries=len(requests),
+                   bytes=nbytes)
         return out
 
     def write(self, pfn: int, data: bytes, offset: int, ledger: Ledger,
@@ -171,6 +176,8 @@ class QueuePair:
         hub = _telemetry()
         if hub is not None:
             self._observe_ops(hub, "writes", 1, len(data), cost_ns)
+            hub.op(self.nic.mac_addr, "net.rdma", "write", ledger, cost_ns,
+                   remote=self.remote_mac, bytes=len(data))
 
     def _observe_ops(self, hub, op: str, n: int, nbytes: int,
                      cost_ns: int) -> None:
@@ -260,6 +267,8 @@ class RdmaNic:
         if hub is not None:
             hub.count(self.mac_addr, "net.rdma", "qp.connects")
             hub.count(self.mac_addr, "net.rdma", "busy.ns", setup)
+            hub.op(self.mac_addr, "net.rdma", "qp.connect", ledger, setup,
+                   remote=remote_mac)
         return qp
 
     def connected_to(self, remote_mac: str) -> bool:

@@ -93,4 +93,7 @@ class RpcEndpoint:
             hub.count(self.mac_addr, "net.rpc", "bytes",
                       payload_bytes + result_bytes)
             hub.count(self.mac_addr, "net.rpc", "busy.ns", cost_ns)
+            hub.op(self.mac_addr, "net.rpc", f"rpc.{method}", ledger,
+                   cost_ns, remote=remote_mac,
+                   bytes=payload_bytes + result_bytes)
         return result

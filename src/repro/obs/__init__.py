@@ -24,6 +24,10 @@ from repro.obs.telemetry import (Histogram, MetricKey, Telemetry,
 from repro.obs.export import (to_chrome_trace, to_chrome_trace_json,
                               to_csv, to_json, write_chrome_trace,
                               write_csv, write_json)
+from repro.obs.profile import (PathSegment, SpanNode, attribute,
+                               build_span_tree, critical_path,
+                               critical_path_report, folded_stacks,
+                               parse_folded, render_report, trace_ids)
 from repro.obs.rollup import (TRANSFER_LAYER, rollup_ledger,
                               rollup_record)
 
@@ -46,4 +50,14 @@ __all__ = [
     "TRANSFER_LAYER",
     "rollup_ledger",
     "rollup_record",
+    "PathSegment",
+    "SpanNode",
+    "attribute",
+    "build_span_tree",
+    "critical_path",
+    "critical_path_report",
+    "folded_stacks",
+    "parse_folded",
+    "render_report",
+    "trace_ids",
 ]

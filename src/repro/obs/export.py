@@ -106,26 +106,76 @@ def to_chrome_trace(hub: Telemetry, tracer=None) -> Dict[str, Any]:
 
     body: List[Dict[str, Any]] = []
 
+    def flow(flow_id: int, parent_loc: Dict[str, Any],
+             child_loc: Dict[str, Any]) -> None:
+        """One parent→child arrow: a "s"/"f" pair sharing *flow_id*."""
+        body.append({"ph": "s", "name": "causal", "cat": "flow",
+                     "id": flow_id, **parent_loc})
+        body.append({"ph": "f", "name": "causal", "cat": "flow",
+                     "bp": "e", "id": flow_id, **child_loc})
+
+    by_id: Dict[int, Dict[str, Any]] = {}
+    for span in hub.spans:
+        sid = span.get("span_id")
+        if sid is not None:
+            by_id[sid] = span
+
     for span in hub.spans:
         machine, layer = span["machine"], span["layer"]
+        args = dict(span["attributes"])
+        if span.get("span_id") is not None:
+            args["span_id"] = span["span_id"]
+        if span.get("parent_id") is not None:
+            args["parent_id"] = span["parent_id"]
+        if span.get("trace_id") is not None:
+            args["trace_id"] = span["trace_id"]
         body.append({
             "ph": "X", "name": span["name"], "cat": layer,
             "pid": pid_of(machine), "tid": tid_of(machine, layer),
             "ts": _us(span["start_ns"]),
             "dur": _us(span["end_ns"] - span["start_ns"]),
-            "args": dict(span["attributes"]),
+            "args": args,
         })
+        parent = by_id.get(span.get("parent_id"))
+        if parent is not None:
+            # anchor the arrow tail inside the parent's interval
+            tail_ts = min(max(span["start_ns"], parent["start_ns"]),
+                          parent["end_ns"])
+            flow(span["span_id"],
+                 {"pid": pid_of(parent["machine"]),
+                  "tid": tid_of(parent["machine"], parent["layer"]),
+                  "ts": _us(tail_ts)},
+                 {"pid": pid_of(machine), "tid": tid_of(machine, layer),
+                  "ts": _us(span["start_ns"])})
 
     if tracer is not None:
-        for span in tracer.finished_spans():
+        tracer_spans = tracer.finished_spans()
+        by_name = {}
+        for span in tracer_spans:
+            by_name.setdefault(span.name, span)
+        # flow ids for tracer arrows live above the hub span-id range
+        next_flow = max(by_id, default=0) + 1
+        for span in tracer_spans:
+            args = dict(span.attributes)
+            if getattr(span, "trace_id", None) is not None:
+                args["trace_id"] = span.trace_id
             body.append({
                 "ph": "X", "name": span.name, "cat": "platform.trace",
                 "pid": pid_of("coordinator"),
                 "tid": tid_of("coordinator", "platform.trace"),
                 "ts": _us(span.start_ns),
                 "dur": _us(span.end_ns - span.start_ns),
-                "args": dict(span.attributes),
+                "args": args,
             })
+            parent = by_name.get(span.parent)
+            if parent is not None and parent.finished:
+                tail_ts = min(max(span.start_ns, parent.start_ns),
+                              parent.end_ns)
+                loc = {"pid": pid_of("coordinator"),
+                       "tid": tid_of("coordinator", "platform.trace")}
+                flow(next_flow, {**loc, "ts": _us(tail_ts)},
+                     {**loc, "ts": _us(span.start_ns)})
+                next_flow += 1
 
     for key in sorted(hub.series):
         machine, layer, name = key

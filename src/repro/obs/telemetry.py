@@ -24,6 +24,16 @@ Determinism: every recorded value derives from the simulated clock and the
 seeded simulation, except metrics whose name carries the ``wall.`` prefix
 (host wall-clock measurements).  :meth:`Telemetry.snapshot` with
 ``deterministic=True`` filters those, so same seed ⇒ identical snapshot.
+
+Causal spans: every span carries ``span_id`` / ``parent_id`` /
+``trace_id`` fields so a run's spans form one rooted tree that
+:mod:`repro.obs.profile` can walk.  Substrate layers (kernel, net) run
+synchronously and *charge* ledgers rather than advancing the clock, so
+their spans are recorded as deferred *ops* — offsets into the ledger's
+pending charge — and materialize into absolute intervals when the
+enclosing simulation process drains that ledger (:meth:`Telemetry.op`,
+:meth:`Telemetry.commit_ops`).  Like every other hub operation the op
+path never touches a ledger or the event queue.
 """
 
 from __future__ import annotations
@@ -145,6 +155,10 @@ class Telemetry:
         self._series_cap = series_cap
         self._clock: Callable[[], int] = lambda: 0
         self._clock_owner: Optional[object] = None
+        self._next_span_id = 1
+        # deferred ops, keyed by id(ledger); the entry pins the ledger
+        # object so the id cannot be recycled while ops are pending
+        self._ops: Dict[int, Dict[str, Any]] = {}
 
     # -- clock ---------------------------------------------------------------
 
@@ -208,13 +222,122 @@ class Telemetry:
                             "layer": layer, "name": name,
                             "attributes": attributes})
 
+    def new_span_id(self) -> int:
+        """Mint a process-unique, deterministic span id."""
+        sid = self._next_span_id
+        self._next_span_id += 1
+        return sid
+
     def span(self, machine: str, layer: str, name: str, start_ns: int,
-             end_ns: int, **attributes: Any) -> None:
-        """Record one finished interval (same shape as Tracer spans)."""
+             end_ns: int, span_id: Optional[int] = None,
+             parent_id: Optional[int] = None,
+             trace_id: Optional[str] = None,
+             **attributes: Any) -> int:
+        """Record one finished interval (same shape as Tracer spans).
+
+        ``span_id`` defaults to a fresh id; ``parent_id`` links the span
+        into its causal parent and ``trace_id`` names the rooted tree it
+        belongs to (one tree per workflow invocation).  Returns the
+        span's id so callers can parent children under it.
+        """
+        if span_id is None:
+            span_id = self.new_span_id()
         self.spans.append({"machine": machine, "layer": layer,
                            "name": name, "start_ns": int(start_ns),
-                           "end_ns": int(end_ns),
+                           "end_ns": int(end_ns), "span_id": span_id,
+                           "parent_id": parent_id, "trace_id": trace_id,
                            "attributes": attributes})
+        return span_id
+
+    # -- deferred ops (substrate layers) -------------------------------------
+
+    def _op_state(self, ledger) -> Dict[str, Any]:
+        state = self._ops.get(id(ledger))
+        if state is None:
+            state = self._ops[id(ledger)] = {"ledger": ledger,
+                                             "stack": [], "top": []}
+        return state
+
+    def op_begin(self, machine: str, layer: str, name: str, ledger,
+                 **attributes: Any) -> Dict[str, Any]:
+        """Open a deferred op spanning *ledger* charges until ``op_end``.
+
+        The op's extent is recorded as ``[pending-at-begin,
+        pending-at-end]`` offsets into the ledger's undrained charge;
+        nested ``op``/``op_begin`` calls against the same ledger become
+        children.  Pair with :meth:`op_end` in a ``finally`` block.
+        """
+        state = self._op_state(ledger)
+        frame = {"machine": machine, "layer": layer, "name": name,
+                 "start_off": ledger.pending, "end_off": None,
+                 "attributes": attributes, "children": []}
+        state["stack"].append(frame)
+        return frame
+
+    def op_end(self, frame: Dict[str, Any], ledger) -> None:
+        """Close a deferred op opened by :meth:`op_begin`."""
+        state = self._op_state(ledger)
+        frame["end_off"] = ledger.pending
+        stack = state["stack"]
+        if any(f is frame for f in stack):
+            while stack[-1] is not frame:  # close leaked nested frames
+                self.op_end(stack[-1], ledger)
+            stack.pop()
+        parent = stack[-1] if stack else None
+        target = parent["children"] if parent is not None else state["top"]
+        target.append(frame)
+
+    def op(self, machine: str, layer: str, name: str, ledger,
+           cost_ns: int, **attributes: Any) -> None:
+        """Record one leaf op of *cost_ns* ending at the ledger's current
+        pending charge (call immediately after the matching
+        ``ledger.charge``)."""
+        state = self._op_state(ledger)
+        end = ledger.pending
+        frame = {"machine": machine, "layer": layer, "name": name,
+                 "start_off": max(0, end - int(cost_ns)), "end_off": end,
+                 "attributes": attributes, "children": []}
+        stack = state["stack"]
+        target = stack[-1]["children"] if stack else state["top"]
+        target.append(frame)
+
+    def commit_ops(self, ledger, start_ns: int, window_ns: int,
+                   parent_id: Optional[int] = None,
+                   trace_id: Optional[str] = None) -> None:
+        """Materialize *ledger*'s pending ops into absolute spans.
+
+        Call right after ``ns = ledger.drain()`` with the drain instant
+        and the drained ``window_ns``: an op at offsets ``[a, b]``
+        becomes a span over ``[start_ns + a, start_ns + b]``.  Ops whose
+        offsets fall outside the window (stale survivors of an
+        uncommitted drain) are clipped or dropped.
+        """
+        state = self._ops.pop(id(ledger), None)
+        if state is None:
+            return
+        for frame in state["stack"]:  # leaked frames: close at window end
+            if frame["end_off"] is None:
+                frame["end_off"] = window_ns
+        roots = state["top"] + state["stack"]
+
+        def emit(frame: Dict[str, Any], parent: Optional[int]) -> None:
+            start = min(frame["start_off"], window_ns)
+            end = min(frame["end_off"], window_ns)
+            if start >= window_ns and end - start <= 0 and window_ns > 0:
+                return  # entirely outside the drained window
+            sid = self.span(frame["machine"], frame["layer"],
+                            frame["name"], start_ns + start,
+                            start_ns + end, parent_id=parent,
+                            trace_id=trace_id, **frame["attributes"])
+            for child in frame["children"]:
+                emit(child, sid)
+
+        for frame in roots:
+            emit(frame, parent_id)
+
+    def discard_ops(self, ledger) -> None:
+        """Drop *ledger*'s pending ops (failed attempt / retry path)."""
+        self._ops.pop(id(ledger), None)
 
     def _sample(self, key: MetricKey, value: int) -> None:
         series = self.series.get(key)
@@ -286,6 +409,8 @@ class Telemetry:
         self.spans.clear()
         self.series.clear()
         self.dropped_events = 0
+        self._ops.clear()
+        self._next_span_id = 1
 
 
 # -- the process-global current hub -------------------------------------------

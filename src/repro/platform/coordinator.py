@@ -182,12 +182,22 @@ class _InvocationState:
     consumer's retry routes the fresh tokens.
     """
 
-    def __init__(self, record: InvocationRecord, params: Dict[str, Any]):
+    def __init__(self, record: InvocationRecord, params: Dict[str, Any],
+                 transport_name: str):
         self.record = record
         self.params = params
         self.instance_procs: Dict[str, List] = {}
         self.reexec: Dict[tuple, Any] = {}
         self.replacements: Dict[tuple, _InstanceOutput] = {}
+        # causal-profiling identity: all spans of this invocation hang off
+        # one rooted tree (repro.obs.profile); ids are minted up front so
+        # children can parent under spans emitted only at completion.
+        # The transport qualifier keeps traces distinct when several
+        # platforms (one per transport) share one hub in a process.
+        self.trace_id = (f"{record.workflow}#{record.request_id}"
+                         f"@{transport_name}")
+        self.root_id: Optional[int] = None
+        self.inv_id: Optional[int] = None
 
 
 class WorkflowCoordinator:
@@ -324,10 +334,12 @@ class WorkflowCoordinator:
     def _run_invocation(self, record: InvocationRecord,
                         params: Dict[str, Any]):
         wf = self.workflow
-        inv = _InvocationState(record, params)
+        inv = _InvocationState(record, params, self.transport.name)
         self._inflight += 1
         hub = _telemetry()
         if hub is not None:
+            inv.root_id = hub.new_span_id()
+            inv.inv_id = hub.new_span_id()
             hub.count("coordinator", "platform", "invocations.started")
             hub.gauge("coordinator", "platform", "invocations.inflight",
                       self._inflight)
@@ -361,9 +373,14 @@ class WorkflowCoordinator:
             hub.count("coordinator", "platform", "invocations.completed")
             hub.gauge("coordinator", "platform", "invocations.inflight",
                       self._inflight)
+            hub.span("coordinator", "workflow", wf.name,
+                     record.start_ns, record.end_ns, span_id=inv.root_id,
+                     trace_id=inv.trace_id,
+                     request_id=record.request_id)
             hub.span("coordinator", "platform",
                      f"{wf.name}#{record.request_id}",
-                     record.start_ns, record.end_ns,
+                     record.start_ns, record.end_ns, span_id=inv.inv_id,
+                     parent_id=inv.root_id, trace_id=inv.trace_id,
                      request_id=record.request_id,
                      functions=len(record.functions))
         if len(sink_values) == 1:
@@ -381,6 +398,8 @@ class WorkflowCoordinator:
         yield from self._control_barrier()
         frec = FunctionRecord(function=spec.name, index=index,
                               start_ns=self.engine.now)
+        hub = _telemetry()
+        inst_id = hub.new_span_id() if hub is not None else None
 
         # coordinator schedules + triggers the function (platform overhead)
         yield Timeout(self.cost.coordinator_invoke_ns)
@@ -396,6 +415,13 @@ class WorkflowCoordinator:
                     self.workflow.name, spec, index, self.plan)
                 frec.cold_start = self.scheduler.cold_starts > cold_before
                 frec.platform_ns = (self.engine.now - frec.start_ns)
+                hub = _telemetry()
+                if hub is not None and inst_id is not None \
+                        and frec.platform_ns > 0:
+                    hub.span(container.machine.mac_addr, "platform",
+                             "schedule", frec.start_ns, self.engine.now,
+                             parent_id=inst_id, trace_id=inv.trace_id,
+                             cold=frec.cold_start)
 
                 span = self.tracer.begin(
                     f"{spec.name}#{index}", frec.start_ns,
@@ -404,7 +430,7 @@ class WorkflowCoordinator:
                 try:
                     output = yield from self._execute_in_container(
                         inv, frec, spec, index, container,
-                        upstream_outputs)
+                        upstream_outputs, inst_id)
                 finally:
                     self.scheduler.release(container)
                 break
@@ -438,14 +464,40 @@ class WorkflowCoordinator:
             hub.count("coordinator", "platform", "instances.completed")
             hub.span(container.machine.mac_addr, "platform",
                      f"{spec.name}#{index}", frec.start_ns, frec.end_ns,
+                     span_id=inst_id, parent_id=inv.inv_id,
+                     trace_id=inv.trace_id,
                      request_id=record.request_id, cold=frec.cold_start,
                      compute_ns=frec.compute_ns,
                      platform_ns=frec.platform_ns,
                      transfer_ns=frec.transfer_ns)
         return output
 
+    def _drain_phase(self, inv: _InvocationState, container, layer: str,
+                     name: str, parent_id: Optional[int],
+                     extra_ns: int = 0):
+        """Drain the container's ledger into simulated time, materializing
+        the phase's deferred ops and (when profiling) a phase span around
+        them.  The yielded sleep is exactly the seed's
+        ``_charged_sleep(container, ledger.drain() + extra)`` — the hub
+        work is pure observation.  Returns the slept nanoseconds."""
+        hub = _telemetry()
+        drained = container.ledger.drain()
+        total = drained + extra_ns
+        if hub is not None:
+            start = self.engine.now
+            pid = parent_id
+            if total > 0 and parent_id is not None:
+                pid = hub.span(container.machine.mac_addr, layer, name,
+                               start, start + total, parent_id=parent_id,
+                               trace_id=inv.trace_id)
+            hub.commit_ops(container.ledger, start, drained,
+                           parent_id=pid, trace_id=inv.trace_id)
+        yield from self._charged_sleep(container, total)
+        return total
+
     def _execute_in_container(self, inv: _InvocationState, frec, spec,
-                              index, container, upstream_outputs):
+                              index, container, upstream_outputs,
+                              inst_id: Optional[int] = None):
         meter = StageMeter(container.ledger)
         cpu = container.machine.cpu
         yield cpu.acquire()
@@ -467,8 +519,8 @@ class WorkflowCoordinator:
                     values.append(value)
                 inputs[edge.producer] = values
             frec.receive_breakdown = meter.delta()
-            yield from self._charged_sleep(container,
-                                           container.ledger.drain())
+            yield from self._drain_phase(inv, container, "transfer",
+                                         "receive", inst_id)
 
             # 2. run the function body; building the output object graph on
             #    the local heap is function work, not transfer work
@@ -480,9 +532,9 @@ class WorkflowCoordinator:
                 output_root = container.heap.box(output_value)
                 container.heap.add_root(output_root)
             meter.delta()  # fold handler + boxing charges into compute
-            compute = (container.ledger.drain() + ctx._extra_compute_ns)
-            frec.compute_ns = compute
-            yield from self._charged_sleep(container, compute)
+            frec.compute_ns = yield from self._drain_phase(
+                inv, container, "function", spec.name, inst_id,
+                extra_ns=ctx._extra_compute_ns)
 
             # 3. ship the output downstream
             output = _InstanceOutput(spec.name, index)
@@ -491,18 +543,21 @@ class WorkflowCoordinator:
                 yield from self._send_outputs(container, output,
                                               output_root, downstream)
                 frec.send_breakdown = meter.delta()
-                yield from self._charged_sleep(container,
-                                               container.ledger.drain())
+                yield from self._drain_phase(inv, container, "transfer",
+                                             "send", inst_id)
             else:
                 output.value_for_sink = output_value
 
             # 4. inputs no longer needed: release remote maps / buffers
             for handle in handles:
                 handle.release()
-            yield from self._charged_sleep(container,
-                                           container.ledger.drain())
+            yield from self._drain_phase(inv, container, "transfer",
+                                         "release", inst_id)
             return output
         except Exception:
+            hub = _telemetry()
+            if hub is not None:
+                hub.discard_ops(container.ledger)
             if self.resilience is not None:
                 self._scrub_failed_attempt(container, handles, output)
             raise
@@ -552,10 +607,22 @@ class WorkflowCoordinator:
                     f"degrade {edge.producer}->{edge.consumer}"
                     f"#{consumer_index} to rpc fetch ({producer_mac})")
             handle = None
+            hub = _telemetry()
+            frame = None
+            if hub is not None:
+                frame = hub.op_begin(container.machine.mac_addr,
+                                     "transfer",
+                                     f"{token.transport}.receive",
+                                     container.ledger,
+                                     producer=edge.producer)
             try:
                 handle = transport.receive(container, token)
                 value = handle.load()
             except Exception as err:
+                if frame is not None:
+                    # the failed attempt's ops die with it; the ledger is
+                    # drained below without a commit
+                    hub.discard_ops(container.ledger)
                 if handle is not None:
                     try:
                         handle.release()
@@ -599,6 +666,8 @@ class WorkflowCoordinator:
                     container, policy.retry.delay_ns(attempt, policy.rng))
                 yield from self._control_barrier()
                 continue
+            if frame is not None:
+                hub.op_end(frame, container.ledger)
             if policy is not None and producer_mac is not None:
                 policy.breaker.record_success(producer_mac)
             return handle, value
@@ -721,6 +790,22 @@ class WorkflowCoordinator:
             return tokens[consumer_index]
         return tokens[0]
 
+    @staticmethod
+    def _send_one(container: Container, transport: StateTransport,
+                  root: int) -> TransferToken:
+        """``transport.send`` wrapped in a deferred transfer op."""
+        hub = _telemetry()
+        frame = None
+        if hub is not None:
+            frame = hub.op_begin(container.machine.mac_addr, "transfer",
+                                 f"{transport.name}.send",
+                                 container.ledger)
+        try:
+            return transport.send(container, root)
+        finally:
+            if frame is not None:
+                hub.op_end(frame, container.ledger)
+
     def _send_outputs(self, container: Container, output: _InstanceOutput,
                       root: int, downstream: List[Edge]):
         """Create one token (or one per partition) for the boxed output."""
@@ -735,7 +820,7 @@ class WorkflowCoordinator:
             transport = self._edge_transport(edge.producer, edge.consumer)
             token = shared_tokens.get(transport.name)
             if token is None:
-                token = transport.send(container, root)
+                token = self._send_one(container, transport, root)
                 shared_tokens[transport.name] = token
             output.tokens[edge.consumer] = [token]
 
@@ -751,7 +836,7 @@ class WorkflowCoordinator:
                 # one registration; per-consumer views with element roots
                 base = shared_tokens.get(transport.name)
                 if base is None:
-                    base = transport.send(container, root)
+                    base = self._send_one(container, transport, root)
                     shared_tokens[transport.name] = base
                 output.tokens[edge.consumer] = [
                     TransferToken(transport=base.transport,
@@ -761,7 +846,8 @@ class WorkflowCoordinator:
                     for part in parts]
             else:
                 output.tokens[edge.consumer] = [
-                    transport.send(container, part) for part in parts]
+                    self._send_one(container, transport, part)
+                    for part in parts]
         yield Timeout(0)  # keep this a generator even on the fast path
 
     # -- reclamation -------------------------------------------------------------------
@@ -799,4 +885,15 @@ class WorkflowCoordinator:
                             self.engine.now,
                             f"cleanup skipped for {output.function}"
                             f"#{output.index} (already reclaimed)")
-        yield Timeout(self.ledger.drain())
+        hub = _telemetry()
+        ns = self.ledger.drain()
+        if hub is not None:
+            start = self.engine.now
+            pid = inv.inv_id
+            if ns > 0 and pid is not None:
+                pid = hub.span("coordinator", "transfer", "cleanup",
+                               start, start + ns, parent_id=inv.inv_id,
+                               trace_id=inv.trace_id)
+            hub.commit_ops(self.ledger, start, ns, parent_id=pid,
+                           trace_id=inv.trace_id)
+        yield Timeout(ns)

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SerializationError
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime import objects as enc
 from repro.runtime.heap import _PACK_MIN, _PRIM_SLOT, ManagedHeap
 from repro.runtime.objects import (CONTAINER_TAGS, HEADER_SIZE, PTR_SIZE,
@@ -100,9 +101,14 @@ class Serializer:
                 chunks.append(payload)
 
         data = struct.pack("<Q", len(index)) + b"".join(chunks)
-        ledger.charge(len(index) * cost.serialize_per_object_ns, category)
-        ledger.charge(transfer_time_ns(len(data), cost.serialize_copy_gbps),
-                      category)
+        per_object = len(index) * cost.serialize_per_object_ns
+        copy = transfer_time_ns(len(data), cost.serialize_copy_gbps)
+        ledger.charge(per_object, category)
+        ledger.charge(copy, category)
+        hub = _telemetry()
+        if hub is not None:
+            hub.op(heap.space.name, "runtime", category, ledger,
+                   per_object + copy, objects=len(index), bytes=len(data))
         return SerializedState(data, len(index))
 
     def _assign(self, ptr: int, index: Dict[int, int],
@@ -268,9 +274,14 @@ class Serializer:
 
         # the per-object constant subsumes allocator work (as measured for
         # pickle in Section 2.4: ~12 ms for ~400 k sub-objects)
-        ledger.charge(total * cost.deserialize_per_object_ns, category)
-        ledger.charge(transfer_time_ns(len(data), cost.serialize_copy_gbps),
-                      category)
+        per_object = total * cost.deserialize_per_object_ns
+        copy = transfer_time_ns(len(data), cost.serialize_copy_gbps)
+        ledger.charge(per_object, category)
+        ledger.charge(copy, category)
+        hub = _telemetry()
+        if hub is not None:
+            hub.op(heap.space.name, "runtime", category, ledger,
+                   per_object + copy, objects=total, bytes=len(data))
         if not addrs or addrs[0] is None:
             raise SerializationError("empty stream")
         return addrs[0]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime.serializer import Serializer
 from repro.transfer.base import (Endpoint, StateHandle, StateTransport,
                                  TransferToken, TransportError)
@@ -51,5 +52,10 @@ class MessagingTransport(StateTransport):
             hops = cost.messaging_hops * cost.messaging_hop_ns
             wire = transfer_time_ns(inflated, cost.messaging_bandwidth_gbps)
             consumer.ledger.charge(hops + wire, "messaging")
+            hub = _telemetry()
+            if hub is not None:
+                hub.op(consumer.machine.mac_addr, "net.msg",
+                       "messaging.deliver", consumer.ledger, hops + wire,
+                       bytes=inflated, hops=cost.messaging_hops)
         root = self._serializer.deserialize(consumer.heap, token.payload)
         return StateHandle(consumer.heap, root)

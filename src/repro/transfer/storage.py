@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime.serializer import SerializedState, Serializer
 from repro.transfer.base import (Endpoint, StateHandle, StateTransport,
                                  TransferToken, TransportError)
@@ -49,10 +50,15 @@ class StorageTransport(StateTransport):
         self.puts += 1
         if not self.null_network:
             cost = producer.heap.cost
-            producer.ledger.charge(
-                self._op_ns(cost)
-                + transfer_time_ns(state.nbytes, self._bandwidth_gbps(cost)),
-                self.op_category)
+            ns = (self._op_ns(cost)
+                  + transfer_time_ns(state.nbytes,
+                                     self._bandwidth_gbps(cost)))
+            producer.ledger.charge(ns, self.op_category)
+            hub = _telemetry()
+            if hub is not None:
+                hub.op(producer.machine.mac_addr, "net.storage",
+                       f"{self.name}.put", producer.ledger, ns,
+                       bytes=state.nbytes, key=key)
         return TransferToken(transport=self.name, payload=key,
                              wire_bytes=state.nbytes,
                              object_count=state.object_count)
@@ -65,10 +71,15 @@ class StorageTransport(StateTransport):
         self.gets += 1
         if not self.null_network:
             cost = consumer.heap.cost
-            consumer.ledger.charge(
-                self._op_ns(cost)
-                + transfer_time_ns(state.nbytes, self._bandwidth_gbps(cost)),
-                self.op_category)
+            ns = (self._op_ns(cost)
+                  + transfer_time_ns(state.nbytes,
+                                     self._bandwidth_gbps(cost)))
+            consumer.ledger.charge(ns, self.op_category)
+            hub = _telemetry()
+            if hub is not None:
+                hub.op(consumer.machine.mac_addr, "net.storage",
+                       f"{self.name}.get", consumer.ledger, ns,
+                       bytes=state.nbytes, key=token.payload)
         root = self._serializer.deserialize(consumer.heap, state)
         return StateHandle(consumer.heap, root)
 

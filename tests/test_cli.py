@@ -1,14 +1,22 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import _COMMANDS, EXPERIMENTS, main
 
 
-def test_list_prints_experiments(capsys):
+def test_list_prints_experiments_with_descriptions(capsys):
     assert main(["list"]) == 0
-    out = capsys.readouterr().out.split()
-    assert set(out) == set(EXPERIMENTS)
+    lines = capsys.readouterr().out.splitlines()
+    listed = {line.split()[0]: line.split(None, 1)[1].strip()
+              for line in lines if line.strip()}
+    assert set(listed) == set(EXPERIMENTS) | set(_COMMANDS)
+    for name, description in listed.items():
+        assert description, f"{name} listed without a description"
+    assert listed["fig14"].startswith("Fig 14")
+    assert "fault" in listed["chaos-wordcount"]
 
 
 def test_scale_flag_sets_env(monkeypatch, capsys):
@@ -36,3 +44,58 @@ def test_fig16b_runs(monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "Naos" in out
     assert "rmmap" in out
+
+
+def test_every_experiment_has_a_docstring():
+    for name, fn in EXPERIMENTS.items():
+        assert (fn.__doc__ or "").strip(), f"{name} lacks a docstring"
+
+
+def test_bench_writes_snapshot_and_gate_accepts_it(tmp_path, capsys):
+    from repro.bench.snapshot import SCHEMA_VERSION
+
+    out = str(tmp_path / "BENCH_x.json")
+    assert main(["bench", "--json-out", out,
+                 "--workload", "wordcount"]) == 0
+    snap = json.load(open(out))
+    assert snap["schema_version"] == SCHEMA_VERSION
+    assert set(snap["workloads"]) == {"wordcount"}
+    assert main(["bench-check", "--baseline", out,
+                 "--candidate", out]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_bench_check_exits_nonzero_on_regression(tmp_path, capsys):
+    base = str(tmp_path / "base.json")
+    cand = str(tmp_path / "cand.json")
+    assert main(["bench", "--json-out", base,
+                 "--workload", "wordcount"]) == 0
+    snap = json.load(open(base))
+    entry = snap["workloads"]["wordcount"]["rmmap-prefetch"]
+    entry["e2e_ns"] = int(entry["e2e_ns"] * 1.5)
+    json.dump(snap, open(cand, "w"))
+    assert main(["bench-check", "--baseline", base,
+                 "--candidate", cand]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_bench_check_requires_candidate():
+    with pytest.raises(SystemExit):
+        main(["bench-check"])
+
+
+def test_profile_out_writes_reports_and_folded_stacks(tmp_path,
+                                                      monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+    out = str(tmp_path / "profile.json")
+    assert main(["quickstart", "--profile-out", out]) == 0
+    reports = json.load(open(out))
+    assert reports, "no traces profiled"
+    for trace_id, report in reports.items():
+        assert report["trace_id"] == trace_id
+        assert report["total_ns"] == sum(seg["duration_ns"]
+                                         for seg in report["path"])
+    folded = open(out + ".folded").read().splitlines()
+    assert folded
+    prefixes = {line.split(";", 1)[0] for line in folded}
+    assert prefixes == set(reports)

@@ -1,0 +1,47 @@
+"""Every ledger category a transport charges maps to a T/N/R/access stage.
+
+:class:`repro.transfer.base.StageMeter` silently buckets unknown
+categories as "network"; a transport introducing a new category without
+registering it in ``STAGE_CATEGORIES`` would skew Fig 11 breakdowns
+without failing anything.  This audit runs every registered transport
+over a payload diverse enough to hit its serialize / packed / container /
+fault paths and asserts the categories it charged are all known.
+"""
+
+import pytest
+
+from repro.bench.microbench import make_pair, measure_transfer
+from repro.runtime.values import DataFrameValue
+from repro.transfer.base import STAGE_CATEGORIES
+from repro.transfer.registry import get_transport, list_transports
+
+#: Exercises strings, nested containers, a packed primitive run, and a
+#: dataframe — together they reach every stage a transport can charge.
+_PAYLOAD = {
+    "text": "state transfer",
+    "run": list(range(600)),
+    "nested": {"a": [1.5, None, "x"]},
+    "df": DataFrameValue({"sym": ["a", "b"], "px": [1.0, 2.0]}),
+}
+
+
+def test_eight_transports_registered():
+    assert len(list_transports()) == 8
+
+
+@pytest.mark.parametrize("name", list_transports())
+def test_all_charged_categories_are_known_stages(name):
+    _engine, producer, consumer = make_pair()
+    measure_transfer(get_transport(name), producer, consumer, _PAYLOAD)
+    charged = set(producer.ledger.breakdown()) \
+        | set(consumer.ledger.breakdown())
+    assert charged, f"{name} charged nothing"
+    unknown = charged - set(STAGE_CATEGORIES)
+    assert not unknown, (
+        f"{name} charged categories missing from STAGE_CATEGORIES "
+        f"(they would silently bucket as 'network'): {sorted(unknown)}")
+
+
+def test_stage_categories_values_are_valid_stages():
+    assert set(STAGE_CATEGORIES.values()) <= {
+        "transform", "network", "reconstruct", "access"}
