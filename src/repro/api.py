@@ -48,6 +48,7 @@ class RunResult:
     telemetry: Optional["obs.Telemetry"] = None
     tracer: Any = None
     chaos_report: Any = None
+    monitor: Optional["obs.FleetMonitor"] = None
     params: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -108,6 +109,14 @@ class RunResult:
             raise ValueError("run(..., telemetry=True) to collect a trace")
         obs.write_chrome_trace(self.telemetry, path, tracer=self.tracer)
 
+    def diff(self, other: "RunResult") -> Dict[str, Any]:
+        """Root-cause *other* against this run (this run is the
+        baseline): align the two causal span trees by location path and
+        rank per-node self-time deltas.  Render the result with
+        :func:`repro.obs.render_diff`.  Both runs need
+        ``telemetry=True``."""
+        return obs.diff_traces(self.span_tree(), other.span_tree())
+
 
 def _resolve_transport(transport: Union[str, StateTransport],
                        **opts) -> StateTransport:
@@ -127,10 +136,19 @@ def _resolve_hub(telemetry) -> Optional["obs.Telemetry"]:
     return telemetry
 
 
+def _resolve_monitor(monitor) -> Optional["obs.FleetMonitor"]:
+    if monitor is None or monitor is False:
+        return None
+    if monitor is True:
+        return obs.FleetMonitor()
+    return monitor
+
+
 def run(workload: str, transport: Union[str, StateTransport] = "rmmap",
         *, seed: int = 0, scale: Optional[float] = None,
         chaos: Optional[Dict[str, Any]] = None,
         telemetry: Union[None, bool, "obs.Telemetry"] = None,
+        monitor: Union[None, bool, "obs.FleetMonitor"] = None,
         params: Optional[Dict[str, Any]] = None,
         n_machines: int = 10, prewarm: bool = True,
         transport_opts: Optional[Dict[str, Any]] = None) -> RunResult:
@@ -156,6 +174,13 @@ def run(workload: str, transport: Union[str, StateTransport] = "rmmap",
     :func:`repro.chaos.runner.run_chaos_workflow`, e.g. ``requests``,
     ``schedule``, ``policy``); the report lands on
     ``RunResult.chaos_report``.
+
+    ``monitor=True`` (or an existing :class:`~repro.obs.FleetMonitor`)
+    attaches streaming SLO monitoring to the hub for the duration of the
+    run (implies telemetry); windowed latency/rate series and any
+    burn-rate alerts come back on ``RunResult.monitor``.  The monitor is
+    a listener on the hub — like the hub itself it never perturbs
+    simulated time.
     """
     from repro.bench.figures_workflow import (_light_params,
                                               workflow_configs)
@@ -170,40 +195,51 @@ def run(workload: str, transport: Union[str, StateTransport] = "rmmap",
         merged.update(params)
 
     hub = _resolve_hub(telemetry)
+    mon = _resolve_monitor(monitor)
+    if mon is not None and hub is None:
+        hub = obs.Telemetry()
+    if mon is not None:
+        mon.attach(hub)
+    try:
+        if chaos is not None:
+            from repro.chaos.runner import run_chaos_workflow
+            transport_obj = _resolve_transport(transport,
+                                               **(transport_opts or {}))
+            kwargs = dict(chaos)
+            kwargs.setdefault("transport_factory", lambda: transport_obj)
+            with obs.capture(hub) if hub is not None else _noop():
+                report = run_chaos_workflow(workload=workload, seed=seed,
+                                            scale=scale, **kwargs)
+            return RunResult(workload=workload,
+                             transport=transport_obj.name,
+                             seed=seed, telemetry=hub,
+                             chaos_report=report, monitor=mon,
+                             params=merged)
 
-    if chaos is not None:
-        from repro.chaos.runner import run_chaos_workflow
+        from repro.platform.cluster import ServerlessPlatform
+        from repro.sim.rng import make_rng
+
         transport_obj = _resolve_transport(transport,
                                            **(transport_opts or {}))
-        kwargs = dict(chaos)
-        kwargs.setdefault("transport_factory", lambda: transport_obj)
         with obs.capture(hub) if hub is not None else _noop():
-            report = run_chaos_workflow(workload=workload, seed=seed,
-                                        scale=scale, **kwargs)
+            platform = ServerlessPlatform(n_machines=n_machines,
+                                          rng=make_rng(seed))
+            tracer = platform.enable_tracing() if hub is not None else None
+            workflow = builder()
+            platform.deploy(workflow, transport_obj)
+            if prewarm:
+                platform.prewarm(workflow.name, _light_params(merged))
+                if tracer is not None:
+                    tracer.clear()  # spans cover the measured invocation
+            record = platform.run_once(workflow.name, merged)
+        if hub is not None:
+            obs.rollup_record(hub, record)
         return RunResult(workload=workload, transport=transport_obj.name,
-                         seed=seed, telemetry=hub, chaos_report=report,
-                         params=merged)
-
-    from repro.platform.cluster import ServerlessPlatform
-    from repro.sim.rng import make_rng
-
-    transport_obj = _resolve_transport(transport, **(transport_opts or {}))
-    with obs.capture(hub) if hub is not None else _noop():
-        platform = ServerlessPlatform(n_machines=n_machines,
-                                      rng=make_rng(seed))
-        tracer = platform.enable_tracing() if hub is not None else None
-        workflow = builder()
-        platform.deploy(workflow, transport_obj)
-        if prewarm:
-            platform.prewarm(workflow.name, _light_params(merged))
-            if tracer is not None:
-                tracer.clear()  # spans cover the measured invocation only
-        record = platform.run_once(workflow.name, merged)
-    if hub is not None:
-        obs.rollup_record(hub, record)
-    return RunResult(workload=workload, transport=transport_obj.name,
-                     seed=seed, record=record, telemetry=hub,
-                     tracer=tracer, params=merged)
+                         seed=seed, record=record, telemetry=hub,
+                         tracer=tracer, monitor=mon, params=merged)
+    finally:
+        if mon is not None:
+            mon.detach()
 
 
 class _noop:

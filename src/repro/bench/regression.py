@@ -74,6 +74,13 @@ class Finding:
     direction: str
     kind: str  # "regression" | "improvement" | "missing" | "new"
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"metric": self.metric, "baseline": self.baseline,
+                "candidate": self.candidate,
+                "rel_change": round(self.rel_change, 6),
+                "tolerance": self.tolerance,
+                "direction": self.direction, "kind": self.kind}
+
     def render(self) -> str:
         if self.kind == "missing":
             return f"  MISSING      {self.metric} (baseline " \
@@ -96,12 +103,29 @@ class RegressionReport:
     failures: List[Finding] = field(default_factory=list)
     improvements: List[Finding] = field(default_factory=list)
     new_metrics: List[Finding] = field(default_factory=list)
+    #: Root-cause report from :mod:`repro.obs.diff`, attached by
+    #: :func:`check_paths` when the gate fails (the gate says *what*
+    #: drifted; the diff says *where the nanoseconds moved*).
+    diff: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable gate verdict (``bench-check --format json``)."""
+        return {
+            "ok": self.ok,
+            "compared": self.compared,
+            "failures": [f.to_dict() for f in self.failures],
+            "improvements": [f.to_dict() for f in self.improvements],
+            "new_metrics": [f.to_dict() for f in self.new_metrics],
+            "diff": self.diff,
+        }
+
     def render(self) -> str:
+        from repro.obs.diff import render_diff
+
         lines = [f"benchmark regression gate: {self.compared} metrics "
                  f"compared, {len(self.failures)} regressions, "
                  f"{len(self.improvements)} improvements, "
@@ -112,6 +136,9 @@ class RegressionReport:
             lines.append(finding.render())
         for finding in self.new_metrics:
             lines.append(finding.render())
+        if self.diff is not None:
+            lines.append("")
+            lines.append(render_diff(self.diff))
         lines.append("PASS" if self.ok else "FAIL")
         return "\n".join(lines)
 
@@ -178,11 +205,21 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
 
 def check_paths(baseline_path: str, candidate_path: str,
                 default_tolerance: float = DEFAULT_TOLERANCE,
-                overrides: Optional[Dict[str, float]] = None
-                ) -> RegressionReport:
-    """Load two snapshot files and compare them."""
+                overrides: Optional[Dict[str, float]] = None,
+                with_diff: bool = True) -> RegressionReport:
+    """Load two snapshot files and compare them.
+
+    When the gate fails (and ``with_diff`` is left on), the differential
+    root-cause report (:func:`repro.obs.diff.diff_snapshots`) is
+    attached on ``report.diff`` so the failure explains itself.
+    """
     from repro.bench.snapshot import load_snapshot
-    return compare(load_snapshot(baseline_path),
-                   load_snapshot(candidate_path),
-                   default_tolerance=default_tolerance,
-                   overrides=overrides)
+    baseline = load_snapshot(baseline_path)
+    candidate = load_snapshot(candidate_path)
+    report = compare(baseline, candidate,
+                     default_tolerance=default_tolerance,
+                     overrides=overrides)
+    if with_diff and not report.ok:
+        from repro.obs.diff import diff_snapshots
+        report.diff = diff_snapshots(baseline, candidate)
+    return report

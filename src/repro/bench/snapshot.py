@@ -25,7 +25,11 @@ import re
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
-SCHEMA_VERSION = 1
+#: v2 adds per-``(machine, layer, name)`` critical-path leaves
+#: (``critical_path.path_ns_by_location`` — the run-differ's join key)
+#: and span-duration percentile leaves from the mergeable sketch
+#: (``span_percentiles`` — tail behaviour under the gate, not just sums).
+SCHEMA_VERSION = 2
 
 #: The fixed operating point snapshots are taken at (CI uses exactly this).
 DEFAULT_SEED = 0
@@ -58,10 +62,31 @@ def _critical_path_summary(report: Dict[str, Any]) -> Dict[str, Any]:
         "span_count": report["span_count"],
         "layers": report["layers"],
         "path_ns_by_layer": dict(sorted(by_layer.items())),
+        "path_ns_by_location": {
+            f"{row['machine']}:{row['layer']}/{row['name']}":
+                row["path_ns"]
+            for row in sorted(report["bottlenecks"],
+                              key=lambda r: (r["machine"], r["layer"],
+                                             r["name"]))},
         "top": (f"{top['machine']}:{top['layer']}/{top['name']}"
                 if top else None),
         "top_share": top["share"] if top else 0.0,
     }
+
+
+def _span_percentiles(root) -> Dict[str, int]:
+    """Span-duration percentiles of the measured trace, estimated with
+    the fleet monitor's mergeable sketch — tail-shape leaves the gate can
+    hold, beyond the e2e sum."""
+    from repro.obs.monitor import PercentileSketch
+
+    sketch = PercentileSketch()
+    for node in root.walk():
+        sketch.record(node.duration_ns)
+    return {"count": sketch.count,
+            "p50_ns": sketch.quantile(0.50),
+            "p90_ns": sketch.quantile(0.90),
+            "p99_ns": sketch.quantile(0.99)}
 
 
 def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
@@ -86,6 +111,8 @@ def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
                 "reconstruct_ns": stages["reconstruct"],
                 "critical_path": _critical_path_summary(
                     result.critical_path()),
+                "span_percentiles": _span_percentiles(
+                    result.span_tree()),
             }
         matrix[workload] = row
 

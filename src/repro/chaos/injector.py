@@ -10,10 +10,16 @@ the chaos run's flight recorder, folded into the
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Iterable, List, Optional
 
 from repro.chaos.faults import (CoordinatorCrash, Fault, LatencySpike,
                                 LinkFlap, MachineCrash, OomKill, QpBreak)
+
+
+def _snake(name: str) -> str:
+    """``MachineCrash`` -> ``machine_crash`` (metric naming scheme)."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
 from repro.chaos.schedule import FaultSchedule
 from repro.kernel.machine import Machine
 from repro.obs.telemetry import current as _telemetry
@@ -74,7 +80,7 @@ class FaultInjector:
         if hub is not None:
             hub.count("cluster", "chaos", "faults.injected")
             hub.count("cluster", "chaos",
-                      f"faults.{type(fault).__name__}")
+                      f"faults.{_snake(type(fault).__name__)}")
             hub.event("cluster", "chaos", "fault",
                       description=fault.describe())
         if isinstance(fault, MachineCrash):

@@ -50,8 +50,8 @@ def run_chaos_workflow(workload: str = "ml-prediction",
                        scale: Optional[float] = None,
                        lease_ns: int = CHAOS_LEASE_NS,
                        grace_ns: int = CHAOS_GRACE_NS,
-                       scan_interval_ns: int = CHAOS_SCAN_INTERVAL_NS
-                       ) -> ChaosReport:
+                       scan_interval_ns: int = CHAOS_SCAN_INTERVAL_NS,
+                       monitor=None) -> ChaosReport:
     """Run *requests* invocations of one Fig-14 workflow under faults.
 
     Without an explicit ``schedule``, a seeded mixed schedule (machine
@@ -61,7 +61,31 @@ def run_chaos_workflow(workload: str = "ml-prediction",
     run — same seed, same ChaosReport fingerprint.  ``schedule`` may also
     be a callable ``(macs, start_ns, horizon_ns) -> FaultSchedule`` for
     targeted scenarios.
+
+    ``monitor`` (a :class:`~repro.obs.FleetMonitor`) attaches streaming
+    SLO monitoring for the duration: it listens on the installed
+    telemetry hub (one is captured for the run if none is installed), so
+    injected faults show up as burn-rate alerts at deterministic
+    simulated timestamps.  Monitoring is a pure observer — the
+    ChaosReport fingerprint is identical with it on or off.
     """
+    if monitor is not None:
+        from repro import obs
+        hub = obs.current()
+        if hub is None:
+            with obs.capture() as hub:
+                return run_chaos_workflow(
+                    workload, seed, requests, n_machines, schedule,
+                    transport_factory, policy, scale, lease_ns, grace_ns,
+                    scan_interval_ns, monitor)
+        monitor.attach(hub)
+        try:
+            return run_chaos_workflow(
+                workload, seed, requests, n_machines, schedule,
+                transport_factory, policy, scale, lease_ns, grace_ns,
+                scan_interval_ns)
+        finally:
+            monitor.detach()
     from repro.bench.figures_workflow import (_light_params,
                                               workflow_configs)
     from repro.platform.cluster import ServerlessPlatform

@@ -10,7 +10,9 @@ Examples::
     python -m repro chaos-wordcount --seed 7
     python -m repro bench --json-out BENCH_ci.json
     python -m repro bench-check --baseline BENCH_0.json \
-        --candidate BENCH_ci.json
+        --candidate BENCH_ci.json --format json
+    python -m repro monitor --workload wordcount
+    python -m repro diff --baseline BENCH_0.json --candidate BENCH_1.json
 
 Global flags: ``--scale`` (input scale; also settable via
 ``REPRO_BENCH_SCALE``), ``--seed`` (run seed; also ``REPRO_CHAOS_SEED``
@@ -272,6 +274,9 @@ _COMMANDS = {
     "bench": "write a BENCH_<n>.json benchmark snapshot "
              "(fixed seed/scale)",
     "bench-check": "compare two snapshots; exit 1 on regression",
+    "monitor": "fleet SLO monitoring demo: chaos run with windowed "
+               "percentiles and burn-rate alerts",
+    "diff": "root-cause two snapshots: ranked per-location deltas",
 }
 
 
@@ -292,12 +297,64 @@ def _bench(args) -> int:
 
 def _bench_check(args) -> int:
     """Gate a candidate snapshot against the committed baseline."""
+    import json
+
     from repro.bench import regression
 
     report = regression.check_paths(args.baseline, args.candidate,
                                     default_tolerance=args.tolerance)
-    print(report.render())
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return 0 if report.ok else 1
+
+
+def _diff(args) -> int:
+    """Root-cause two snapshots: where did the nanoseconds move?"""
+    import json
+
+    from repro.obs.diff import diff_snapshot_paths, render_diff
+
+    report = diff_snapshot_paths(args.baseline, args.candidate)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_diff(report))
+    return 0
+
+
+def _monitor(args) -> int:
+    """Fleet monitoring demo: one chaos run under streaming SLO watch.
+
+    Drives a seeded chaos run of one workload with a
+    :class:`~repro.obs.FleetMonitor` attached; prints the windowed
+    per-(tenant, workflow, transport) latency/availability series and
+    the burn-rate alert timeline, all in simulated time.
+    """
+    import json
+
+    from repro import obs
+    from repro.chaos.runner import run_chaos_workflow
+
+    workload = args.workload[0] if args.workload else "wordcount"
+    raw = os.environ.get("REPRO_CHAOS_SEED", "0")
+    try:
+        seed = int(raw)
+    except ValueError:
+        sys.exit(f"repro: REPRO_CHAOS_SEED must be an integer, "
+                 f"got {raw!r}")
+    monitor = obs.FleetMonitor()
+    report = run_chaos_workflow(workload, seed=seed, monitor=monitor)
+    if args.format == "json":
+        print(json.dumps(monitor.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(monitor.render())
+        print()
+        print(f"chaos availability: {report.availability:.2%} "
+              f"({report.completed}/{report.invocations} invocations, "
+              f"{len(monitor.alerts)} alerts)")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -331,12 +388,15 @@ def main(argv=None) -> int:
                              "(repeatable)")
     parser.add_argument("--baseline", metavar="PATH",
                         default="BENCH_0.json",
-                        help="bench-check: baseline snapshot")
+                        help="bench-check/diff: baseline snapshot")
     parser.add_argument("--candidate", metavar="PATH", default=None,
-                        help="bench-check: candidate snapshot")
+                        help="bench-check/diff: candidate snapshot")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="bench-check: default relative tolerance "
                              "band per metric")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="bench-check/diff/monitor: output format")
     args = parser.parse_args(argv)
 
     if args.scale is not None:
@@ -361,6 +421,12 @@ def main(argv=None) -> int:
             from repro.bench.regression import DEFAULT_TOLERANCE
             args.tolerance = DEFAULT_TOLERANCE
         return _bench_check(args)
+    if args.experiment == "diff":
+        if args.candidate is None:
+            parser.error("diff requires --candidate PATH")
+        return _diff(args)
+    if args.experiment == "monitor":
+        return _monitor(args)
 
     hub = None
     if args.trace_out is not None or args.profile_out is not None:

@@ -5,7 +5,11 @@ every layer of the simulated stack (engine, memory, RDMA/RPC, kernel,
 platform, chaos), keyed by ``(machine, layer, name)``, at zero simulated
 cost.  Exporters serialize a hub to JSON, CSV, or Chrome trace-event
 format (loadable in Perfetto), merging spans from the existing
-:class:`~repro.analysis.tracing.Tracer`.
+:class:`~repro.analysis.tracing.Tracer`.  On top of the hub sit the
+fleet monitor (:mod:`repro.obs.monitor` — windowed percentile sketches,
+per-tenant series, SLO burn-rate alerting in simulated time) and the
+run differ (:mod:`repro.obs.diff` — ranked root-cause reports between
+two runs or bench snapshots).
 
 Quick use::
 
@@ -30,6 +34,12 @@ from repro.obs.profile import (PathSegment, SpanNode, attribute,
                                parse_folded, render_report, trace_ids)
 from repro.obs.rollup import (TRANSFER_LAYER, rollup_ledger,
                               rollup_record)
+from repro.obs.monitor import (Alert, FleetMonitor, MONITOR_LAYER,
+                               PercentileSketch, SKETCH_RELATIVE_ERROR,
+                               WindowedCounter, WindowedSketch)
+from repro.obs.slo import DEFAULT_SLOS, SLO
+from repro.obs.diff import (diff_snapshot_paths, diff_snapshots,
+                            diff_traces, render_diff)
 
 __all__ = [
     "Histogram",
@@ -60,4 +70,17 @@ __all__ = [
     "parse_folded",
     "render_report",
     "trace_ids",
+    "Alert",
+    "FleetMonitor",
+    "MONITOR_LAYER",
+    "PercentileSketch",
+    "SKETCH_RELATIVE_ERROR",
+    "WindowedCounter",
+    "WindowedSketch",
+    "DEFAULT_SLOS",
+    "SLO",
+    "diff_snapshot_paths",
+    "diff_snapshots",
+    "diff_traces",
+    "render_diff",
 ]

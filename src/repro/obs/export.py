@@ -26,16 +26,24 @@ from repro.obs.telemetry import Telemetry, WALL_PREFIX
 
 
 def to_json(hub: Telemetry, deterministic: bool = False,
-            indent: Optional[int] = 2) -> str:
-    """The hub snapshot as a JSON document."""
-    return json.dumps(hub.snapshot(deterministic=deterministic),
-                      indent=indent, sort_keys=True)
+            indent: Optional[int] = 2, monitor=None) -> str:
+    """The hub snapshot as a JSON document.
+
+    ``monitor`` (a :class:`~repro.obs.monitor.FleetMonitor`) embeds the
+    fleet view — windowed series, SLOs, the alert timeline — under a
+    ``"monitor"`` key alongside the raw hub data.
+    """
+    snapshot = hub.snapshot(deterministic=deterministic)
+    if monitor is not None:
+        snapshot["monitor"] = monitor.snapshot()
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
 
 
 def write_json(hub: Telemetry, path: str,
-               deterministic: bool = False) -> None:
+               deterministic: bool = False, monitor=None) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(to_json(hub, deterministic=deterministic))
+        fh.write(to_json(hub, deterministic=deterministic,
+                         monitor=monitor))
         fh.write("\n")
 
 

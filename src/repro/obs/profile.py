@@ -241,6 +241,36 @@ def attribute(root: SpanNode) -> List[Dict[str, Any]]:
     return rows
 
 
+#: A root-to-node path of normalized ``(machine, layer, name)`` locations.
+LocationPath = Tuple[Tuple[str, str, str], ...]
+
+
+def path_table(root: SpanNode) -> Dict[LocationPath, Dict[str, int]]:
+    """Aggregate self/wait/total time per root-to-node *location path*.
+
+    Parallel instances of one function normalize onto the same path, so
+    two runs of the same workload produce alignable tables even when
+    instance counts differ — this is the join key the run-differ
+    (:mod:`repro.obs.diff`) uses.
+    """
+    acc: Dict[LocationPath, Dict[str, int]] = {}
+
+    def visit(node: SpanNode, prefix: LocationPath) -> None:
+        path = prefix + (node.location(),)
+        self_ns = self_time_ns(node)
+        slot = acc.setdefault(path, {"self_ns": 0, "wait_ns": 0,
+                                     "total_ns": 0, "count": 0})
+        slot["self_ns"] += self_ns
+        slot["wait_ns"] += node.duration_ns - self_ns
+        slot["total_ns"] += node.duration_ns
+        slot["count"] += 1
+        for child in node.children:
+            visit(child, path)
+
+    visit(root, ())
+    return acc
+
+
 # -- flamegraph ----------------------------------------------------------------
 
 

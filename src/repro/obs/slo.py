@@ -1,0 +1,93 @@
+"""Service-level objectives and multi-window burn-rate semantics.
+
+An :class:`SLO` classifies every finished invocation as *good* or *bad*
+and grants an error budget (``1 - objective``).  The monitor evaluates
+each SLO with the multi-window burn-rate rule: let
+
+    ``burn(w) = bad_fraction(w) / error_budget``
+
+over a sliding window ``w`` of simulated time.  An alert **fires** when
+both the long- and the short-window burn rates reach
+``burn_rate_threshold`` (the long window proves the budget is really
+being spent, the short window proves it is *still* being spent — no
+alerts for long-recovered blips), and **clears** when the short-window
+burn drops back below the threshold.  Evaluation is event-driven — the
+state machine advances only when an invocation finishes, at that
+invocation's simulated timestamp — so alert timelines are a pure
+function of the event stream and the monitor never has to schedule
+simulator work.
+
+Two kinds of objective are expressed with one dataclass:
+
+* **availability** (``latency_threshold_ns is None``): an invocation is
+  good iff it completed;
+* **latency** (``latency_threshold_ns`` set): an invocation is good iff
+  it completed *and* finished within the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.units import ms, us
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective over the stream of finished invocations."""
+
+    #: Stable identifier, used in alert events and reports.
+    name: str
+    #: Target good fraction, e.g. ``0.999`` → 0.1 % error budget.
+    objective: float
+    #: ``None`` → availability SLO; else good requires
+    #: ``latency_ns <= latency_threshold_ns``.
+    latency_threshold_ns: Optional[int] = None
+    #: Long burn-rate window (simulated ns).
+    long_window_ns: int = ms(400)
+    #: Short burn-rate window (simulated ns); must divide into the long
+    #: window's span for shared-counter evaluation.
+    short_window_ns: int = ms(50)
+    #: Fire when both windows burn at ≥ this multiple of budget rate.
+    burn_rate_threshold: float = 10.0
+
+    def __post_init__(self):
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.short_window_ns > self.long_window_ns:
+            raise ValueError("short window must not exceed long window")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def is_good(self, latency_ns: Optional[int], ok: bool) -> bool:
+        """Classify one finished invocation."""
+        if not ok:
+            return False
+        if self.latency_threshold_ns is None:
+            return True
+        return latency_ns is not None \
+            and latency_ns <= self.latency_threshold_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "objective": self.objective,
+            "latency_threshold_ns": self.latency_threshold_ns,
+            "long_window_ns": self.long_window_ns,
+            "short_window_ns": self.short_window_ns,
+            "burn_rate_threshold": self.burn_rate_threshold,
+        }
+
+
+#: Stock objectives for the simulated fleet: §4.5-style availability and
+#: a p-latency guardrail sized to the paper's sub-millisecond transfers.
+DEFAULT_SLOS = (
+    SLO(name="availability-999", objective=0.999),
+    SLO(name="latency-e2e-5ms", objective=0.99,
+        latency_threshold_ns=ms(5)),
+)
+
+__all__ = ["SLO", "DEFAULT_SLOS", "ms", "us"]

@@ -143,7 +143,9 @@ class Telemetry:
     """
 
     def __init__(self, max_events: int = 20_000,
-                 series_cap: int = 512):
+                 series_cap: int = 512,
+                 max_spans: Optional[int] = None,
+                 ring: bool = False):
         self.counters: Dict[MetricKey, int] = {}
         self.gauges: Dict[MetricKey, int] = {}
         self.histograms: Dict[MetricKey, Histogram] = {}
@@ -151,11 +153,24 @@ class Telemetry:
         self.spans: List[Dict[str, Any]] = []
         self.series: Dict[MetricKey, _Series] = {}
         self.max_events = max_events
+        self.max_spans = max_spans
+        #: ``ring=True`` turns the event/span caps into ring buffers for
+        #: long fleet runs: the *oldest* record is evicted (and counted
+        #: dropped) instead of the newest being refused, so the hub holds
+        #: the most recent window of a million-request simulation in
+        #: bounded memory.  The default keeps the original drop-newest
+        #: semantics and byte-identical exports.
+        self.ring = ring
         self.dropped_events = 0
+        self.dropped_spans = 0
         self._series_cap = series_cap
         self._clock: Callable[[], int] = lambda: 0
         self._clock_owner: Optional[object] = None
         self._next_span_id = 1
+        # live streaming consumers (e.g. repro.obs.monitor.FleetMonitor):
+        # called with every event dict, including ones the storage cap
+        # drops, so monitoring long runs never loses samples
+        self._listeners: List[Callable[[Dict[str, Any]], None]] = []
         # deferred ops, keyed by id(ledger); the entry pins the ledger
         # object so the id cannot be recycled while ops are pending
         self._ops: Dict[int, Dict[str, Any]] = {}
@@ -212,15 +227,35 @@ class Telemetry:
             hist = self.histograms[key] = Histogram()
         hist.record(value)
 
+    def add_listener(self,
+                     listener: Callable[[Dict[str, Any]], None]) -> None:
+        """Stream every future event dict to *listener*.
+
+        Listeners must be pure observers (no ledger, no clock, no event
+        queue); they see events even when the storage cap drops them.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(
+            self, listener: Callable[[Dict[str, Any]], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     def event(self, machine: str, layer: str, name: str,
               **attributes: Any) -> None:
         """Record one timestamped structured event."""
+        record = {"ts": self.now(), "machine": machine,
+                  "layer": layer, "name": name,
+                  "attributes": attributes}
+        for listener in self._listeners:
+            listener(record)
         if len(self.events) >= self.max_events:
             self.dropped_events += 1
-            return
-        self.events.append({"ts": self.now(), "machine": machine,
-                            "layer": layer, "name": name,
-                            "attributes": attributes})
+            if not self.ring:
+                return
+            del self.events[0]
+        self.events.append(record)
 
     def new_span_id(self) -> int:
         """Mint a process-unique, deterministic span id."""
@@ -242,6 +277,12 @@ class Telemetry:
         """
         if span_id is None:
             span_id = self.new_span_id()
+        if self.max_spans is not None \
+                and len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            if not self.ring:
+                return span_id
+            del self.spans[0]
         self.spans.append({"machine": machine, "layer": layer,
                            "name": name, "start_ns": int(start_ns),
                            "end_ns": int(end_ns), "span_id": span_id,
@@ -399,6 +440,7 @@ class Telemetry:
             "events": list(self.events),
             "spans": list(self.spans),
             "dropped_events": self.dropped_events,
+            "dropped_spans": self.dropped_spans,
         }
 
     def clear(self) -> None:
@@ -409,6 +451,7 @@ class Telemetry:
         self.spans.clear()
         self.series.clear()
         self.dropped_events = 0
+        self.dropped_spans = 0
         self._ops.clear()
         self._next_span_id = 1
 

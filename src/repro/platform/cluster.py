@@ -46,12 +46,14 @@ class ServerlessPlatform:
     # -- deployment -------------------------------------------------------------
 
     def deploy(self, workflow: Workflow, transport: StateTransport,
-               resilience=None) -> WorkflowCoordinator:
+               resilience=None,
+               tenant: str = "default") -> WorkflowCoordinator:
         """Upload a workflow: generates its static VM plan (Section 4.2)
         and binds it to a transport.  ``resilience`` (a
         :class:`~repro.chaos.policies.ResiliencePolicy`) opts the
         coordinator into the fault-recovery ladder; the default stays
-        fail-stop."""
+        fail-stop.  ``tenant`` is a fleet-monitoring label stamped on the
+        coordinator's spans and invocation events."""
         if workflow.name in self._coordinators:
             raise PlatformError(f"workflow {workflow.name!r} already "
                                 "deployed")
@@ -59,7 +61,8 @@ class ServerlessPlatform:
         coordinator = WorkflowCoordinator(self.engine, workflow, plan,
                                           self.scheduler, transport,
                                           self.cost, tracer=self.tracer,
-                                          resilience=resilience)
+                                          resilience=resilience,
+                                          tenant=tenant)
         self._coordinators[workflow.name] = coordinator
         self._plans[workflow.name] = plan
         return coordinator

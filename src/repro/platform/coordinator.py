@@ -206,11 +206,16 @@ class WorkflowCoordinator:
     def __init__(self, engine: Engine, workflow: Workflow, plan: VmPlan,
                  scheduler: Scheduler, transport: StateTransport,
                  cost: CostModel, tracer=None,
-                 resilience: Optional[ResiliencePolicy] = None):
+                 resilience: Optional[ResiliencePolicy] = None,
+                 tenant: str = "default"):
         from repro.analysis.tracing import Tracer
 
         self.engine = engine
         self.workflow = workflow
+        # fleet-monitoring label only (multi-tenant isolation is out of
+        # scope): stamped on spans and invocation events so per-tenant
+        # SLO series can be separated on a shared hub
+        self.tenant = tenant
         self.plan = plan
         self.scheduler = scheduler
         self.transport = transport
@@ -345,6 +350,30 @@ class WorkflowCoordinator:
                       self._inflight)
             hub.gauge_max("coordinator", "platform",
                           "invocations.inflight.hw", self._inflight)
+        try:
+            yield from self._invocation_body(inv, record, params)
+        except Exception as err:
+            # availability accounting for the fleet monitor; the fault
+            # itself still propagates to the caller unchanged
+            self._inflight -= 1
+            hub = _telemetry()
+            if hub is not None:
+                hub.count("coordinator", "platform", "invocations.failed")
+                hub.gauge("coordinator", "platform",
+                          "invocations.inflight", self._inflight)
+                hub.event("coordinator", "platform", "invocation.failed",
+                          tenant=self.tenant, workflow=wf.name,
+                          transport=self.transport.name,
+                          request_id=record.request_id,
+                          latency_ns=self.engine.now - record.start_ns,
+                          error=type(err).__name__)
+            raise
+        return record
+
+    def _invocation_body(self, inv: "_InvocationState",
+                         record: InvocationRecord,
+                         params: Dict[str, Any]):
+        wf = self.workflow
         yield from self._control_barrier()
         inv_span = self.tracer.begin(
             f"{wf.name}#{record.request_id}", self.engine.now)
@@ -376,13 +405,19 @@ class WorkflowCoordinator:
             hub.span("coordinator", "workflow", wf.name,
                      record.start_ns, record.end_ns, span_id=inv.root_id,
                      trace_id=inv.trace_id,
-                     request_id=record.request_id)
+                     request_id=record.request_id, tenant=self.tenant,
+                     transport=self.transport.name)
             hub.span("coordinator", "platform",
                      f"{wf.name}#{record.request_id}",
                      record.start_ns, record.end_ns, span_id=inv.inv_id,
                      parent_id=inv.root_id, trace_id=inv.trace_id,
-                     request_id=record.request_id,
+                     request_id=record.request_id, tenant=self.tenant,
                      functions=len(record.functions))
+            hub.event("coordinator", "platform", "invocation.done",
+                      tenant=self.tenant, workflow=wf.name,
+                      transport=self.transport.name,
+                      request_id=record.request_id,
+                      latency_ns=record.latency_ns)
         if len(sink_values) == 1:
             values = next(iter(sink_values.values()))
             record.result = values[0] if len(values) == 1 else values
@@ -466,7 +501,8 @@ class WorkflowCoordinator:
                      f"{spec.name}#{index}", frec.start_ns, frec.end_ns,
                      span_id=inst_id, parent_id=inv.inv_id,
                      trace_id=inv.trace_id,
-                     request_id=record.request_id, cold=frec.cold_start,
+                     request_id=record.request_id, tenant=self.tenant,
+                     cold=frec.cold_start,
                      compute_ns=frec.compute_ns,
                      platform_ns=frec.platform_ns,
                      transfer_ns=frec.transfer_ns)

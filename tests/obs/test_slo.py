@@ -1,0 +1,56 @@
+"""SLO dataclass semantics: validation, classification, budgets."""
+
+import pytest
+
+from repro.obs.slo import DEFAULT_SLOS, SLO
+from repro.units import ms
+
+
+class TestValidation:
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.1, 1.5])
+    def test_objective_must_be_open_interval(self, objective):
+        with pytest.raises(ValueError):
+            SLO(name="x", objective=objective)
+
+    def test_short_window_must_fit_in_long(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", objective=0.99, long_window_ns=ms(1),
+                short_window_ns=ms(2))
+
+    def test_frozen(self):
+        slo = SLO(name="x", objective=0.99)
+        with pytest.raises(AttributeError):
+            slo.objective = 0.5
+
+
+class TestClassification:
+    def test_error_budget(self):
+        assert SLO(name="x", objective=0.999).error_budget == \
+            pytest.approx(0.001)
+
+    def test_availability_slo_only_requires_success(self):
+        slo = SLO(name="x", objective=0.99)
+        assert slo.is_good(latency_ns=None, ok=True)
+        assert slo.is_good(latency_ns=10**12, ok=True)
+        assert not slo.is_good(latency_ns=1, ok=False)
+
+    def test_latency_slo_requires_success_and_speed(self):
+        slo = SLO(name="x", objective=0.99, latency_threshold_ns=ms(5))
+        assert slo.is_good(latency_ns=ms(5), ok=True)
+        assert not slo.is_good(latency_ns=ms(5) + 1, ok=True)
+        assert not slo.is_good(latency_ns=1, ok=False)
+        assert not slo.is_good(latency_ns=None, ok=True)
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+        d = json.loads(json.dumps(
+            SLO(name="x", objective=0.99,
+                latency_threshold_ns=ms(5)).to_dict()))
+        assert d["name"] == "x"
+        assert d["latency_threshold_ns"] == ms(5)
+
+
+def test_default_slos_cover_both_kinds():
+    kinds = {slo.latency_threshold_ns is None for slo in DEFAULT_SLOS}
+    assert kinds == {True, False}
+    assert len({slo.name for slo in DEFAULT_SLOS}) == len(DEFAULT_SLOS)

@@ -179,3 +179,66 @@ class TestGlobalHub:
             with capture():
                 raise RuntimeError("boom")
         assert current() is None
+
+
+class TestBoundedMemory:
+    def test_ring_mode_keeps_newest_events(self):
+        hub = Telemetry(max_events=2, ring=True)
+        for i in range(5):
+            hub.event("m", "l", f"e{i}")
+        assert [e["name"] for e in hub.events] == ["e3", "e4"]
+        assert hub.dropped_events == 3
+
+    def test_default_mode_keeps_oldest_events(self):
+        hub = Telemetry(max_events=2)
+        for i in range(5):
+            hub.event("m", "l", f"e{i}")
+        assert [e["name"] for e in hub.events] == ["e0", "e1"]
+
+    def test_span_cap_counts_drops(self):
+        hub = Telemetry(max_spans=2)
+        ids = [hub.span("m", "l", f"s{i}", i, i + 1) for i in range(5)]
+        assert len(hub.spans) == 2
+        assert hub.dropped_spans == 3
+        # span ids keep incrementing so parent links stay coherent
+        assert ids == sorted(set(ids)) and len(ids) == 5
+
+    def test_snapshot_reports_drop_counters(self):
+        hub = Telemetry(max_events=1, max_spans=1)
+        for i in range(3):
+            hub.event("m", "l", "e")
+            hub.span("m", "l", "s", 0, 1)
+        snap = hub.snapshot()
+        assert snap["dropped_events"] == 2
+        assert snap["dropped_spans"] == 2
+
+    def test_clear_resets_drop_counters(self):
+        hub = Telemetry(max_events=1)
+        hub.event("m", "l", "a")
+        hub.event("m", "l", "b")
+        assert hub.dropped_events == 1
+        hub.clear()
+        assert hub.dropped_events == 0 and hub.events == []
+
+    def test_listeners_see_events_the_cap_drops(self):
+        seen = []
+        hub = Telemetry(max_events=1)
+        hub.add_listener(lambda e: seen.append(e["name"]))
+        hub.add_listener(lambda e: None)  # second listener coexists
+        for i in range(3):
+            hub.event("m", "l", f"e{i}")
+        assert seen == ["e0", "e1", "e2"]
+        assert len(hub.events) == 1
+
+    def test_remove_listener_is_idempotent(self):
+        seen = []
+        listener = seen.append
+        hub = Telemetry()
+        hub.add_listener(listener)
+        hub.add_listener(listener)  # no double delivery
+        hub.event("m", "l", "a")
+        assert len(seen) == 1
+        hub.remove_listener(listener)
+        hub.remove_listener(listener)
+        hub.event("m", "l", "b")
+        assert len(seen) == 1

@@ -99,3 +99,65 @@ def test_profile_out_writes_reports_and_folded_stacks(tmp_path,
     assert folded
     prefixes = {line.split(";", 1)[0] for line in folded}
     assert prefixes == set(reports)
+
+
+def test_bench_check_json_format_carries_diff(tmp_path, capsys):
+    base = str(tmp_path / "base.json")
+    cand = str(tmp_path / "cand.json")
+    assert main(["bench", "--json-out", base,
+                 "--workload", "wordcount"]) == 0
+    snap = json.load(open(base))
+    entry = snap["workloads"]["wordcount"]["rmmap-prefetch"]
+    entry["e2e_ns"] = int(entry["e2e_ns"] * 1.5)
+    locations = entry["critical_path"]["path_ns_by_location"]
+    victim = sorted(locations)[0]
+    locations[victim] += 1_000_000
+    json.dump(snap, open(cand, "w"))
+    capsys.readouterr()
+    assert main(["bench-check", "--baseline", base, "--candidate", cand,
+                 "--format", "json"]) == 1
+    verdict = json.loads(capsys.readouterr().out)
+    assert verdict["ok"] is False
+    assert verdict["failures"]
+    assert verdict["diff"]["kind"] == "snapshot"
+
+    assert main(["bench-check", "--baseline", base, "--candidate", base,
+                 "--format", "json"]) == 0
+    verdict = json.loads(capsys.readouterr().out)
+    assert verdict["ok"] is True and verdict["diff"] is None
+
+    assert main(["diff", "--baseline", base, "--candidate", cand]) == 0
+    out = capsys.readouterr().out
+    assert "root cause" in out and "e2e wordcount/rmmap-prefetch" in out
+    assert victim in out
+
+    assert main(["diff", "--baseline", base, "--candidate", cand,
+                 "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["kind"] == "snapshot" and report["delta_total_ns"] > 0
+
+
+def test_diff_requires_candidate():
+    with pytest.raises(SystemExit):
+        main(["diff", "--baseline", "BENCH_0.json"])
+
+
+def test_monitor_command_renders_fleet_view(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+    assert main(["monitor", "--workload", "ml-prediction",
+                 "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet monitor" in out
+    assert "ml-prediction" in out
+    assert "chaos availability" in out
+
+
+def test_monitor_command_json_snapshot(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+    assert main(["monitor", "--workload", "ml-prediction",
+                 "--seed", "1", "--format", "json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["observed"] > 0
+    assert snap["series"][0]["workflow"] == "ml-prediction"
+    assert {s["name"] for s in snap["slos"]} == \
+        {"availability-999", "latency-e2e-5ms"}
