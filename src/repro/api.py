@@ -242,6 +242,38 @@ def run(workload: str, transport: Union[str, StateTransport] = "rmmap",
             mon.detach()
 
 
+def run_fleet(spec=None, *, seed: int = 0, tenants=None,
+              n_shards: int = 4, duration_s: float = 10.0,
+              smoke: bool = False, **kwargs):
+    """Run a multi-tenant fleet simulation and return a
+    :class:`~repro.fleet.runner.FleetResult`.
+
+    Either pass a ready-made :class:`~repro.fleet.runner.FleetSpec` as
+    *spec*, or let this façade assemble one: ``smoke=True`` gives the
+    small CI configuration (:func:`~repro.fleet.runner.smoke_spec`);
+    otherwise *tenants* (default: :func:`~repro.fleet.traffic.
+    default_tenants` of eight), *n_shards*, *duration_s* and any other
+    :class:`FleetSpec` field via ``**kwargs``.  Same spec + same seed →
+    byte-identical ``FleetResult.to_json()``.
+    """
+    from repro.fleet import (FleetSpec, default_tenants,
+                             run_fleet as _run_fleet, smoke_spec)
+
+    if spec is None:
+        if smoke:
+            spec = smoke_spec(seed=seed)
+        else:
+            if tenants is None:
+                tenants = default_tenants(8)
+            spec = FleetSpec(tenants=tenants, seed=seed,
+                             n_shards=n_shards, duration_s=duration_s,
+                             **kwargs)
+    elif tenants is not None or kwargs or smoke:
+        raise ValueError("pass either a FleetSpec or assembly kwargs, "
+                         "not both")
+    return _run_fleet(spec)
+
+
 class _noop:
     """Stand-in context manager when telemetry is off."""
 

@@ -28,8 +28,12 @@ from typing import Any, Dict, List, Optional, Tuple
 #: Relative drift allowed per metric unless a prefix override matches.
 DEFAULT_TOLERANCE = 0.01
 
-#: Keys never compared (host-dependent or informational).
-SKIPPED_PREFIXES = ("environment.",)
+#: Keys never compared (host-dependent or informational).  ``wall.`` is
+#: host wall-clock throughput (snapshot schema v3) — varies with the
+#: machine the snapshot was taken on, so the gate never holds it.
+#: ``schema_version`` is compatibility-checked up front in
+#: :func:`compare`, not drift-compared.
+SKIPPED_PREFIXES = ("environment.", "wall.", "schema_version")
 
 _HIGHER_IS_WORSE = ("_ns", "_ms", ".latency", "latency_")
 _LOWER_IS_WORSE = ("speedup", "improvement", "throughput", "tput")
@@ -165,7 +169,18 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
     operating points (seed / scale / schema) — such numbers are not
     comparable and the gate refuses to guess.
     """
-    for key in ("schema_version", "seed", "scale"):
+    from repro.bench.snapshot import SUPPORTED_VERSIONS
+
+    versions = (baseline.get("schema_version"),
+                candidate.get("schema_version"))
+    if versions[0] != versions[1] and \
+            not all(v in SUPPORTED_VERSIONS for v in versions):
+        # v2 vs v3 is fine: v3 only adds the (skipped) ``wall`` section
+        raise ValueError(
+            f"snapshots disagree on schema_version: baseline "
+            f"{versions[0]!r} vs candidate {versions[1]!r}; re-run at "
+            f"the baseline's operating point")
+    for key in ("seed", "scale"):
         if baseline.get(key) != candidate.get(key):
             raise ValueError(
                 f"snapshots disagree on {key}: baseline "

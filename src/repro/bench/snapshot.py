@@ -29,7 +29,15 @@ from typing import Any, Dict, List, Optional, Sequence
 #: (``critical_path.path_ns_by_location`` — the run-differ's join key)
 #: and span-duration percentile leaves from the mergeable sketch
 #: (``span_percentiles`` — tail behaviour under the gate, not just sums).
-SCHEMA_VERSION = 2
+#: v3 adds a top-level ``wall`` section (host wall-clock throughput:
+#: ``events_per_sec`` / ``invocations_per_sec``) — informational only,
+#: never compared by the regression gate (see ``SKIPPED_PREFIXES``).
+SCHEMA_VERSION = 3
+
+#: Versions :func:`load_snapshot` accepts; v2 snapshots simply lack the
+#: ``wall`` section, and the gate skips it anyway, so v2 baselines stay
+#: comparable against v3 candidates.
+SUPPORTED_VERSIONS = (2, 3)
 
 #: The fixed operating point snapshots are taken at (CI uses exactly this).
 DEFAULT_SEED = 0
@@ -93,16 +101,26 @@ def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
             workloads: Optional[Sequence[str]] = None,
             transports: Optional[Sequence[str]] = None) -> Dict[str, Any]:
     """Run the benchmark matrix and return the snapshot dict."""
+    import time
+
     from repro.api import run
 
     workloads = tuple(workloads) if workloads else DEFAULT_WORKLOADS
     transports = tuple(transports) if transports else DEFAULT_TRANSPORTS
     matrix: Dict[str, Dict[str, Any]] = {}
+    wall_started = time.perf_counter()
+    wall_events = 0
+    wall_invocations = 0
     for workload in workloads:
         row: Dict[str, Any] = {}
         for transport in transports:
             result = run(workload, transport, seed=seed, scale=scale,
                          telemetry=True)
+            hub = result.telemetry
+            wall_events += hub.counter("sim", "sim.engine",
+                                       "events.dispatched")
+            wall_invocations += hub.counter("coordinator", "platform",
+                                            "invocations.completed")
             stages = result.stage_totals()
             row[transport] = {
                 "e2e_ns": result.latency_ns,
@@ -126,6 +144,19 @@ def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
             derived[f"{workload}.{transport}.speedup_over_messaging"] = \
                 round(base["e2e_ns"] / entry["e2e_ns"], 4)
 
+    # derive the rates from the *stored* elapsed value so the section is
+    # internally consistent: rate == count / elapsed_s holds on read-back
+    elapsed_s = round(time.perf_counter() - wall_started, 6)
+    wall = {
+        "elapsed_s": elapsed_s,
+        "events": wall_events,
+        "invocations": wall_invocations,
+        "events_per_sec": round(wall_events / elapsed_s, 4)
+        if elapsed_s else 0.0,
+        "invocations_per_sec": round(wall_invocations / elapsed_s, 4)
+        if elapsed_s else 0.0,
+    }
+
     return {
         "schema_version": SCHEMA_VERSION,
         "seed": seed,
@@ -133,6 +164,7 @@ def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
         "workloads": {w: matrix[w] for w in sorted(matrix)},
         "derived": dict(sorted(derived.items())),
         "environment": _environment(),
+        "wall": wall,
     }
 
 
@@ -146,10 +178,10 @@ def load_snapshot(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as fh:
         snapshot = json.load(fh)
     version = snapshot.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"{path}: snapshot schema v{version!r}, this tool reads "
-            f"v{SCHEMA_VERSION}")
+            f"v{SUPPORTED_VERSIONS}")
     return snapshot
 
 

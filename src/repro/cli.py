@@ -277,6 +277,8 @@ _COMMANDS = {
     "monitor": "fleet SLO monitoring demo: chaos run with windowed "
                "percentiles and burn-rate alerts",
     "diff": "root-cause two snapshots: ranked per-location deltas",
+    "fleet": "multi-tenant fleet simulation: open-loop traffic across "
+             "sharded coordinators (--smoke for the CI config)",
 }
 
 
@@ -357,6 +359,36 @@ def _monitor(args) -> int:
     return 0
 
 
+def _fleet(args) -> int:
+    """Run a multi-tenant fleet: seeded open-loop arrivals per tenant,
+    placed on sharded coordinators by consistent hashing, with token-
+    bucket admission and per-shard autoscaling.  Deterministic: same
+    seed + same flags → byte-identical JSON."""
+    import json
+
+    from repro.api import run_fleet
+
+    seed = args.seed if args.seed is not None else 0
+    if args.smoke:
+        result = run_fleet(seed=seed, smoke=True)
+    else:
+        from repro.fleet import default_tenants
+        tenants = default_tenants(args.tenants)
+        result = run_fleet(seed=seed, tenants=tenants,
+                           n_shards=args.shards,
+                           duration_s=args.duration)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+            fh.write("\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -396,7 +428,18 @@ def main(argv=None) -> int:
                              "band per metric")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text",
-                        help="bench-check/diff/monitor: output format")
+                        help="bench-check/diff/monitor/fleet: output "
+                             "format")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fleet: the small CI configuration "
+                             "(3 tenants, 2 shards, ~1e3 invocations)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="fleet: coordinator shard count")
+    parser.add_argument("--tenants", type=int, default=8,
+                        help="fleet: tenant count (default mix of "
+                             "arrival shapes and workloads)")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="fleet: simulated seconds of traffic")
     args = parser.parse_args(argv)
 
     if args.scale is not None:
@@ -427,6 +470,8 @@ def main(argv=None) -> int:
         return _diff(args)
     if args.experiment == "monitor":
         return _monitor(args)
+    if args.experiment == "fleet":
+        return _fleet(args)
 
     hub = None
     if args.trace_out is not None or args.profile_out is not None:

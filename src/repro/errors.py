@@ -108,3 +108,23 @@ class PlanningError(PlatformError):
 
 class WorkflowError(PlatformError):
     """Invalid workflow DAG or failed workflow execution."""
+
+
+class InvocationRejected(PlatformError):
+    """Admission control refused an invocation before it started.
+
+    ``reason`` is one of the typed rejection reasons in
+    :mod:`repro.fleet.admission` (``rate-limit``, ``queue-full``,
+    ``shard-down``); ``tenant`` names the rejected tenant.
+    """
+
+    def __init__(self, tenant: str, reason: str):
+        super().__init__(f"invocation rejected for tenant {tenant!r}: "
+                         f"{reason}")
+        self.tenant = tenant
+        self.reason = reason
+
+
+class ShardUnavailable(PlatformError):
+    """The coordinator shard serving a tenant died mid-flight; the
+    invocation fails and the tenant fails over to a surviving shard."""

@@ -1,0 +1,154 @@
+"""Admission control: per-tenant token buckets and typed rejections.
+
+Admission happens *before* an invocation exists: a rejected request
+never touches a scheduler, never acquires a pod, and costs zero
+simulated time.  The controller is a pure function of the simulated
+clock — bucket refill is computed from the timestamp of each decision,
+so the same request timeline always produces the same admit/reject
+sequence.
+
+Rejections are typed (:data:`REJECT_RATE_LIMIT`,
+:data:`REJECT_QUEUE_FULL`, :data:`REJECT_SHARD_DOWN`) so availability
+accounting can distinguish *refused* work from *failed* work while the
+fleet monitor folds both into the same SLO denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: The tenant's token bucket was empty — sustained over-rate traffic.
+REJECT_RATE_LIMIT = "rate-limit"
+#: The target shard's wait queue was at capacity.
+REJECT_QUEUE_FULL = "queue-full"
+#: No live shard could serve the tenant.
+REJECT_SHARD_DOWN = "shard-down"
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One typed admission-control rejection event."""
+
+    ts_ns: int
+    tenant: str
+    reason: str
+    shard: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"ts_ns": self.ts_ns, "tenant": self.tenant,
+                "reason": self.reason, "shard": self.shard}
+
+
+class TokenBucket:
+    """A token bucket refilled as a pure function of simulated time.
+
+    ``rate_per_s`` tokens accrue per simulated second up to ``burst``;
+    :meth:`try_take` refills from the elapsed nanoseconds since the last
+    decision and then spends, so the admit/reject outcome depends only
+    on the decision timeline, never on wall-clock or call order across
+    buckets.
+    """
+
+    __slots__ = ("rate_per_s", "burst", "tokens", "_last_ns")
+
+    def __init__(self, rate_per_s: float, burst: float):
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1 token")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.tokens = float(burst)  # a fresh bucket starts full
+        self._last_ns = 0
+
+    def refill(self, now_ns: int) -> None:
+        if now_ns <= self._last_ns:
+            return
+        self.tokens = min(
+            self.burst,
+            self.tokens + (now_ns - self._last_ns) * self.rate_per_s / 1e9)
+        self._last_ns = now_ns
+
+    def try_take(self, now_ns: int, n: float = 1.0) -> bool:
+        """Spend *n* tokens at *now_ns*; ``False`` leaves the bucket
+        untouched (a rejected request costs no tokens)."""
+        self.refill(now_ns)
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+
+class AdmissionController:
+    """Per-tenant token buckets plus a typed rejection log.
+
+    Tenants without a configured bucket are always admitted (admission
+    is opt-in per tenant).  The controller only decides *rate-limit*
+    rejections itself; shard-level reasons (queue-full, shard-down) are
+    recorded through :meth:`note_rejection` by the sharding layer so one
+    object holds the complete rejection ledger.
+    """
+
+    #: Rejection log cap — counters stay exact beyond it.
+    MAX_LOGGED = 1000
+
+    def __init__(self):
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.rejections: List[Rejection] = []
+        #: exact counts per (tenant, reason), unaffected by the log cap
+        self.rejected_counts: Dict[Tuple[str, str], int] = {}
+
+    def configure(self, tenant: str, rate_per_s: float,
+                  burst: float) -> TokenBucket:
+        bucket = TokenBucket(rate_per_s, burst)
+        self._buckets[tenant] = bucket
+        return bucket
+
+    def bucket(self, tenant: str) -> Optional[TokenBucket]:
+        return self._buckets.get(tenant)
+
+    def admit(self, tenant: str, now_ns: int) -> Optional[str]:
+        """``None`` when admitted, else the typed rejection reason.
+
+        Only the token-bucket (rate-limit) check lives here; the caller
+        layers shard checks on top and reports them via
+        :meth:`note_rejection`.
+        """
+        bucket = self._buckets.get(tenant)
+        if bucket is not None and not bucket.try_take(now_ns):
+            self.note_rejection(now_ns, tenant, REJECT_RATE_LIMIT)
+            return REJECT_RATE_LIMIT
+        self.admitted += 1
+        return None
+
+    def note_rejection(self, now_ns: int, tenant: str, reason: str,
+                       shard: Optional[str] = None) -> Rejection:
+        rejection = Rejection(now_ns, tenant, reason, shard)
+        if len(self.rejections) < self.MAX_LOGGED:
+            self.rejections.append(rejection)
+        key = (tenant, reason)
+        self.rejected_counts[key] = self.rejected_counts.get(key, 0) + 1
+        return rejection
+
+    @property
+    def rejected(self) -> int:
+        return sum(self.rejected_counts.values())
+
+    def rejected_by_reason(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for (_tenant, reason), n in self.rejected_counts.items():
+            out[reason] = out.get(reason, 0) + n
+        return dict(sorted(out.items()))
+
+    def rejected_by_tenant(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for (tenant, _reason), n in self.rejected_counts.items():
+            out[tenant] = out.get(tenant, 0) + n
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"admitted": self.admitted, "rejected": self.rejected,
+                "by_reason": self.rejected_by_reason(),
+                "by_tenant": self.rejected_by_tenant()}

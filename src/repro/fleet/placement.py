@@ -1,0 +1,104 @@
+"""Consistent-hash tenant -> shard placement.
+
+A classic consistent-hash ring: each shard owns ``vnodes`` points on a
+2^64 circle, a tenant lands on the first shard point clockwise from its
+own hash.  Two properties matter for the fleet:
+
+* **Determinism** — points come from SHA-256 over stable strings, never
+  from Python's randomized ``hash()``, so the same shard set always
+  yields the same placement on every run and host.
+* **Minimal movement** — removing a shard relocates *only* the tenants
+  that shard owned (they slide to the next point clockwise); every other
+  tenant keeps its shard.  That is what makes shard failover cheap and
+  what the rebalance test pins down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring coordinate for *label*."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over shard ids."""
+
+    def __init__(self, shard_ids: Iterable[str], vnodes: int = 64):
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = int(vnodes)
+        self._shards: List[str] = []
+        #: sorted ring points and their owners (parallel lists)
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    # -- membership --------------------------------------------------------------
+
+    def shards(self) -> List[str]:
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def add(self, shard_id: str) -> None:
+        shard_id = str(shard_id)
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id!r} already on the ring")
+        self._shards.append(shard_id)
+        for v in range(self.vnodes):
+            point = _point(f"{shard_id}#{v}")
+            idx = bisect.bisect(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, shard_id)
+
+    def remove(self, shard_id: str) -> None:
+        shard_id = str(shard_id)
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id!r} not on the ring")
+        self._shards.remove(shard_id)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != shard_id]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    # -- placement ---------------------------------------------------------------
+
+    def place(self, key: str) -> str:
+        """The shard owning *key* (first ring point clockwise)."""
+        if not self._points:
+            raise ValueError("cannot place on an empty ring")
+        idx = bisect.bisect(self._points, _point(str(key)))
+        if idx == len(self._points):  # wrap around the circle
+            idx = 0
+        return self._owners[idx]
+
+    def assignments(self, keys: Sequence[str]) -> Dict[str, str]:
+        """``{key: shard_id}`` for every key, in key order."""
+        return {key: self.place(key) for key in sorted(keys)}
+
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of *keys* land on each live shard (all shards
+        listed, including empty ones)."""
+        out = {shard: 0 for shard in self.shards()}
+        for key in keys:
+            out[self.place(key)] += 1
+        return out
+
+
+def moved_keys(before: Dict[str, str],
+               after: Dict[str, str]) -> List[Tuple[str, str, str]]:
+    """``(key, old_shard, new_shard)`` for every key whose placement
+    changed between two assignment maps (the rebalance audit)."""
+    moved = []
+    for key in sorted(set(before) & set(after)):
+        if before[key] != after[key]:
+            moved.append((key, before[key], after[key]))
+    return moved

@@ -1,0 +1,325 @@
+"""Deterministic open-loop arrival processes and per-tenant traffic mixes.
+
+Three arrival-process families cover the load shapes the serverless
+literature cares about (TrEnv-X's multi-tenant sharing pressure,
+Roadrunner's load-mix sensitivity):
+
+* :class:`PoissonArrivals` — homogeneous Poisson at ``rate_rps``;
+* :class:`DiurnalArrivals` — a non-homogeneous Poisson process whose
+  rate follows a sinusoid (day/night traffic), sampled by thinning
+  against the peak rate;
+* :class:`BurstyArrivals` — a Markov-modulated on/off process
+  (exponential dwell times in a high-rate and a low-rate state), the
+  classic model for flash crowds.
+
+All three draw exclusively from the :class:`~repro.sim.rng.SeededRng`
+handed to :meth:`ArrivalProcess.arrivals`, so a fixed seed replays the
+exact arrival timeline.  Processes are *stateless* — per-run state lives
+inside the generator — so one spec object can drive many runs without
+leaking history between them.
+
+A :class:`TrafficMix` weights ``(workload, transport)`` pairs; each
+arrival picks one pair from the mix with its own rng stream.  A
+:class:`TenantSpec` bundles a tenant's arrivals, mix, and admission
+quota into the unit :func:`repro.fleet.runner.run_fleet` consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sim.rng import SeededRng
+
+#: One second in simulated nanoseconds.
+_SECOND_NS = 1_000_000_000
+
+
+class ArrivalProcess:
+    """Base class: a seeded generator of absolute arrival timestamps."""
+
+    kind = "?"
+
+    def mean_rate_rps(self) -> float:
+        """Long-run average arrival rate (requests per second)."""
+        raise NotImplementedError
+
+    def arrivals(self, rng: SeededRng, start_ns: int,
+                 end_ns: int) -> Iterator[int]:
+        """Yield absolute arrival times in ``[start_ns, end_ns)``.
+
+        Consumes only *rng*; never reads a clock or global state.
+        """
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at a fixed rate."""
+
+    kind = "poisson"
+
+    def __init__(self, rate_rps: float):
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        self.rate_rps = float(rate_rps)
+
+    def mean_rate_rps(self) -> float:
+        return self.rate_rps
+
+    def arrivals(self, rng: SeededRng, start_ns: int,
+                 end_ns: int) -> Iterator[int]:
+        mean_gap_ns = _SECOND_NS / self.rate_rps
+        t = start_ns
+        while True:
+            t += rng.exponential_ns(mean_gap_ns)
+            if t >= end_ns:
+                return
+            yield t
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "rate_rps": self.rate_rps}
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoid-modulated (non-homogeneous Poisson) arrivals.
+
+    The instantaneous rate is::
+
+        rate(t) = peak_rps * (floor + (1 - floor) *
+                              (0.5 + 0.5 * sin(2*pi*(t/period + phase))))
+
+    so it oscillates between ``peak_rps * floor`` (the overnight trough)
+    and ``peak_rps``.  Sampling uses thinning: candidate arrivals are
+    drawn at the peak rate and accepted with probability
+    ``rate(t) / peak_rps``, which is exact for non-homogeneous Poisson
+    processes and stays a pure function of the rng draws.
+    """
+
+    kind = "diurnal"
+
+    def __init__(self, peak_rps: float, period_s: float = 10.0,
+                 floor: float = 0.2, phase: float = 0.0):
+        if peak_rps <= 0 or period_s <= 0:
+            raise ValueError("peak_rps and period_s must be positive")
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+        self.peak_rps = float(peak_rps)
+        self.period_s = float(period_s)
+        self.floor = float(floor)
+        self.phase = float(phase)
+
+    def mean_rate_rps(self) -> float:
+        # the sinusoid averages to 0.5, so the mean relative rate is
+        # floor + (1 - floor) / 2
+        return self.peak_rps * (self.floor + (1.0 - self.floor) * 0.5)
+
+    def relative_rate(self, t_ns: int) -> float:
+        """``rate(t) / peak_rps``, in ``[floor, 1]``."""
+        cycles = t_ns / (self.period_s * _SECOND_NS) + self.phase
+        wave = 0.5 + 0.5 * math.sin(2.0 * math.pi * cycles)
+        return self.floor + (1.0 - self.floor) * wave
+
+    def arrivals(self, rng: SeededRng, start_ns: int,
+                 end_ns: int) -> Iterator[int]:
+        mean_gap_ns = _SECOND_NS / self.peak_rps
+        t = start_ns
+        while True:
+            t += rng.exponential_ns(mean_gap_ns)
+            if t >= end_ns:
+                return
+            if rng.py.random() <= self.relative_rate(t):
+                yield t
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "peak_rps": self.peak_rps,
+                "period_s": self.period_s, "floor": self.floor,
+                "phase": self.phase}
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Markov-modulated on/off arrivals (a 2-state MMPP).
+
+    The process dwells exponentially long in an *on* state (arrivals at
+    ``rate_on_rps``) and an *off* state (``rate_off_rps``, possibly 0),
+    switching between them forever.  Because exponential inter-arrivals
+    are memoryless, discarding the candidate arrival that crosses a
+    state switch and redrawing in the new state samples the exact MMPP.
+    """
+
+    kind = "bursty"
+
+    def __init__(self, rate_on_rps: float, rate_off_rps: float = 0.0,
+                 mean_on_s: float = 1.0, mean_off_s: float = 4.0,
+                 start_on: bool = True):
+        if rate_on_rps <= 0:
+            raise ValueError("rate_on_rps must be positive")
+        if rate_off_rps < 0:
+            raise ValueError("rate_off_rps must be non-negative")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ValueError("dwell times must be positive")
+        self.rate_on_rps = float(rate_on_rps)
+        self.rate_off_rps = float(rate_off_rps)
+        self.mean_on_s = float(mean_on_s)
+        self.mean_off_s = float(mean_off_s)
+        self.start_on = bool(start_on)
+
+    def mean_rate_rps(self) -> float:
+        total = self.mean_on_s + self.mean_off_s
+        return (self.rate_on_rps * self.mean_on_s
+                + self.rate_off_rps * self.mean_off_s) / total
+
+    def arrivals(self, rng: SeededRng, start_ns: int,
+                 end_ns: int) -> Iterator[int]:
+        on = self.start_on
+        t = start_ns
+        switch = t + rng.exponential_ns(
+            (self.mean_on_s if on else self.mean_off_s) * _SECOND_NS)
+        while t < end_ns:
+            rate = self.rate_on_rps if on else self.rate_off_rps
+            if rate <= 0.0:
+                t = switch
+            else:
+                gap = rng.exponential_ns(_SECOND_NS / rate)
+                if t + gap < switch:
+                    t += gap
+                    if t >= end_ns:
+                        return
+                    yield t
+                    continue
+                t = switch
+            on = not on
+            switch = t + rng.exponential_ns(
+                (self.mean_on_s if on else self.mean_off_s) * _SECOND_NS)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "rate_on_rps": self.rate_on_rps,
+                "rate_off_rps": self.rate_off_rps,
+                "mean_on_s": self.mean_on_s,
+                "mean_off_s": self.mean_off_s,
+                "start_on": self.start_on}
+
+
+#: ``(workload, transport)`` — the unit a mix weights.
+MixEntry = Tuple[str, str]
+
+
+class TrafficMix:
+    """A weighted choice over ``(workload, transport)`` pairs.
+
+    ``entries`` maps pairs to positive weights; :meth:`pick` draws one
+    pair per arrival using the caller's rng stream, so a tenant's mix
+    sequence is as isolated as its arrival sequence.
+    """
+
+    def __init__(self, entries: Sequence[Tuple[MixEntry, float]]):
+        if not entries:
+            raise ValueError("a TrafficMix needs at least one entry")
+        cleaned: List[Tuple[MixEntry, float]] = []
+        for (workload, transport), weight in entries:
+            if weight <= 0:
+                raise ValueError(
+                    f"weight for {(workload, transport)!r} must be "
+                    f"positive, got {weight}")
+            cleaned.append(((str(workload), str(transport)),
+                            float(weight)))
+        self.entries = cleaned
+        self._total = sum(w for _, w in cleaned)
+
+    @classmethod
+    def uniform(cls, workloads: Sequence[str],
+                transports: Sequence[str]) -> "TrafficMix":
+        """Every ``workloads x transports`` pair, equally weighted."""
+        return cls([((w, t), 1.0) for w in workloads for t in transports])
+
+    @classmethod
+    def single(cls, workload: str, transport: str) -> "TrafficMix":
+        return cls([((workload, transport), 1.0)])
+
+    def pairs(self) -> List[MixEntry]:
+        """The distinct ``(workload, transport)`` pairs, mix order."""
+        return [pair for pair, _ in self.entries]
+
+    def pick(self, rng: SeededRng) -> MixEntry:
+        r = rng.py.random() * self._total
+        acc = 0.0
+        for pair, weight in self.entries:
+            acc += weight
+            if r <= acc:
+                return pair
+        return self.entries[-1][0]  # float round-off guard
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"entries": [
+            {"workload": w, "transport": t, "weight": weight}
+            for (w, t), weight in self.entries]}
+
+
+@dataclass
+class TenantSpec:
+    """One tenant: arrivals + mix + admission quota.
+
+    ``admission_rps`` of ``None`` disables admission control for the
+    tenant (every arrival is admitted); otherwise a token bucket of that
+    sustained rate and ``admission_burst`` capacity guards the tenant.
+    """
+
+    name: str
+    arrivals: ArrivalProcess
+    mix: TrafficMix
+    admission_rps: Optional[float] = None
+    admission_burst: float = field(default=10.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "arrivals": self.arrivals.to_dict(),
+                "mix": self.mix.to_dict(),
+                "admission_rps": self.admission_rps,
+                "admission_burst": self.admission_burst}
+
+
+#: The four evaluated workloads (matches repro.bench.figures_workflow).
+DEFAULT_WORKLOADS = ("finra", "ml-prediction", "ml-training", "wordcount")
+
+
+def default_tenants(n_tenants: int, base_rate_rps: float = 50.0,
+                    transports: Optional[Sequence[str]] = None,
+                    admission_headroom: float = 2.0) -> List[TenantSpec]:
+    """A varied standard fleet: *n_tenants* tenants cycling through the
+    three arrival families and through single-pair mixes spanning the
+    4 workloads x the registered transports.
+
+    Tenant ``i`` runs workload ``i mod 4`` over transport ``i mod T``
+    at ``base_rate_rps * (1 + i/4)``, so rates, mixes and arrival shapes
+    all differ across the fleet.  Admission buckets are sized at
+    ``admission_headroom`` times the tenant's mean rate — loose enough
+    that steady traffic passes, tight enough that bursts are clipped.
+    """
+    if transports is None:
+        from repro.transfer.registry import list_transports
+        transports = list_transports()
+    tenants: List[TenantSpec] = []
+    for i in range(n_tenants):
+        rate = base_rate_rps * (1.0 + i / 4.0)
+        shape = i % 3
+        if shape == 0:
+            arrivals: ArrivalProcess = PoissonArrivals(rate)
+        elif shape == 1:
+            arrivals = DiurnalArrivals(peak_rps=rate * 1.5, period_s=8.0,
+                                       floor=0.25, phase=i / 7.0)
+        else:
+            arrivals = BurstyArrivals(rate_on_rps=rate * 3.0,
+                                      rate_off_rps=rate * 0.2,
+                                      mean_on_s=0.5, mean_off_s=1.0,
+                                      start_on=(i % 2 == 0))
+        workload = DEFAULT_WORKLOADS[i % len(DEFAULT_WORKLOADS)]
+        transport = transports[i % len(transports)]
+        tenants.append(TenantSpec(
+            name=f"tenant-{i:02d}",
+            arrivals=arrivals,
+            mix=TrafficMix.single(workload, transport),
+            admission_rps=arrivals.mean_rate_rps() * admission_headroom,
+            admission_burst=max(10.0, rate / 2.0)))
+    return tenants

@@ -309,7 +309,8 @@ class FleetMonitor:
     Attach with :meth:`attach` (or construct and pass to
     ``repro.api.run(monitor=...)`` / ``run_chaos_workflow(monitor=...)``)
     and the monitor consumes the coordinator's ``invocation.done`` /
-    ``invocation.failed`` events as they are recorded, maintaining:
+    ``invocation.failed`` / ``invocation.rejected`` events as they are
+    recorded, maintaining:
 
     * a :class:`WindowedSketch` of end-to-end latency per
       ``(tenant, workflow, transport)``;
@@ -330,6 +331,9 @@ class FleetMonitor:
         self.slices = slices
         self.latency: Dict[FleetKey, WindowedSketch] = {}
         self.requests: Dict[FleetKey, WindowedCounter] = {}
+        #: lifetime admission rejections per key (also counted as *bad*
+        #: in the windowed series, so availability folds them in)
+        self.rejected_counts: Dict[FleetKey, int] = {}
         self.alerts: List[Alert] = []
         self.observed = 0
         #: simulated timestamp of the latest observation — the natural
@@ -353,7 +357,8 @@ class FleetMonitor:
     def _on_event(self, event: Dict[str, Any]) -> None:
         if event["layer"] != "platform" \
                 or event["name"] not in ("invocation.done",
-                                         "invocation.failed"):
+                                         "invocation.failed",
+                                         "invocation.rejected"):
             return
         attrs = event["attributes"]
         key = (attrs.get("tenant", "default"),
@@ -361,14 +366,25 @@ class FleetMonitor:
                attrs.get("transport", "?"))
         self.observe(event["ts"], key,
                      latency_ns=attrs.get("latency_ns"),
-                     ok=event["name"] == "invocation.done")
+                     ok=event["name"] == "invocation.done",
+                     rejected=event["name"] == "invocation.rejected")
 
     # -- ingestion -----------------------------------------------------------
 
     def observe(self, ts_ns: int, key: FleetKey,
-                latency_ns: Optional[int], ok: bool) -> None:
-        """Feed one finished invocation (also usable without a hub)."""
+                latency_ns: Optional[int], ok: bool,
+                rejected: bool = False) -> None:
+        """Feed one finished (or admission-rejected) invocation.
+
+        Rejections count as *bad* in every window and SLO — a refused
+        request burns availability budget exactly like a failed one — but
+        are tallied separately so snapshots can tell refusals from
+        failures.
+        """
         self.observed += 1
+        if rejected:
+            self.rejected_counts[key] = \
+                self.rejected_counts.get(key, 0) + 1
         if ts_ns > self.last_ts:
             self.last_ts = ts_ns
         sketch = self.latency.get(key)
@@ -467,6 +483,7 @@ class FleetMonitor:
                 "transport": transport,
                 "window_ns": self.window_ns,
                 "requests": good + bad, "failures": bad,
+                "rejections": self.rejected_counts.get(key, 0),
                 "availability": round(self.availability(key, now_ns), 6),
                 "rate_per_s": round(self.rate_per_s(key, now_ns), 6),
                 "latency": window.to_dict(),

@@ -58,6 +58,28 @@ class Autoscaler:
             self.scheduler.listeners.remove(self._on_activity)
             self._attached = False
 
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready view of scaling activity and current coverage."""
+        per_function = {}
+        for spec in self.workflow.functions:
+            alive = self._pools(spec.name)
+            per_function[spec.name] = {
+                "width": spec.width,
+                "alive": len(alive),
+                "busy": sum(1 for _k, c in alive
+                            if c.state != STATE_IDLE),
+                "last_busy_ns": self._last_busy[spec.name],
+            }
+        return {
+            "workflow": self.workflow.name,
+            "headroom": self.headroom,
+            "idle_ttl_ns": self.idle_ttl_ns,
+            "provisioned": self.provisioned,
+            "scaled_down": self.scaled_down,
+            "attached": self._attached,
+            "functions": per_function,
+        }
+
     # -- demand sampling -----------------------------------------------------------
 
     def _pools(self, function: str) -> List[Tuple[tuple, Container]]:

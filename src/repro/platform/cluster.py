@@ -46,14 +46,17 @@ class ServerlessPlatform:
     # -- deployment -------------------------------------------------------------
 
     def deploy(self, workflow: Workflow, transport: StateTransport,
-               resilience=None,
-               tenant: str = "default") -> WorkflowCoordinator:
+               resilience=None, tenant: str = "default",
+               admission=None) -> WorkflowCoordinator:
         """Upload a workflow: generates its static VM plan (Section 4.2)
         and binds it to a transport.  ``resilience`` (a
         :class:`~repro.chaos.policies.ResiliencePolicy`) opts the
         coordinator into the fault-recovery ladder; the default stays
         fail-stop.  ``tenant`` is a fleet-monitoring label stamped on the
-        coordinator's spans and invocation events."""
+        coordinator's spans and invocation events.  ``admission`` (an
+        :class:`~repro.fleet.admission.AdmissionController`) makes
+        over-quota invokes raise
+        :class:`~repro.errors.InvocationRejected`."""
         if workflow.name in self._coordinators:
             raise PlatformError(f"workflow {workflow.name!r} already "
                                 "deployed")
@@ -62,7 +65,8 @@ class ServerlessPlatform:
                                           self.scheduler, transport,
                                           self.cost, tracer=self.tracer,
                                           resilience=resilience,
-                                          tenant=tenant)
+                                          tenant=tenant,
+                                          admission=admission)
         self._coordinators[workflow.name] = coordinator
         self._plans[workflow.name] = plan
         return coordinator
@@ -120,27 +124,47 @@ class ServerlessPlatform:
 
     # -- load generation (Fig 12) -----------------------------------------------------
 
-    def run_open_loop(self, workflow_name: str, rate_per_s: float,
-                      duration_s: float,
+    def run_open_loop(self, workflow_name: str,
+                      rate_per_s: Optional[float] = None,
+                      duration_s: float = 1.0,
                       params: Optional[Dict[str, Any]] = None,
                       poisson: bool = False,
-                      on_complete=None) -> List[InvocationRecord]:
+                      on_complete=None,
+                      arrivals=None) -> List[InvocationRecord]:
         """Open-loop client: issue invocations at *rate_per_s* for
         *duration_s* seconds; wait for all to finish; return records.
+
+        ``arrivals`` (a :class:`~repro.fleet.traffic.ArrivalProcess`)
+        replaces the fixed-rate/Poisson client with any seeded arrival
+        shape — diurnal, bursty — drawn from its own named rng stream
+        (``("open-loop", workflow_name)``), so switching shapes never
+        perturbs other consumers of the platform rng.  Invocations the
+        coordinator's admission controller rejects are skipped (the
+        rejection is already recorded on the controller and the hub).
 
         ``on_complete`` (if given) is called once every invocation has
         finished — e.g. to stop auxiliary sampler processes.
         """
+        from repro.errors import InvocationRejected
+
+        if (rate_per_s is None) == (arrivals is None):
+            raise ValueError("pass exactly one of rate_per_s/arrivals")
         coordinator = self.coordinator(workflow_name)
         records: List[InvocationRecord] = []
         rng = self.rng.fork(1)
+
+        def submit(procs):
+            try:
+                procs.append(coordinator.invoke(params))
+            except InvocationRejected:
+                pass  # typed + counted by the admission controller
 
         def client():
             procs = []
             deadline = self.engine.now + seconds(duration_s)
             mean_gap = seconds(1.0 / rate_per_s)
             while self.engine.now < deadline:
-                procs.append(coordinator.invoke(params))
+                submit(procs)
                 gap = (rng.exponential_ns(mean_gap) if poisson
                        else mean_gap)
                 yield Timeout(gap)
@@ -149,7 +173,24 @@ class ServerlessPlatform:
             if on_complete is not None:
                 on_complete()
 
-        self.engine.run_process(client(), name="open-loop-client")
+        def shaped_client():
+            procs = []
+            stream = self.rng.stream("open-loop", workflow_name)
+            start = self.engine.now
+            for at_ns in arrivals.arrivals(
+                    stream, start, start + seconds(duration_s)):
+                delay = at_ns - self.engine.now
+                if delay > 0:
+                    yield Timeout(delay)
+                submit(procs)
+            results = yield AllOf(procs)
+            records.extend(results)
+            if on_complete is not None:
+                on_complete()
+
+        self.engine.run_process(
+            client() if arrivals is None else shaped_client(),
+            name="open-loop-client")
         return records
 
     def run_closed_loop(self, workflow_name: str, clients: int,

@@ -17,8 +17,9 @@ from typing import Any, Dict, List, Optional
 from repro.analysis.chaos import ResilienceStats
 from repro.chaos.policies import RECOVERABLE_FAULTS, ResiliencePolicy
 from repro.errors import (AuthenticationFailed, ContainerKilled,
-                          MachineCrashed, RegistrationNotFound,
-                          RemoteAccessError, ReproError, WorkflowError)
+                          InvocationRejected, MachineCrashed,
+                          RegistrationNotFound, RemoteAccessError,
+                          ReproError, WorkflowError)
 from repro.kernel.remote_pager import FETCH_RPC
 from repro.net.rpc import RpcError
 from repro.obs.telemetry import current as _telemetry
@@ -207,11 +208,17 @@ class WorkflowCoordinator:
                  scheduler: Scheduler, transport: StateTransport,
                  cost: CostModel, tracer=None,
                  resilience: Optional[ResiliencePolicy] = None,
-                 tenant: str = "default"):
+                 tenant: str = "default", admission=None):
         from repro.analysis.tracing import Tracer
 
         self.engine = engine
         self.workflow = workflow
+        # optional admission hook (duck-typed to
+        # repro.fleet.admission.AdmissionController): consulted at invoke
+        # time; a non-None reason raises InvocationRejected before any
+        # process is spawned, so rejected work costs zero simulated time
+        self.admission = admission
+        self.rejected = 0
         # fleet-monitoring label only (multi-tenant isolation is out of
         # scope): stamped on spans and invocation events so per-tenant
         # SLO series can be separated on a shared hub
@@ -324,7 +331,27 @@ class WorkflowCoordinator:
     # -- public API -----------------------------------------------------------------
 
     def invoke(self, params: Optional[Dict[str, Any]] = None):
-        """Spawn one invocation; returns a process yielding the record."""
+        """Spawn one invocation; returns a process yielding the record.
+
+        With an admission controller attached, an over-quota request
+        raises :class:`~repro.errors.InvocationRejected` here — before a
+        process exists — and emits an ``invocation.rejected`` platform
+        event so the fleet monitor folds the refusal into availability.
+        """
+        if self.admission is not None:
+            reason = self.admission.admit(self.tenant, self.engine.now)
+            if reason is not None:
+                self.rejected += 1
+                hub = _telemetry()
+                if hub is not None:
+                    hub.count("coordinator", "platform",
+                              "invocations.rejected")
+                    hub.event("coordinator", "platform",
+                              "invocation.rejected", tenant=self.tenant,
+                              workflow=self.workflow.name,
+                              transport=self.transport.name,
+                              reason=reason)
+                raise InvocationRejected(self.tenant, reason)
         request_id = self._next_request
         self._next_request += 1
         record = InvocationRecord(workflow=self.workflow.name,

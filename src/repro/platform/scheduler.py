@@ -80,6 +80,25 @@ class Scheduler:
         """Every pod the scheduler currently tracks (frame audits)."""
         return [c for pool in self._pool.values() for c in pool]
 
+    def utilization(self) -> float:
+        """Busy pods over total cluster pod capacity, at this instant."""
+        capacity = self.total_capacity()
+        return self.containers_in_use() / capacity if capacity else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """A JSON-ready point-in-time view (fleet/CLI read-back)."""
+        return {
+            "machines": len(self.machines),
+            "machines_alive": sum(1 for m in self.machines if m.alive),
+            "capacity": self.total_capacity(),
+            "containers_alive": self.containers_alive(),
+            "containers_in_use": self.containers_in_use(),
+            "utilization": round(self.utilization(), 6),
+            "cold_starts": self.cold_starts,
+            "warm_starts": self.warm_starts,
+            "capacity_waiters": len(self._capacity_waiters),
+        }
+
     def _least_loaded_machine(self) -> Optional[Machine]:
         best, best_count = None, None
         for machine in self.machines:

@@ -56,9 +56,20 @@ class TestSnapshot:
     def test_collect_is_deterministic(self, snap):
         again = snapshot.collect(workloads=["wordcount"])
         a, b = dict(snap), dict(again)
+        # host-dependent sections; everything else is (code, seed, scale)
         a.pop("environment"), b.pop("environment")
+        a.pop("wall"), b.pop("wall")
         assert json.dumps(a, sort_keys=True) == json.dumps(b,
                                                            sort_keys=True)
+
+    def test_wall_throughput_section(self, snap):
+        wall = snap["wall"]
+        assert wall["elapsed_s"] > 0
+        assert wall["events"] > 0 and wall["invocations"] > 0
+        assert wall["events_per_sec"] == pytest.approx(
+            wall["events"] / wall["elapsed_s"], rel=1e-3)
+        assert wall["invocations_per_sec"] == pytest.approx(
+            wall["invocations"] / wall["elapsed_s"], rel=1e-3)
 
     def test_write_load_round_trip(self, snap, tmp_path):
         path = str(tmp_path / "BENCH_7.json")
@@ -76,6 +87,13 @@ class TestSnapshot:
             json.dump({}, fh)
         with pytest.raises(ValueError, match="schema"):
             snapshot.load_snapshot(path2)
+
+    def test_load_accepts_v2_fallback(self, tmp_path):
+        path = str(tmp_path / "BENCH_3.json")
+        with open(path, "w") as fh:
+            json.dump({"schema_version": 2, "seed": 0, "scale": 0.05},
+                      fh)
+        assert snapshot.load_snapshot(path)["schema_version"] == 2
 
     def test_next_snapshot_path_picks_free_slot(self, tmp_path):
         d = str(tmp_path)
@@ -136,6 +154,19 @@ class TestRegressionGate:
         cand = json.loads(json.dumps(snap))
         cand["environment"]["python"] = "9.9.9"
         assert regression.compare(snap, cand).ok
+
+    def test_wall_throughput_drift_ignored(self, snap):
+        cand = json.loads(json.dumps(snap))
+        cand["wall"]["elapsed_s"] *= 100
+        cand["wall"]["events_per_sec"] /= 100
+        assert regression.compare(snap, cand).ok
+
+    def test_v2_baseline_compares_against_v3_candidate(self, snap):
+        old = json.loads(json.dumps(snap))
+        old["schema_version"] = 2
+        del old["wall"]
+        report = regression.compare(old, snap)
+        assert report.ok and report.compared > 0
 
     def test_mismatched_operating_point_refused(self, snap):
         cand = json.loads(json.dumps(snap))

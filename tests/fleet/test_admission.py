@@ -1,0 +1,103 @@
+"""Token-bucket admission control and the typed rejection ledger."""
+
+import pytest
+
+from repro.fleet.admission import (AdmissionController, REJECT_QUEUE_FULL,
+                                   REJECT_RATE_LIMIT, REJECT_SHARD_DOWN,
+                                   Rejection, TokenBucket)
+
+SECOND = 1_000_000_000
+
+
+class TestTokenBucket:
+    def test_starts_full_then_exhausts(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=3.0)
+        assert [bucket.try_take(0) for _ in range(4)] \
+            == [True, True, True, False]
+
+    def test_refills_from_elapsed_sim_time(self):
+        bucket = TokenBucket(rate_per_s=2.0, burst=2.0)
+        assert bucket.try_take(0) and bucket.try_take(0)
+        assert not bucket.try_take(0)
+        # 2 tokens/s: after 500 ms exactly one token is back
+        assert bucket.try_take(SECOND // 2)
+        assert not bucket.try_take(SECOND // 2)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=5.0)
+        bucket.refill(100 * SECOND)
+        assert bucket.tokens == 5.0
+
+    def test_rejection_costs_no_tokens(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=1.0)
+        assert bucket.try_take(0)
+        before = bucket.tokens
+        assert not bucket.try_take(0)
+        assert bucket.tokens == before
+
+    def test_outcome_is_a_pure_function_of_the_timeline(self):
+        timeline = [0, 10, 10, 500_000_000, SECOND, SECOND]
+        def run():
+            bucket = TokenBucket(rate_per_s=2.0, burst=2.0)
+            return [bucket.try_take(t) for t in timeline]
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_unconfigured_tenants_always_admitted(self):
+        ctrl = AdmissionController()
+        assert all(ctrl.admit("free", t) is None for t in range(100))
+        assert ctrl.admitted == 100 and ctrl.rejected == 0
+
+    def test_over_quota_rejected_with_typed_reason(self):
+        ctrl = AdmissionController()
+        ctrl.configure("capped", rate_per_s=1.0, burst=2.0)
+        outcomes = [ctrl.admit("capped", 0) for _ in range(3)]
+        assert outcomes == [None, None, REJECT_RATE_LIMIT]
+        assert ctrl.rejected_by_reason() == {REJECT_RATE_LIMIT: 1}
+        assert ctrl.rejected_by_tenant() == {"capped": 1}
+
+    def test_note_rejection_folds_shard_reasons_into_one_ledger(self):
+        ctrl = AdmissionController()
+        ctrl.note_rejection(5, "t1", REJECT_QUEUE_FULL, shard="shard-0")
+        ctrl.note_rejection(9, "t1", REJECT_SHARD_DOWN, shard="shard-1")
+        ctrl.note_rejection(9, "t2", REJECT_QUEUE_FULL, shard="shard-0")
+        assert ctrl.rejected == 3
+        assert ctrl.rejected_by_reason() == {REJECT_QUEUE_FULL: 2,
+                                             REJECT_SHARD_DOWN: 1}
+        assert ctrl.rejected_by_tenant() == {"t1": 2, "t2": 1}
+        assert ctrl.rejections[0] == Rejection(5, "t1",
+                                               REJECT_QUEUE_FULL,
+                                               "shard-0")
+
+    def test_log_caps_but_counters_stay_exact(self):
+        ctrl = AdmissionController()
+        for i in range(AdmissionController.MAX_LOGGED + 50):
+            ctrl.note_rejection(i, "noisy", REJECT_RATE_LIMIT)
+        assert len(ctrl.rejections) == AdmissionController.MAX_LOGGED
+        assert ctrl.rejected == AdmissionController.MAX_LOGGED + 50
+
+    def test_buckets_are_per_tenant(self):
+        ctrl = AdmissionController()
+        ctrl.configure("a", rate_per_s=1.0, burst=1.0)
+        ctrl.configure("b", rate_per_s=1.0, burst=1.0)
+        assert ctrl.admit("a", 0) is None
+        assert ctrl.admit("a", 0) == REJECT_RATE_LIMIT
+        # tenant b's bucket is untouched by a's exhaustion
+        assert ctrl.admit("b", 0) is None
+
+    def test_to_dict_is_json_ready(self):
+        ctrl = AdmissionController()
+        ctrl.configure("t", rate_per_s=1.0, burst=1.0)
+        ctrl.admit("t", 0)
+        ctrl.admit("t", 0)
+        d = ctrl.to_dict()
+        assert d == {"admitted": 1, "rejected": 1,
+                     "by_reason": {REJECT_RATE_LIMIT: 1},
+                     "by_tenant": {"t": 1}}

@@ -1,0 +1,98 @@
+"""Consistent-hash placement: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.fleet.placement import HashRing, moved_keys
+
+SHARDS = [f"shard-{i}" for i in range(4)]
+KEYS = [f"tenant-{i:03d}" for i in range(200)]
+
+
+class TestDeterminism:
+    def test_same_shards_same_placement(self):
+        a = HashRing(SHARDS).assignments(KEYS)
+        b = HashRing(SHARDS).assignments(KEYS)
+        assert a == b
+
+    def test_insertion_order_is_irrelevant(self):
+        forward = HashRing(SHARDS).assignments(KEYS)
+        backward = HashRing(list(reversed(SHARDS))).assignments(KEYS)
+        assert forward == backward
+
+    def test_no_python_hash_randomization(self):
+        # pinned expected placements: SHA-256, not hash(), decides
+        ring = HashRing(SHARDS)
+        pinned = {k: ring.place(k) for k in KEYS[:5]}
+        assert pinned == HashRing(SHARDS).assignments(KEYS[:5])
+        assert set(pinned.values()) <= set(SHARDS)
+
+
+class TestBalance:
+    def test_every_shard_serves_some_keys(self):
+        spread = HashRing(SHARDS, vnodes=64).spread(KEYS)
+        assert set(spread) == set(SHARDS)
+        assert all(count > 0 for count in spread.values())
+
+    def test_more_vnodes_smooth_the_spread(self):
+        rough = HashRing(SHARDS, vnodes=2).spread(KEYS)
+        smooth = HashRing(SHARDS, vnodes=256).spread(KEYS)
+        def imbalance(spread):
+            return max(spread.values()) - min(spread.values())
+        assert imbalance(smooth) <= imbalance(rough)
+
+
+class TestMinimalMovement:
+    def test_removal_moves_only_the_dead_shards_keys(self):
+        ring = HashRing(SHARDS)
+        before = ring.assignments(KEYS)
+        ring.remove("shard-1")
+        after = ring.assignments(KEYS)
+        moved = moved_keys(before, after)
+        assert moved, "shard-1 owned some keys"
+        for key, old, new in moved:
+            assert old == "shard-1"
+            assert new != "shard-1"
+        # and every shard-1 key moved somewhere live
+        assert {k for k, _, _ in moved} \
+            == {k for k, s in before.items() if s == "shard-1"}
+
+    def test_adding_a_shard_only_steals_keys(self):
+        ring = HashRing(SHARDS)
+        before = ring.assignments(KEYS)
+        ring.add("shard-4")
+        after = ring.assignments(KEYS)
+        for _key, _old, new in moved_keys(before, after):
+            assert new == "shard-4"
+
+    def test_remove_then_add_restores_placement(self):
+        ring = HashRing(SHARDS)
+        before = ring.assignments(KEYS)
+        ring.remove("shard-2")
+        ring.add("shard-2")
+        assert ring.assignments(KEYS) == before
+
+
+class TestMembership:
+    def test_len_and_shards(self):
+        ring = HashRing(SHARDS)
+        assert len(ring) == 4
+        assert ring.shards() == sorted(SHARDS)
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(SHARDS)
+        with pytest.raises(ValueError):
+            ring.add("shard-0")
+
+    def test_unknown_remove_rejected(self):
+        ring = HashRing(SHARDS)
+        with pytest.raises(ValueError):
+            ring.remove("shard-9")
+
+    def test_empty_ring_refuses_placement(self):
+        ring = HashRing([])
+        with pytest.raises(ValueError):
+            ring.place("tenant-0")
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.place(k) == "only" for k in KEYS)

@@ -1,0 +1,153 @@
+"""Arrival processes: determinism, horizon bounds, rate statistics."""
+
+import pytest
+
+from repro.fleet.traffic import (BurstyArrivals, DiurnalArrivals,
+                                 PoissonArrivals, TenantSpec, TrafficMix,
+                                 default_tenants)
+from repro.sim.rng import make_rng
+
+SECOND = 1_000_000_000
+
+
+def draw(process, seed=0, start=0, horizon=10 * SECOND):
+    rng = make_rng(seed).stream("test", "arrivals")
+    return list(process.arrivals(rng, start, start + horizon))
+
+
+@pytest.mark.parametrize("process", [
+    PoissonArrivals(40.0),
+    DiurnalArrivals(peak_rps=60.0, period_s=4.0, floor=0.3),
+    BurstyArrivals(rate_on_rps=120.0, rate_off_rps=5.0,
+                   mean_on_s=0.5, mean_off_s=1.5),
+], ids=["poisson", "diurnal", "bursty"])
+class TestArrivalContracts:
+    def test_same_seed_replays_exactly(self, process):
+        assert draw(process, seed=3) == draw(process, seed=3)
+
+    def test_different_seeds_differ(self, process):
+        assert draw(process, seed=0) != draw(process, seed=1)
+
+    def test_arrivals_within_horizon_and_increasing(self, process):
+        start = 7 * SECOND
+        times = draw(process, start=start)
+        assert times, "expected some arrivals in 10 simulated seconds"
+        assert all(start <= t < start + 10 * SECOND for t in times)
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_stateless_across_runs(self, process):
+        # one spec object, two runs: no history leaks between them
+        first = draw(process, seed=5)
+        assert draw(process, seed=5) == first
+
+    def test_observed_rate_tracks_mean(self, process):
+        horizon_s = 50
+        times = draw(process, horizon=horizon_s * SECOND)
+        observed = len(times) / horizon_s
+        assert observed == pytest.approx(process.mean_rate_rps(),
+                                         rel=0.25)
+
+    def test_to_dict_round_trips_kind(self, process):
+        d = process.to_dict()
+        assert d["kind"] == process.kind
+
+
+class TestDiurnal:
+    def test_relative_rate_bounded_by_floor_and_one(self):
+        p = DiurnalArrivals(peak_rps=10.0, period_s=2.0, floor=0.4)
+        rates = [p.relative_rate(t * SECOND // 10) for t in range(100)]
+        assert all(0.4 <= r <= 1.0 + 1e-12 for r in rates)
+
+    def test_mean_rate_is_midpoint(self):
+        p = DiurnalArrivals(peak_rps=100.0, floor=0.2)
+        assert p.mean_rate_rps() == pytest.approx(100.0 * 0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(peak_rps=0.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(peak_rps=1.0, floor=1.5)
+
+
+class TestBursty:
+    def test_mean_rate_is_dwell_weighted(self):
+        p = BurstyArrivals(rate_on_rps=90.0, rate_off_rps=10.0,
+                           mean_on_s=1.0, mean_off_s=3.0)
+        assert p.mean_rate_rps() == pytest.approx((90 + 3 * 10) / 4)
+
+    def test_pure_off_state_emits_nothing_until_switch(self):
+        p = BurstyArrivals(rate_on_rps=50.0, rate_off_rps=0.0,
+                           mean_on_s=0.5, mean_off_s=100.0,
+                           start_on=False)
+        # dwelling off for ~100 s: the 10 s window is usually silent
+        assert len(draw(p, seed=1)) <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(rate_on_rps=0.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(rate_on_rps=1.0, mean_on_s=0.0)
+
+
+class TestTrafficMix:
+    def test_pick_is_deterministic(self):
+        mix = TrafficMix.uniform(["a", "b"], ["x", "y"])
+        rng1 = make_rng(0).stream("mix")
+        rng2 = make_rng(0).stream("mix")
+        picks1 = [mix.pick(rng1) for _ in range(50)]
+        picks2 = [mix.pick(rng2) for _ in range(50)]
+        assert picks1 == picks2
+        assert set(picks1) == {("a", "x"), ("a", "y"),
+                               ("b", "x"), ("b", "y")}
+
+    def test_weights_bias_the_draw(self):
+        mix = TrafficMix([(("hot", "t"), 99.0), (("cold", "t"), 1.0)])
+        rng = make_rng(0).stream("mix")
+        picks = [mix.pick(rng)[0] for _ in range(200)]
+        assert picks.count("hot") > 150
+
+    def test_single_and_pairs(self):
+        mix = TrafficMix.single("wordcount", "rmmap")
+        assert mix.pairs() == [("wordcount", "rmmap")]
+        assert mix.pick(make_rng(0)) == ("wordcount", "rmmap")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficMix([])
+        with pytest.raises(ValueError):
+            TrafficMix([(("w", "t"), 0.0)])
+
+
+class TestDefaultTenants:
+    def test_shapes_and_names_cycle(self):
+        tenants = default_tenants(6, transports=["t0", "t1"])
+        assert [t.name for t in tenants] == [
+            f"tenant-{i:02d}" for i in range(6)]
+        kinds = [t.arrivals.kind for t in tenants]
+        assert kinds == ["poisson", "diurnal", "bursty"] * 2
+        assert all(isinstance(t, TenantSpec) for t in tenants)
+
+    def test_rates_scale_with_index(self):
+        tenants = default_tenants(4, base_rate_rps=40.0,
+                                  transports=["t"])
+        poisson = tenants[0]
+        assert poisson.arrivals.mean_rate_rps() == pytest.approx(40.0)
+        assert tenants[3].arrivals.mean_rate_rps() \
+            > tenants[0].arrivals.mean_rate_rps()
+
+    def test_admission_sized_with_headroom(self):
+        (tenant,) = default_tenants(1, base_rate_rps=30.0,
+                                    transports=["t"],
+                                    admission_headroom=2.0)
+        assert tenant.admission_rps == pytest.approx(
+            tenant.arrivals.mean_rate_rps() * 2.0)
+        assert tenant.admission_burst >= 10.0
+
+    def test_uses_registered_transports_by_default(self):
+        from repro.transfer.registry import list_transports
+        tenants = default_tenants(3)
+        registered = set(list_transports())
+        for tenant in tenants:
+            for _w, transport in tenant.mix.pairs():
+                assert transport in registered

@@ -271,6 +271,32 @@ class TestFleetMonitorHubWiring:
         assert hub.counter("cluster", "obs.monitor",
                            "alert.cleared.count") == 1
 
+    def test_rejections_fold_into_availability(self):
+        hub, clock = self.hub_with_clock()
+        mon = FleetMonitor().attach(hub)
+        key = ("a", "w", "t")
+        self.emit(hub, clock, 10, "invocation.done", tenant="a",
+                  workflow="w", transport="t", latency_ns=500)
+        self.emit(hub, clock, 20, "invocation.rejected", tenant="a",
+                  workflow="w", transport="t", reason="rate-limit")
+        assert mon.observed == 2
+        assert mon.rejected_counts[key] == 1
+        # a refused request is unavailable capacity like a failed one
+        assert mon.availability(key, 30) == 0.5
+
+    def test_rejection_alone_can_fire_an_availability_alert(self):
+        hub, clock = self.hub_with_clock()
+        slo = SLO(name="avail", objective=0.9, long_window_ns=800,
+                  short_window_ns=100, burn_rate_threshold=2.0)
+        mon = FleetMonitor(slos=[slo]).attach(hub)
+        self.emit(hub, clock, 0, "invocation.done", tenant="a",
+                  workflow="w", transport="t", latency_ns=100)
+        self.emit(hub, clock, 200, "invocation.rejected", tenant="a",
+                  workflow="w", transport="t", reason="queue-full")
+        names = [e["name"] for e in hub.events
+                 if e["layer"] == "obs.monitor"]
+        assert "alert.fired" in names
+
     def test_detach_stops_consumption(self):
         hub, clock = self.hub_with_clock()
         mon = FleetMonitor().attach(hub)
@@ -287,6 +313,17 @@ class TestFleetMonitorHubWiring:
         snap = mon.snapshot()
         assert snap["observed"] == 10
         assert snap["series"][0]["workflow"] == "wordcount"
+        assert snap["series"][0]["rejections"] == 0
         assert snap["alerts"] == []
         text = mon.render()
         assert "wordcount" in text and "no SLO alerts" in text
+
+    def test_snapshot_counts_rejections_per_key(self):
+        mon = FleetMonitor(slos=[])
+        key = ("default", "wordcount", "rmmap-prefetch")
+        mon.observe(0, key, latency_ns=100, ok=True)
+        mon.observe(10, key, latency_ns=0, ok=False, rejected=True)
+        mon.observe(20, key, latency_ns=0, ok=False, rejected=True)
+        snap = mon.snapshot()
+        assert snap["series"][0]["rejections"] == 2
+        assert snap["observed"] == 3

@@ -1,0 +1,119 @@
+"""Admission control on the single-workflow platform coordinator."""
+
+import pytest
+
+from repro import obs
+from repro.errors import InvocationRejected
+from repro.fleet.admission import AdmissionController
+from repro.fleet.traffic import PoissonArrivals
+from repro.platform.cluster import ServerlessPlatform
+from repro.platform.dag import FunctionSpec, Workflow
+from repro.transfer import MessagingTransport
+from repro.units import MB
+
+
+def make_workflow():
+    wf = Workflow("tiny")
+
+    def produce(ctx):
+        return list(range(16))
+
+    def total(ctx):
+        return sum(ctx.single_input("produce"))
+
+    wf.add_function(FunctionSpec("produce", produce,
+                                 memory_budget=64 * MB))
+    wf.add_function(FunctionSpec("total", total, memory_budget=64 * MB))
+    wf.add_edge("produce", "total")
+    return wf
+
+
+def deploy(admission=None, tenant="acme", hub=None):
+    platform = ServerlessPlatform(n_machines=2)
+    coordinator = platform.deploy(make_workflow(), MessagingTransport(),
+                                  tenant=tenant, admission=admission)
+    return platform, coordinator
+
+
+class TestCoordinatorAdmission:
+    def test_over_quota_invoke_raises_typed_rejection(self):
+        admission = AdmissionController()
+        admission.configure("acme", rate_per_s=1.0, burst=2.0)
+        platform, coordinator = deploy(admission)
+        platform.run_once("tiny")
+        platform.run_once("tiny")
+        with pytest.raises(InvocationRejected) as err:
+            coordinator.invoke()
+        assert err.value.tenant == "acme"
+        assert err.value.reason == "rate-limit"
+        assert coordinator.rejected == 1
+        assert admission.rejected_by_tenant() == {"acme": 1}
+
+    def test_rejection_spawns_no_process_and_costs_no_sim_time(self):
+        admission = AdmissionController()
+        admission.configure("acme", rate_per_s=1.0, burst=1.0)
+        platform, coordinator = deploy(admission)
+        platform.run_once("tiny")
+        before = platform.engine.now
+        with pytest.raises(InvocationRejected):
+            coordinator.invoke()
+        assert platform.engine.now == before
+
+    def test_rejection_emits_event_and_counter(self):
+        admission = AdmissionController()
+        admission.configure("acme", rate_per_s=1.0, burst=1.0)
+        hub = obs.Telemetry()
+        with obs.capture(hub):
+            platform, coordinator = deploy(admission)
+            platform.run_once("tiny")
+            with pytest.raises(InvocationRejected):
+                coordinator.invoke()
+        assert hub.counter("coordinator", "platform",
+                           "invocations.rejected") == 1
+        events = [e for e in hub.events
+                  if e["name"] == "invocation.rejected"]
+        assert len(events) == 1
+        assert events[0]["attributes"]["tenant"] == "acme"
+        assert events[0]["attributes"]["reason"] == "rate-limit"
+
+    def test_no_admission_controller_never_rejects(self):
+        platform, coordinator = deploy(admission=None)
+        for _ in range(5):
+            platform.run_once("tiny")
+        assert coordinator.rejected == 0
+
+
+class TestOpenLoopArrivals:
+    def test_shaped_arrivals_drive_the_open_loop(self):
+        platform, _ = deploy()
+        records = platform.run_open_loop(
+            "tiny", arrivals=PoissonArrivals(20.0), duration_s=0.5)
+        assert records
+        assert all(r.workflow == "tiny" for r in records)
+
+    def test_rate_and_arrivals_are_mutually_exclusive(self):
+        platform, _ = deploy()
+        with pytest.raises(ValueError):
+            platform.run_open_loop("tiny", rate_per_s=10.0,
+                                   arrivals=PoissonArrivals(10.0))
+        with pytest.raises(ValueError):
+            platform.run_open_loop("tiny")
+
+    def test_shaped_arrivals_replay_deterministically(self):
+        def run():
+            platform, _ = deploy()
+            records = platform.run_open_loop(
+                "tiny", arrivals=PoissonArrivals(20.0), duration_s=0.5)
+            return [r.start_ns for r in records]
+
+        assert run() == run()
+
+    def test_rejected_arrivals_are_skipped_not_fatal(self):
+        admission = AdmissionController()
+        admission.configure("acme", rate_per_s=2.0, burst=1.0)
+        platform, coordinator = deploy(admission)
+        records = platform.run_open_loop(
+            "tiny", arrivals=PoissonArrivals(50.0), duration_s=1.0)
+        assert coordinator.rejected > 0
+        assert len(records) + coordinator.rejected > 0
+        assert len(records) < 50  # most of the offered load was clipped

@@ -1,0 +1,104 @@
+"""Named rng streams: pure functions of (seed, names), order-free.
+
+The fleet's isolation guarantee rests on :meth:`SeededRng.stream`:
+a tenant's ``(tenant, purpose)`` streams must depend only on the root
+seed and the stream's own name path — never on which other streams
+exist, in what order they were created, or how much anyone else drew.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet.traffic import PoissonArrivals
+from repro.sim.rng import make_rng
+
+SECOND = 1_000_000_000
+
+names = st.lists(
+    st.text(min_size=1, max_size=12).filter(
+        lambda s: "\x1e" not in s and "\x1f" not in s),
+    min_size=1, max_size=3)
+seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+def draws(rng, n=8):
+    return [rng.py.random() for _ in range(n)]
+
+
+class TestStreamPurity:
+    @given(seed=seeds, path=names)
+    @settings(max_examples=50, deadline=None)
+    def test_stream_is_a_pure_function_of_seed_and_names(self, seed,
+                                                         path):
+        a = make_rng(seed).stream(*path)
+        b = make_rng(seed).stream(*path)
+        assert a.seed == b.seed
+        assert draws(a) == draws(b)
+
+    @given(seed=seeds, path=names)
+    @settings(max_examples=50, deadline=None)
+    def test_sibling_streams_do_not_interact(self, seed, path):
+        # drawing heavily from one stream never moves another
+        root = make_rng(seed)
+        clean = draws(make_rng(seed).stream(*path))
+        other = root.stream("someone", "else")
+        draws(other, n=100)
+        assert draws(root.stream(*path)) == clean
+
+    @given(seed=seeds, path=names)
+    @settings(max_examples=50, deadline=None)
+    def test_creation_order_is_irrelevant(self, seed, path):
+        first = make_rng(seed)
+        s1 = first.stream(*path)
+        first.stream("other")
+        second = make_rng(seed)
+        second.stream("other")
+        s2 = second.stream(*path)
+        assert draws(s1) == draws(s2)
+
+    @given(seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_name_path_structure_prevents_collisions(self, seed):
+        root = make_rng(seed)
+        assert root.stream("ab", "c").seed != root.stream("a", "bc").seed
+        assert root.stream("a").seed != root.stream("a", "").seed
+
+    @given(seed=seeds, path=names)
+    @settings(max_examples=50, deadline=None)
+    def test_root_draw_position_does_not_leak_in(self, seed, path):
+        fresh = make_rng(seed)
+        derived_early = fresh.stream(*path).seed
+        draws(fresh, n=50)  # consume the root generator itself
+        assert fresh.stream(*path).seed == derived_early
+
+
+class TestTenantIsolation:
+    """The fleet-level property: per-(tenant, purpose) streams make a
+    tenant's arrival timeline independent of fleet composition."""
+
+    @given(seed=seeds, n_other=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_tenants_never_perturbs_arrivals(self, seed, n_other):
+        process = PoissonArrivals(50.0)
+
+        def tenant_arrivals(fleet_size):
+            root = make_rng(seed)
+            # simulate the runner: every tenant materializes its streams
+            for i in range(fleet_size):
+                stream = root.stream(f"tenant-{i:02d}", "arrivals")
+                list(process.arrivals(stream, 0, SECOND))
+            target = root.stream("tenant-00", "arrivals")
+            return list(process.arrivals(target, 0, SECOND))
+
+        assert tenant_arrivals(1) == tenant_arrivals(1 + n_other)
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_purposes_are_isolated_within_a_tenant(self, seed):
+        root = make_rng(seed)
+        arrivals = root.stream("tenant-00", "arrivals")
+        service = root.stream("tenant-00", "service")
+        assert arrivals.seed != service.seed
+        before = draws(make_rng(seed).stream("tenant-00", "service"))
+        draws(arrivals, n=200)  # heavy arrival traffic
+        assert draws(make_rng(seed)
+                     .stream("tenant-00", "service")) == before

@@ -161,3 +161,35 @@ def test_monitor_command_json_snapshot(monkeypatch, capsys):
     assert snap["series"][0]["workflow"] == "ml-prediction"
     assert {s["name"] for s in snap["slos"]} == \
         {"availability-999", "latency-e2e-5ms"}
+
+
+def test_fleet_smoke_renders_tables(capsys):
+    assert main(["fleet", "--smoke", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet run: seed=0" in out
+    assert "per-tenant fleet view" in out
+    assert "tenant-00" in out and "shard-0" in out
+
+
+def test_fleet_smoke_json_is_deterministic(tmp_path, capsys):
+    first = str(tmp_path / "a.json")
+    second = str(tmp_path / "b.json")
+    assert main(["fleet", "--smoke", "--seed", "0",
+                 "--json-out", first, "--format", "json"]) == 0
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["schema"] == "fleet-result/v1"
+    assert parsed["totals"]["arrivals"] > 500
+    assert main(["fleet", "--smoke", "--seed", "0",
+                 "--json-out", second, "--format", "json"]) == 0
+    with open(first) as fa, open(second) as fb:
+        assert fa.read() == fb.read()
+
+
+def test_fleet_custom_shape_flags(capsys):
+    assert main(["fleet", "--shards", "3", "--tenants", "4",
+                 "--duration", "2.0", "--seed", "5",
+                 "--format", "json"]) == 0
+    parsed = json.loads(capsys.readouterr().out)
+    assert len(parsed["shards"]) == 3
+    assert len(parsed["tenants"]) == 4
+    assert parsed["seed"] == 5
