@@ -50,7 +50,7 @@ def one_workflow() -> None:
     table = Table("Quickstart: WordCount through the run façade",
                   ["transport", "latency_ms", "distinct words"])
     for name in ("messaging", "rmmap-prefetch"):
-        result = run("wordcount", name, scale=0.05, telemetry=True)
+        result = run("wordcount", transport=name, scale=0.05, telemetry=True)
         table.add_row(name, f"{result.latency_ms:.2f}",
                       result.record.result["distinct_words"])
         if name == "rmmap-prefetch":

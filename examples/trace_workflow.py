@@ -15,7 +15,7 @@ from repro.api import run
 
 
 def main() -> None:
-    result = run("finra", "rmmap-prefetch", scale=0.1, telemetry=True)
+    result = run("finra", transport="rmmap-prefetch", scale=0.1, telemetry=True)
     record = result.record
     print(f"FINRA invocation: {record.latency_ns / 1e6:.2f} ms, "
           f"{record.result['total_violations']} violations\n")

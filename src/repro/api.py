@@ -7,12 +7,21 @@ record.  :func:`run` is that dance behind one signature, with telemetry
 (:mod:`repro.obs`) and chaos (:mod:`repro.chaos`) as opt-in knobs:
 
 >>> from repro.api import run
->>> result = run("wordcount", "rmmap-prefetch", scale=0.05,
+>>> result = run("wordcount", transport="rmmap-prefetch", scale=0.05,
 ...              telemetry=True)
 >>> result.latency_ms
 13.5...
 >>> sorted(result.telemetry.layers())
 ['kernel', 'mem', 'net.rdma', 'net.rpc', 'platform', 'sim.engine']
+
+A :class:`RunConfig` names the same knobs as one frozen, reusable value
+accepted by all three facades — :func:`run`, :func:`run_fleet` and
+:func:`repro.chaos.runner.run_chaos_workflow`:
+
+>>> cfg = RunConfig(workload="wordcount", transport="rmmap-prefetch",
+...                 scale=0.05, telemetry=True)
+>>> run(cfg).latency_ms
+13.5...
 
 The non-chaos path reproduces the bench harness
 (:func:`repro.bench.figures_workflow.run_workflow_once`) exactly at
@@ -22,13 +31,19 @@ figures computed either way agree to the nanosecond.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro import obs
 from repro.platform.coordinator import InvocationRecord
 from repro.transfer.base import StateTransport
 from repro.transfer.registry import get_transport
+
+#: sentinel distinguishing "not passed" from every real value
+_UNSET = object()
 
 
 def workloads() -> list:
@@ -37,8 +52,100 @@ def workloads() -> list:
     return sorted(workflow_configs(1.0))
 
 
+@dataclass(frozen=True)
+class RunConfig:
+    """One frozen description of a run, shared by every façade.
+
+    :func:`run` consumes the single-invocation knobs,
+    :func:`repro.chaos.runner.run_chaos_workflow` the chaos ones, and
+    :func:`run_fleet` the fleet ones — so one config value can drive a
+    plain run, its chaos drill, and the fleet campaign around it.
+    Derive variants with :meth:`replace` (hashable, reusable, safe to
+    share across threads and sweeps).
+    """
+
+    workload: str = "wordcount"
+    transport: Union[str, StateTransport] = "rmmap"
+    seed: int = 0
+    scale: Optional[float] = None
+    #: kwargs for :func:`repro.chaos.runner.run_chaos_workflow`
+    #: (``requests``, ``schedule``, ``policy``...); non-None selects the
+    #: chaos path exactly like ``run(..., chaos={...})``
+    chaos: Optional[Dict[str, Any]] = None
+    telemetry: Union[None, bool, "obs.Telemetry"] = None
+    monitor: Union[None, bool, "obs.FleetMonitor"] = None
+    #: collect the causal span profile (implies a telemetry hub)
+    profile: bool = False
+    params: Optional[Dict[str, Any]] = None
+    n_machines: int = 10
+    prewarm: bool = True
+    transport_opts: Optional[Dict[str, Any]] = None
+    # -- fleet knobs (run_fleet) ------------------------------------------
+    tenants: Optional[Tuple] = None
+    n_shards: int = 4
+    duration_s: float = 10.0
+    smoke: bool = False
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy with *changes* applied (frozen dataclasses are
+        immutable)."""
+        return dataclasses.replace(self, **changes)
+
+
+class BaseRunResult:
+    """Shared result surface of :class:`RunResult` and
+    :class:`~repro.fleet.runner.FleetResult`.
+
+    Uniform contract: ``.to_dict()`` / ``.to_json()`` give the
+    JSON-stable view, ``.write_trace(path)`` exports the run's Chrome
+    trace and ``.write_flamegraph(path)`` its folded stacks — both
+    requiring the run to have collected telemetry.
+    """
+
+    #: subclasses store their hub here (None when telemetry was off)
+    telemetry: Optional["obs.Telemetry"]
+
+    def to_dict(self, **kwargs) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(**kwargs), sort_keys=True,
+                          indent=2)
+
+    def _require_telemetry(self) -> "obs.Telemetry":
+        if self.telemetry is None:
+            raise ValueError(
+                "telemetry was not collected for this run; pass "
+                "telemetry=True (or profile=True) to the façade")
+        return self.telemetry
+
+    def flamegraph(self) -> str:
+        """Folded flamegraph stacks (``layer/name;... self_ns`` lines,
+        loadable by inferno / flamegraph.pl / speedscope).  Merges every
+        causal trace the hub holds."""
+        hub = self._require_telemetry()
+        merged: Dict[Tuple[str, ...], int] = {}
+        for tid in obs.trace_ids(hub):
+            folded = obs.folded_stacks(obs.build_span_tree(hub,
+                                                           trace_id=tid))
+            for stack, ns in obs.parse_folded(folded).items():
+                merged[stack] = merged.get(stack, 0) + ns
+        return "\n".join(f"{';'.join(stack)} {ns}"
+                         for stack, ns in sorted(merged.items())) \
+            + ("\n" if merged else "")
+
+    def write_flamegraph(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.flamegraph())
+
+    def write_trace(self, path: str) -> None:
+        """Export the run's Chrome trace (requires telemetry)."""
+        obs.write_chrome_trace(self._require_telemetry(), path,
+                               tracer=getattr(self, "tracer", None))
+
+
 @dataclass
-class RunResult:
+class RunResult(BaseRunResult):
     """Everything one :func:`run` call produced."""
 
     workload: str
@@ -95,19 +202,24 @@ class RunResult:
                                         trace_id=self.trace_id)
 
     def flamegraph(self) -> str:
-        """Folded flamegraph stacks (``layer/name;... self_ns`` lines,
-        loadable by inferno / flamegraph.pl / speedscope)."""
+        """Folded flamegraph stacks of the *measured* invocation
+        (``layer/name;... self_ns`` lines, loadable by inferno /
+        flamegraph.pl / speedscope)."""
         return obs.folded_stacks(self.span_tree())
 
-    def write_flamegraph(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.flamegraph())
-
-    def write_trace(self, path: str) -> None:
-        """Export the run's Chrome trace (requires ``telemetry=True``)."""
-        if self.telemetry is None:
-            raise ValueError("run(..., telemetry=True) to collect a trace")
-        obs.write_chrome_trace(self.telemetry, path, tracer=self.tracer)
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-stable view of this run (no hub internals)."""
+        out: Dict[str, Any] = {
+            "workload": self.workload,
+            "transport": self.transport,
+            "seed": self.seed,
+        }
+        if self.record is not None:
+            out["latency_ns"] = self.record.latency_ns
+            out["stage_totals"] = self.record.stage_totals()
+        if self.chaos_report is not None:
+            out["chaos"] = self.chaos_report.to_dict()
+        return out
 
     def diff(self, other: "RunResult") -> Dict[str, Any]:
         """Root-cause *other* against this run (this run is the
@@ -144,23 +256,29 @@ def _resolve_monitor(monitor) -> Optional["obs.FleetMonitor"]:
     return monitor
 
 
-def run(workload: str, transport: Union[str, StateTransport] = "rmmap",
-        *, seed: int = 0, scale: Optional[float] = None,
+def run(workload: Union[str, RunConfig], _transport: Any = _UNSET,
+        *, transport: Union[str, StateTransport] = "rmmap",
+        seed: int = 0, scale: Optional[float] = None,
         chaos: Optional[Dict[str, Any]] = None,
         telemetry: Union[None, bool, "obs.Telemetry"] = None,
         monitor: Union[None, bool, "obs.FleetMonitor"] = None,
+        profile: bool = False,
         params: Optional[Dict[str, Any]] = None,
         n_machines: int = 10, prewarm: bool = True,
         transport_opts: Optional[Dict[str, Any]] = None) -> RunResult:
     """Run one workflow invocation end to end and return the results.
 
     *workload* is a name from :func:`workloads` (``finra``,
-    ``ml-training``, ``ml-prediction``, ``wordcount``); *transport* is a
+    ``ml-training``, ``ml-prediction``, ``wordcount``) — or a
+    :class:`RunConfig` carrying every knob at once.  *transport* is a
     registry name (see :func:`repro.transfer.list_transports`) or a
-    ready-made :class:`StateTransport`.  *scale* shrinks the paper-scale
-    inputs (default: the ``REPRO_BENCH_SCALE`` environment variable);
-    *params* overrides individual workload knobs on top of the scaled
-    defaults.
+    ready-made :class:`StateTransport`; it is keyword-only (the old
+    positional shape still works behind a :class:`DeprecationWarning`).
+    *scale* shrinks the paper-scale inputs (default: the
+    ``REPRO_BENCH_SCALE`` environment variable); *params* overrides
+    individual workload knobs on top of the scaled defaults.
+    ``profile=True`` collects the causal span profile (it simply implies
+    a telemetry hub — spans ride on it).
 
     ``telemetry=True`` (or an existing :class:`~repro.obs.Telemetry`)
     collects cross-layer counters, histograms and spans for the duration
@@ -184,6 +302,29 @@ def run(workload: str, transport: Union[str, StateTransport] = "rmmap",
     """
     from repro.bench.figures_workflow import (_light_params,
                                               workflow_configs)
+
+    if _transport is not _UNSET:
+        warnings.warn(
+            "run(workload, transport) with a positional transport is "
+            "deprecated; pass transport=... or a RunConfig",
+            DeprecationWarning, stacklevel=2)
+        transport = _transport
+    if isinstance(workload, RunConfig):
+        cfg = workload
+        workload = cfg.workload
+        transport = cfg.transport
+        seed = cfg.seed
+        scale = cfg.scale
+        chaos = cfg.chaos
+        telemetry = cfg.telemetry
+        monitor = cfg.monitor
+        profile = cfg.profile
+        params = cfg.params
+        n_machines = cfg.n_machines
+        prewarm = cfg.prewarm
+        transport_opts = cfg.transport_opts
+    if profile and (telemetry is None or telemetry is False):
+        telemetry = True
 
     configs = workflow_configs(scale)
     if workload not in configs:
@@ -244,21 +385,39 @@ def run(workload: str, transport: Union[str, StateTransport] = "rmmap",
 
 def run_fleet(spec=None, *, seed: int = 0, tenants=None,
               n_shards: int = 4, duration_s: float = 10.0,
-              smoke: bool = False, **kwargs):
+              smoke: bool = False,
+              telemetry: Union[None, bool, "obs.Telemetry"] = None,
+              monitor: Union[None, bool, "obs.FleetMonitor"] = None,
+              **kwargs):
     """Run a multi-tenant fleet simulation and return a
     :class:`~repro.fleet.runner.FleetResult`.
 
-    Either pass a ready-made :class:`~repro.fleet.runner.FleetSpec` as
-    *spec*, or let this façade assemble one: ``smoke=True`` gives the
-    small CI configuration (:func:`~repro.fleet.runner.smoke_spec`);
-    otherwise *tenants* (default: :func:`~repro.fleet.traffic.
-    default_tenants` of eight), *n_shards*, *duration_s* and any other
-    :class:`FleetSpec` field via ``**kwargs``.  Same spec + same seed →
-    byte-identical ``FleetResult.to_json()``.
+    Either pass a ready-made :class:`~repro.fleet.runner.FleetSpec` (or
+    a :class:`RunConfig` — its fleet knobs apply) as *spec*, or let this
+    façade assemble one: ``smoke=True`` gives the small CI configuration
+    (:func:`~repro.fleet.runner.smoke_spec`); otherwise *tenants*
+    (default: :func:`~repro.fleet.traffic.default_tenants` of eight),
+    *n_shards*, *duration_s* and any other :class:`FleetSpec` field via
+    ``**kwargs``.  ``telemetry`` / ``monitor`` share an existing hub or
+    monitor with the run (fresh ones are created by default).  Same spec
+    + same seed → byte-identical ``FleetResult.to_json()``.
     """
     from repro.fleet import (FleetSpec, default_tenants,
                              run_fleet as _run_fleet, smoke_spec)
 
+    if isinstance(spec, RunConfig):
+        cfg = spec
+        if tenants is not None or kwargs or smoke:
+            raise ValueError("pass either a RunConfig or assembly "
+                             "kwargs, not both")
+        seed = cfg.seed
+        tenants = list(cfg.tenants) if cfg.tenants is not None else None
+        n_shards = cfg.n_shards
+        duration_s = cfg.duration_s
+        smoke = cfg.smoke
+        telemetry = cfg.telemetry
+        monitor = cfg.monitor
+        spec = None
     if spec is None:
         if smoke:
             spec = smoke_spec(seed=seed)
@@ -271,7 +430,9 @@ def run_fleet(spec=None, *, seed: int = 0, tenants=None,
     elif tenants is not None or kwargs or smoke:
         raise ValueError("pass either a FleetSpec or assembly kwargs, "
                          "not both")
-    return _run_fleet(spec)
+    hub = _resolve_hub(telemetry)
+    mon = _resolve_monitor(monitor)
+    return _run_fleet(spec, hub=hub, monitor=mon)
 
 
 class _noop:

@@ -14,8 +14,13 @@ tolerance band.  Metric *direction* comes from the name:
   count is a behavioural change someone should look at).
 
 Tolerances are relative; the default band can be overridden per metric
-prefix (longest prefix wins), e.g. ``{"derived.": 0.05}``.  Snapshots
-taken at different seed/scale/schema are refused rather than compared.
+prefix (longest prefix wins), e.g. ``{"derived.": 0.05}``.  Host
+wall-clock throughput (``wall.*_per_sec``, schema v4) is held too, but
+inside the deliberately generous :data:`WALL_TOLERANCE` band — the gate
+catches a hot-path collapse without tripping on runner jitter; the
+non-rate ``wall.`` leaves (elapsed seconds, raw counts) stay skipped.
+Snapshots taken at different seed/scale/schema are refused rather than
+compared.
 Improvements never fail the gate — they are reported so the baseline can
 be re-pinned.
 """
@@ -28,15 +33,28 @@ from typing import Any, Dict, List, Optional, Tuple
 #: Relative drift allowed per metric unless a prefix override matches.
 DEFAULT_TOLERANCE = 0.01
 
-#: Keys never compared (host-dependent or informational).  ``wall.`` is
-#: host wall-clock throughput (snapshot schema v3) — varies with the
-#: machine the snapshot was taken on, so the gate never holds it.
+#: Relative drift allowed on ``wall.`` throughput rates (schema v4).
+#: Host wall-clock varies with the machine and its load, so the band is
+#: deliberately generous: it only trips on a *collapse* — the kind an
+#: accidental O(n²) or a de-optimized hot path produces — not on runner
+#: jitter.  Override per prefix (e.g. ``{"wall.": 0.8}``) to loosen
+#: further on noisy fleets.
+WALL_TOLERANCE = 0.5
+
+#: Keys never compared (host-dependent or informational).
 #: ``schema_version`` is compatibility-checked up front in
-#: :func:`compare`, not drift-compared.
-SKIPPED_PREFIXES = ("environment.", "wall.", "schema_version")
+#: :func:`compare`, not drift-compared.  ``wall.`` leaves are *mostly*
+#: skipped too (elapsed seconds and raw counts are host/harness detail)
+#: — but the ``*_per_sec`` rates under it are compared, inside the
+#: :data:`WALL_TOLERANCE` band, so wall-clock regressions fail the gate.
+SKIPPED_PREFIXES = ("environment.", "schema_version")
+
+_WALL_PREFIX = "wall."
+_WALL_RATE_SUFFIX = "_per_sec"
 
 _HIGHER_IS_WORSE = ("_ns", "_ms", ".latency", "latency_")
-_LOWER_IS_WORSE = ("speedup", "improvement", "throughput", "tput")
+_LOWER_IS_WORSE = ("speedup", "improvement", "throughput", "tput",
+                   "_per_sec")
 
 
 def metric_direction(name: str) -> str:
@@ -194,6 +212,10 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
     for metric in sorted(set(base) | set(cand)):
         if any(metric.startswith(p) for p in SKIPPED_PREFIXES):
             continue
+        is_wall = metric.startswith(_WALL_PREFIX)
+        if is_wall and not metric.endswith(_WALL_RATE_SUFFIX):
+            # elapsed seconds and raw counts: harness detail, never held
+            continue
         b, c = base.get(metric), cand.get(metric)
         if b is None:
             report.new_metrics.append(Finding(
@@ -204,7 +226,9 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
                 metric, b, None, 0.0, 0.0, "n/a", "missing"))
             continue
         report.compared += 1
-        tolerance = _tolerance_for(metric, default_tolerance, overrides)
+        tolerance = _tolerance_for(
+            metric, WALL_TOLERANCE if is_wall else default_tolerance,
+            overrides)
         direction = metric_direction(metric)
         rel = (c - b) / b if b else (0.0 if c == b else float("inf"))
         if abs(rel) <= tolerance:

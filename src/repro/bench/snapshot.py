@@ -30,14 +30,22 @@ from typing import Any, Dict, List, Optional, Sequence
 #: and span-duration percentile leaves from the mergeable sketch
 #: (``span_percentiles`` — tail behaviour under the gate, not just sums).
 #: v3 adds a top-level ``wall`` section (host wall-clock throughput:
-#: ``events_per_sec`` / ``invocations_per_sec``) — informational only,
-#: never compared by the regression gate (see ``SKIPPED_PREFIXES``).
-SCHEMA_VERSION = 3
+#: ``events_per_sec`` / ``invocations_per_sec``) — informational only.
+#: v4 adds per-subsystem throughput subsections under ``wall`` —
+#: ``wall.engine`` (events/sec against time spent *inside* engine.run,
+#: from the hub's ``wall.run.ns`` counter), ``wall.hub`` (telemetry
+#: records/sec), and ``wall.fleet`` (a bounded open-loop fleet smoke:
+#: invocations/sec and events/sec) — and the regression gate starts
+#: holding the ``*_per_sec`` rate leaves inside a generous band
+#: (:data:`repro.bench.regression.WALL_TOLERANCE`), so a wall-clock
+#: collapse fails CI instead of hiding in an "informational" section.
+SCHEMA_VERSION = 4
 
-#: Versions :func:`load_snapshot` accepts; v2 snapshots simply lack the
-#: ``wall`` section, and the gate skips it anyway, so v2 baselines stay
-#: comparable against v3 candidates.
-SUPPORTED_VERSIONS = (2, 3)
+#: Versions :func:`load_snapshot` accepts; v2 snapshots lack the
+#: ``wall`` section and v3 lacks its per-subsystem subsections — absent
+#: leaves surface as "new" findings (not failures), so older baselines
+#: stay comparable against v4 candidates.
+SUPPORTED_VERSIONS = (2, 3, 4)
 
 #: The fixed operating point snapshots are taken at (CI uses exactly this).
 DEFAULT_SEED = 0
@@ -111,16 +119,20 @@ def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
     wall_started = time.perf_counter()
     wall_events = 0
     wall_invocations = 0
+    engine_run_ns = 0
+    hub_records = 0
     for workload in workloads:
         row: Dict[str, Any] = {}
         for transport in transports:
-            result = run(workload, transport, seed=seed, scale=scale,
+            result = run(workload, transport=transport, seed=seed, scale=scale,
                          telemetry=True)
             hub = result.telemetry
             wall_events += hub.counter("sim", "sim.engine",
                                        "events.dispatched")
             wall_invocations += hub.counter("coordinator", "platform",
                                             "invocations.completed")
+            engine_run_ns += hub.counter("sim", "sim.engine", "wall.run.ns")
+            hub_records += hub.records
             stages = result.stage_totals()
             row[transport] = {
                 "e2e_ns": result.latency_ns,
@@ -146,7 +158,16 @@ def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
 
     # derive the rates from the *stored* elapsed value so the section is
     # internally consistent: rate == count / elapsed_s holds on read-back
+    # (elapsed covers the matrix only — the fleet smoke below keeps its
+    # own clock)
     elapsed_s = round(time.perf_counter() - wall_started, 6)
+
+    # a bounded open-loop fleet smoke, so the snapshot carries fleet-path
+    # throughput too (the matrix above only drives the run() facade)
+    from repro.fleet.runner import run_fleet, smoke_spec
+
+    fleet_wall = run_fleet(smoke_spec(seed=seed)).wall
+    engine_run_s = engine_run_ns / 1_000_000_000
     wall = {
         "elapsed_s": elapsed_s,
         "events": wall_events,
@@ -155,6 +176,27 @@ def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
         if elapsed_s else 0.0,
         "invocations_per_sec": round(wall_invocations / elapsed_s, 4)
         if elapsed_s else 0.0,
+        # v4: per-subsystem throughput.  ``engine.events_per_sec`` is
+        # measured against wall time spent *inside* engine.run() (the
+        # hub's wall.run.ns counter), not total harness elapsed — it
+        # isolates the scheduler from workload setup/analysis cost.
+        "engine": {
+            "events": wall_events,
+            "run_ns": engine_run_ns,
+            "events_per_sec": round(wall_events / engine_run_s, 4)
+            if engine_run_s else 0.0,
+        },
+        "hub": {
+            "records": hub_records,
+            "records_per_sec": round(hub_records / elapsed_s, 4)
+            if elapsed_s else 0.0,
+        },
+        "fleet": {
+            "elapsed_s": fleet_wall["elapsed_s"],
+            "invocations": fleet_wall["invocations"],
+            "invocations_per_sec": fleet_wall["invocations_per_sec"],
+            "events_per_sec": fleet_wall["events_per_sec"],
+        },
     }
 
     return {

@@ -10,6 +10,7 @@ frame-leak audit that is the run's acceptance bar.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Optional
 
 from repro.analysis.chaos import (ChaosReport, audit_leaked_frames,
@@ -40,7 +41,14 @@ def default_transport() -> RmmapTransport:
     return get_transport("rmmap-prefetch", rpc_fallback=True)
 
 
-def run_chaos_workflow(workload: str = "ml-prediction",
+#: old positional order, kept for the deprecation shim
+_POSITIONAL_ORDER = ("seed", "requests", "n_machines", "schedule",
+                     "transport_factory", "policy", "scale", "lease_ns",
+                     "grace_ns", "scan_interval_ns", "monitor")
+
+
+def run_chaos_workflow(workload="ml-prediction",
+                       *args,
                        seed: int = 0,
                        requests: int = 6,
                        n_machines: int = 6,
@@ -68,22 +76,72 @@ def run_chaos_workflow(workload: str = "ml-prediction",
     injected faults show up as burn-rate alerts at deterministic
     simulated timestamps.  Monitoring is a pure observer — the
     ChaosReport fingerprint is identical with it on or off.
+
+    *workload* may also be a :class:`repro.api.RunConfig`: its
+    ``workload`` / ``transport`` / ``seed`` / ``scale`` / ``telemetry``
+    / ``monitor`` fields apply and its ``chaos`` dict supplies the
+    remaining keywords.  Positional arguments beyond *workload* are
+    deprecated (keyword-only surface).
     """
+    if args:
+        warnings.warn(
+            "run_chaos_workflow positional arguments beyond workload "
+            "are deprecated; pass keywords or a RunConfig",
+            DeprecationWarning, stacklevel=2)
+        if len(args) > len(_POSITIONAL_ORDER):
+            raise TypeError(
+                f"run_chaos_workflow takes at most "
+                f"{1 + len(_POSITIONAL_ORDER)} positional arguments")
+        merged = {"seed": seed, "requests": requests,
+                  "n_machines": n_machines, "schedule": schedule,
+                  "transport_factory": transport_factory,
+                  "policy": policy, "scale": scale, "lease_ns": lease_ns,
+                  "grace_ns": grace_ns,
+                  "scan_interval_ns": scan_interval_ns,
+                  "monitor": monitor}
+        merged.update(zip(_POSITIONAL_ORDER, args))
+        return run_chaos_workflow(workload, **merged)
+    if not isinstance(workload, str):
+        from repro import obs
+        from repro.api import (RunConfig, _resolve_hub, _resolve_monitor)
+        if not isinstance(workload, RunConfig):
+            raise TypeError(f"workload must be a name or RunConfig, "
+                            f"got {workload!r}")
+        cfg = workload
+        kwargs: dict = {"seed": cfg.seed, "scale": cfg.scale,
+                        "monitor": _resolve_monitor(cfg.monitor)}
+        transport_obj = (get_transport(cfg.transport,
+                                       **(cfg.transport_opts or {}))
+                         if isinstance(cfg.transport, str)
+                         else cfg.transport)
+        kwargs["transport_factory"] = lambda: transport_obj
+        kwargs.update(cfg.chaos or {})
+        hub = _resolve_hub(cfg.telemetry)
+        if hub is None and cfg.profile:
+            hub = obs.Telemetry()
+        if hub is not None:
+            with obs.capture(hub):
+                return run_chaos_workflow(cfg.workload, **kwargs)
+        return run_chaos_workflow(cfg.workload, **kwargs)
     if monitor is not None:
         from repro import obs
         hub = obs.current()
         if hub is None:
             with obs.capture() as hub:
                 return run_chaos_workflow(
-                    workload, seed, requests, n_machines, schedule,
-                    transport_factory, policy, scale, lease_ns, grace_ns,
-                    scan_interval_ns, monitor)
+                    workload, seed=seed, requests=requests,
+                    n_machines=n_machines, schedule=schedule,
+                    transport_factory=transport_factory, policy=policy,
+                    scale=scale, lease_ns=lease_ns, grace_ns=grace_ns,
+                    scan_interval_ns=scan_interval_ns, monitor=monitor)
         monitor.attach(hub)
         try:
             return run_chaos_workflow(
-                workload, seed, requests, n_machines, schedule,
-                transport_factory, policy, scale, lease_ns, grace_ns,
-                scan_interval_ns)
+                workload, seed=seed, requests=requests,
+                n_machines=n_machines, schedule=schedule,
+                transport_factory=transport_factory, policy=policy,
+                scale=scale, lease_ns=lease_ns, grace_ns=grace_ns,
+                scan_interval_ns=scan_interval_ns)
         finally:
             monitor.detach()
     from repro.bench.figures_workflow import (_light_params,

@@ -211,7 +211,7 @@ def _quickstart() -> None:
     for name in ("messaging", "rmmap-prefetch"):
         # reuse a --trace-out hub so the trace covers both runs
         hub = obs.current()
-        result = run("wordcount", name, seed=seed, scale=scale,
+        result = run("wordcount", transport=name, seed=seed, scale=scale,
                      telemetry=hub if hub is not None else True)
         record = result.record
         table.add_row(name, record.latency_ns / 1e6,
@@ -379,11 +379,11 @@ def _fleet(args) -> int:
                            duration_s=args.duration)
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
-            fh.write(result.to_json())
+            fh.write(result.to_json(include_wall=args.include_wall))
             fh.write("\n")
         print(f"wrote {args.json_out}", file=sys.stderr)
     if args.format == "json":
-        print(result.to_json())
+        print(result.to_json(include_wall=args.include_wall))
     else:
         print(result.render())
     return 0
@@ -433,6 +433,10 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="fleet: the small CI configuration "
                              "(3 tenants, 2 shards, ~1e3 invocations)")
+    parser.add_argument("--include-wall", action="store_true",
+                        help="fleet: include host wall-clock throughput "
+                             "in the JSON output (not seed-deterministic"
+                             " — breaks byte-identical replay compares)")
     parser.add_argument("--shards", type=int, default=4,
                         help="fleet: coordinator shard count")
     parser.add_argument("--tenants", type=int, default=8,

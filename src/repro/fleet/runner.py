@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.api import BaseRunResult as _BaseRunResult
 from repro.fleet.admission import AdmissionController
 from repro.fleet.shard import ShardedCoordinator
 from repro.fleet.traffic import TenantSpec, default_tenants
@@ -191,8 +192,13 @@ def smoke_spec(seed: int = 0, n_tenants: int = 3, n_shards: int = 2,
 
 
 @dataclass
-class FleetResult:
-    """One fleet run's complete outcome (JSON-stable at a fixed seed)."""
+class FleetResult(_BaseRunResult):
+    """One fleet run's complete outcome (JSON-stable at a fixed seed).
+
+    Shares the uniform result surface of :class:`repro.api.RunResult`
+    (``.to_json()`` / ``.write_trace()`` / ``.write_flamegraph()``) via
+    the common base class.
+    """
 
     spec: FleetSpec
     seed: int
@@ -206,6 +212,8 @@ class FleetResult:
     #: include_wall=True, because wall time is not seed-deterministic
     wall: Dict[str, Any] = field(default_factory=dict)
     monitor: Optional[FleetMonitor] = None
+    #: the hub that observed the run (write_trace/write_flamegraph input)
+    telemetry: Optional[obs.Telemetry] = None
 
     def to_dict(self, include_wall: bool = False) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -414,17 +422,20 @@ def _collect_result(spec: FleetSpec, coord: ShardedCoordinator,
     }
     events = hub.counter("sim", "sim.engine", "events.dispatched")
     invocations = coord.completed + coord.failed
+    records = hub.records
     wall = {
         "elapsed_s": round(wall_s, 3),
         "events": events,
         "invocations": invocations,
+        "records": records,
         "events_per_sec": round(events / wall_s, 3) if wall_s else 0.0,
         "invocations_per_sec": round(invocations / wall_s, 3)
         if wall_s else 0.0,
+        "records_per_sec": round(records / wall_s, 3) if wall_s else 0.0,
     }
     return FleetResult(
         spec=spec, seed=spec.seed, sim_end_ns=sim_end_ns,
         totals=totals, tenants=tenants, shards=stats["shards"],
         admission=stats["admission"],
         alerts=[a.to_dict() for a in mon.alerts],
-        wall=wall, monitor=mon)
+        wall=wall, monitor=mon, telemetry=hub)

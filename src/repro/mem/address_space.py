@@ -55,14 +55,22 @@ class AddressSpace:
         return vma
 
     def unmap_vma(self, vma: VMA, free_frames: bool = True) -> None:
-        """Remove *vma*, dropping frame references for its present pages."""
+        """Remove *vma*, dropping frame references for its present pages.
+
+        Walks only the *resident* entries of the range (ascending vpn —
+        the same frame-free order as a dense page walk, so pfn reuse
+        stays deterministic) instead of probing every page of a mostly
+        sparse VMA.
+        """
         self._vmas.remove(vma)
-        for vpn in list(vma.range.pages()):
-            pte = self.page_table.lookup(vpn)
-            if pte is not None:
-                self.page_table.unmap(vpn)
-                if free_frames:
-                    self.physical.put(pte.pfn)
+        table = self.page_table
+        first = page_number(vma.range.start)
+        last = page_number(vma.range.end - 1)
+        present = list(table.entries_in(first, last))
+        for vpn, pte in present:
+            table.unmap(vpn)
+            if free_frames:
+                self.physical.put(pte.pfn)
         vma.on_unmap(self)
 
     def find_vma(self, vaddr: int) -> Optional[VMA]:

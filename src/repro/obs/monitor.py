@@ -166,6 +166,9 @@ class WindowedSketch:
     the same event stream always yields the same estimates.
     """
 
+    __slots__ = ("window_ns", "slices", "slice_ns", "_ring", "_min_idx",
+                 "lifetime")
+
     def __init__(self, window_ns: int, slices: int = 8):
         if window_ns <= 0 or slices <= 0:
             raise ValueError("window_ns and slices must be positive")
@@ -173,13 +176,30 @@ class WindowedSketch:
         self.slices = int(slices)
         self.slice_ns = max(1, self.window_ns // self.slices)
         self._ring: Dict[int, PercentileSketch] = {}
+        #: lower bound on every live ring index — eviction advances this
+        #: pointer instead of scanning the whole ring per record
+        self._min_idx = -(1 << 62)
         #: lifetime sketch (never evicted) — the whole-run distribution
         self.lifetime = PercentileSketch()
 
     def _evict(self, now_ns: int) -> None:
         floor = now_ns // self.slice_ns - self.slices
-        for idx in [i for i in self._ring if i <= floor]:
-            del self._ring[idx]
+        if floor < self._min_idx:
+            return
+        ring = self._ring
+        if not ring:
+            self._min_idx = floor + 1
+            return
+        if floor + 1 - self._min_idx > len(ring):
+            # sparse jump (idle stream): filter live keys instead of
+            # walking the gap index by index
+            for idx in [i for i in ring if i <= floor]:
+                del ring[idx]
+        else:
+            pop = ring.pop
+            for idx in range(self._min_idx, floor + 1):
+                pop(idx, None)
+        self._min_idx = floor + 1
 
     def record(self, ts_ns: int, value: int) -> None:
         self._evict(ts_ns)
@@ -187,6 +207,8 @@ class WindowedSketch:
         sketch = self._ring.get(idx)
         if sketch is None:
             sketch = self._ring[idx] = PercentileSketch()
+            if idx < self._min_idx:
+                self._min_idx = idx
         sketch.record(value)
         self.lifetime.record(value)
 
@@ -208,6 +230,8 @@ class WindowedSketch:
             mine = self._ring.get(idx)
             if mine is None:
                 mine = self._ring[idx] = PercentileSketch()
+                if idx < self._min_idx:
+                    self._min_idx = idx
             mine.merge(sketch)
         self.lifetime.merge(other.lifetime)
         return self
@@ -220,7 +244,18 @@ class WindowedCounter:
     buckets inside ``(now - window, now]``.  One counter serves every
     window length up to ``span_ns`` (the burn-rate evaluator reads two
     windows from the same counter).
+
+    Bookkeeping is incremental: running (good, bad) sums over the live
+    span make full-window queries O(1), eviction advances a minimum-index
+    pointer instead of scanning every bucket, and sub-span windows sum a
+    contiguous index range (``window / bucket_ns`` lookups) rather than
+    iterating the whole ring.  The answers are bit-identical to the
+    original full-scan implementation — a bucket ``[idx*B, (idx+1)*B)``
+    overlaps ``(lo, now]`` exactly when ``lo//B <= idx <= now//B``.
     """
+
+    __slots__ = ("span_ns", "bucket_ns", "_buckets", "_min_idx",
+                 "_max_idx", "_good", "_bad")
 
     def __init__(self, span_ns: int, bucket_ns: int):
         if span_ns <= 0 or bucket_ns <= 0:
@@ -228,11 +263,35 @@ class WindowedCounter:
         self.span_ns = int(span_ns)
         self.bucket_ns = int(bucket_ns)
         self._buckets: Dict[int, List[int]] = {}  # idx -> [good, bad]
+        self._min_idx = -(1 << 62)
+        self._max_idx = -(1 << 62)
+        # running totals over the live (un-evicted) buckets
+        self._good = 0
+        self._bad = 0
 
     def _evict(self, now_ns: int) -> None:
         floor = (now_ns - self.span_ns) // self.bucket_ns
-        for idx in [i for i in self._buckets if i < floor]:
-            del self._buckets[idx]
+        if floor <= self._min_idx:
+            return
+        buckets = self._buckets
+        if not buckets:
+            self._min_idx = floor
+            return
+        if floor - self._min_idx > len(buckets):
+            # sparse jump (idle stream): filter live keys instead of
+            # walking the gap index by index
+            for idx in [i for i in buckets if i < floor]:
+                good, bad = buckets.pop(idx)
+                self._good -= good
+                self._bad -= bad
+        else:
+            pop = buckets.pop
+            for idx in range(self._min_idx, floor):
+                slot = pop(idx, None)
+                if slot is not None:
+                    self._good -= slot[0]
+                    self._bad -= slot[1]
+        self._min_idx = floor
 
     def record(self, ts_ns: int, good: bool) -> None:
         self._evict(ts_ns)
@@ -240,20 +299,44 @@ class WindowedCounter:
         slot = self._buckets.get(idx)
         if slot is None:
             slot = self._buckets[idx] = [0, 0]
-        slot[0 if good else 1] += 1
+            if idx > self._max_idx:
+                self._max_idx = idx
+            if idx < self._min_idx:
+                self._min_idx = idx
+        if good:
+            slot[0] += 1
+            self._good += 1
+        else:
+            slot[1] += 1
+            self._bad += 1
 
     def totals(self, window_ns: int, now_ns: int) -> Tuple[int, int]:
         """(good, bad) inside ``(now - window, now]``."""
         self._evict(now_ns)
+        buckets = self._buckets
+        if not buckets:
+            return 0, 0
         lo = now_ns - min(int(window_ns), self.span_ns)
+        bucket_ns = self.bucket_ns
+        idx_min = lo // bucket_ns
+        idx_max = now_ns // bucket_ns
+        if idx_min <= self._min_idx and idx_max >= self._max_idx:
+            return self._good, self._bad  # every live bucket qualifies
+        lo_i = idx_min if idx_min > self._min_idx else self._min_idx
+        hi_i = idx_max if idx_max < self._max_idx else self._max_idx
         good = bad = 0
-        for idx, (g, b) in self._buckets.items():
-            # a bucket covers [idx*bucket, (idx+1)*bucket); count it when
-            # any part of it is inside the window and not in the future
-            if (idx + 1) * self.bucket_ns > lo \
-                    and idx * self.bucket_ns <= now_ns:
-                good += g
-                bad += b
+        if hi_i - lo_i + 1 < len(buckets):
+            get = buckets.get
+            for idx in range(lo_i, hi_i + 1):
+                slot = get(idx)
+                if slot is not None:
+                    good += slot[0]
+                    bad += slot[1]
+        else:
+            for idx, (g, b) in buckets.items():
+                if idx_min <= idx <= idx_max:
+                    good += g
+                    bad += b
         return good, bad
 
 
@@ -340,6 +423,9 @@ class FleetMonitor:
         #: "now" for end-of-run snapshots/renders
         self.last_ts = 0
         self._slo_state: Dict[Tuple[FleetKey, str], _SloState] = {}
+        #: per-key [(slo, state), ...] — resolved once per fleet key so
+        #: the per-event hot path skips the tuple-keyed dict lookups
+        self._key_states: Dict[FleetKey, List[Tuple[SLO, _SloState]]] = {}
         self._hub: Optional[Telemetry] = None
 
     # -- hub wiring ----------------------------------------------------------
@@ -398,16 +484,20 @@ class FleetMonitor:
         counter.record(ts_ns, ok)
         if ok and latency_ns is not None:
             sketch.record(ts_ns, int(latency_ns))
-        for slo in self.slos:
-            self._evaluate(slo, key, ts_ns, latency_ns, ok)
+        states = self._key_states.get(key)
+        if states is None:
+            states = self._key_states[key] = [
+                (slo, self._slo_state.setdefault((key, slo.name),
+                                                 _SloState(slo)))
+                for slo in self.slos]
+        for slo, state in states:
+            self._evaluate(slo, state, key, ts_ns, latency_ns, ok)
 
     # -- burn-rate evaluation ------------------------------------------------
 
-    def _evaluate(self, slo: SLO, key: FleetKey, ts_ns: int,
-                  latency_ns: Optional[int], ok: bool) -> None:
-        state = self._slo_state.get((key, slo.name))
-        if state is None:
-            state = self._slo_state[(key, slo.name)] = _SloState(slo)
+    def _evaluate(self, slo: SLO, state: _SloState, key: FleetKey,
+                  ts_ns: int, latency_ns: Optional[int],
+                  ok: bool) -> None:
         state.counter.record(ts_ns, slo.is_good(latency_ns, ok))
         burn_long = self._burn(state, slo, slo.long_window_ns, ts_ns)
         burn_short = self._burn(state, slo, slo.short_window_ns, ts_ns)

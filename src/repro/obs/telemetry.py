@@ -55,12 +55,21 @@ class Histogram:
     Bin ``b`` holds values whose bit length is ``b``: bin 0 is exactly 0,
     bin 1 is {1}, bin 2 is [2, 3], bin ``b`` is [2**(b-1), 2**b - 1].
     Integer-only arithmetic keeps recording exact and deterministic.
+
+    Storage is a preallocated flat array indexed by bit length (64 bins
+    cover every int64 nanosecond value), so :meth:`record` is two integer
+    ops and an array store — no dict hashing, no allocation.  ``bins``
+    stays the sparse-dict view the exporters and tests consume.
     """
 
-    __slots__ = ("bins", "count", "sum", "min", "max")
+    __slots__ = ("_bins", "count", "sum", "min", "max")
+
+    #: int64 ns values have bit_length <= 63; the array grows on demand
+    #: for anything wider.
+    _PREALLOC = 64
 
     def __init__(self):
-        self.bins: Dict[int, int] = {}
+        self._bins: List[int] = [0] * self._PREALLOC
         self.count = 0
         self.sum = 0
         self.min: Optional[int] = None
@@ -71,13 +80,21 @@ class Histogram:
         if v < 0:
             v = 0
         b = v.bit_length()
-        self.bins[b] = self.bins.get(b, 0) + 1
+        bins = self._bins
+        if b >= len(bins):
+            bins.extend([0] * (b + 1 - len(bins)))
+        bins[b] += 1
         self.count += 1
         self.sum += v
         if self.min is None or v < self.min:
             self.min = v
         if self.max is None or v > self.max:
             self.max = v
+
+    @property
+    def bins(self) -> Dict[int, int]:
+        """Sparse ``{bit_length: count}`` view of the non-empty bins."""
+        return {b: n for b, n in enumerate(self._bins) if n}
 
     @staticmethod
     def bin_bounds(b: int) -> Tuple[int, int]:
@@ -140,12 +157,28 @@ class Telemetry:
     All mutating methods are cheap and allocation-light; none touches a
     ledger or the event queue.  ``clock`` is attached by the simulation
     engine (see :meth:`attach_clock`); before any engine exists it reads 0.
+
+    ``event_sample_every`` / ``span_sample_every`` keep only every Nth
+    event/span record (1 = keep all, the default).  Sampling affects
+    *storage* only: listeners still see every event, ``events_seen`` /
+    ``spans_seen`` keep the exact totals, and counters/gauges/histograms
+    are never sampled — so deterministic aggregates are unchanged while
+    long fleet runs stop allocating one dict per event.
     """
+
+    __slots__ = ("counters", "gauges", "histograms", "events", "spans",
+                 "series", "max_events", "max_spans", "ring",
+                 "dropped_events", "dropped_spans", "records",
+                 "events_seen", "spans_seen", "event_sample_every",
+                 "span_sample_every", "_series_cap", "_clock",
+                 "_clock_owner", "_next_span_id", "_listeners", "_ops")
 
     def __init__(self, max_events: int = 20_000,
                  series_cap: int = 512,
                  max_spans: Optional[int] = None,
-                 ring: bool = False):
+                 ring: bool = False,
+                 event_sample_every: int = 1,
+                 span_sample_every: int = 1):
         self.counters: Dict[MetricKey, int] = {}
         self.gauges: Dict[MetricKey, int] = {}
         self.histograms: Dict[MetricKey, Histogram] = {}
@@ -163,6 +196,16 @@ class Telemetry:
         self.ring = ring
         self.dropped_events = 0
         self.dropped_spans = 0
+        #: total recording calls (counters+gauges+histograms+events+spans)
+        #: — the numerator of the bench harness's hub records/sec metric
+        self.records = 0
+        #: exact event/span totals, independent of sampling and caps
+        self.events_seen = 0
+        self.spans_seen = 0
+        if event_sample_every < 1 or span_sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.event_sample_every = event_sample_every
+        self.span_sample_every = span_sample_every
         self._series_cap = series_cap
         self._clock: Callable[[], int] = lambda: 0
         self._clock_owner: Optional[object] = None
@@ -198,22 +241,33 @@ class Telemetry:
               value: int = 1) -> None:
         """Add *value* to a monotonically growing counter."""
         key = (machine, layer, name)
-        total = self.counters.get(key, 0) + int(value)
-        self.counters[key] = total
-        self._sample(key, total)
+        counters = self.counters
+        total = counters.get(key, 0) + int(value)
+        counters[key] = total
+        self.records += 1
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = _Series(self._series_cap)
+        series.add(self._clock(), total)
 
     def gauge(self, machine: str, layer: str, name: str,
               value: int) -> None:
         """Set a point-in-time gauge."""
         key = (machine, layer, name)
-        self.gauges[key] = int(value)
-        self._sample(key, int(value))
+        value = int(value)
+        self.gauges[key] = value
+        self.records += 1
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = _Series(self._series_cap)
+        series.add(self._clock(), value)
 
     def gauge_max(self, machine: str, layer: str, name: str,
                   value: int) -> None:
         """Raise a high-water-mark gauge (no-op when below the mark)."""
         key = (machine, layer, name)
         value = int(value)
+        self.records += 1
         if value > self.gauges.get(key, -(1 << 62)):
             self.gauges[key] = value
             self._sample(key, value)
@@ -222,6 +276,7 @@ class Telemetry:
                 value: int) -> None:
         """Record *value* into a log-binned histogram."""
         key = (machine, layer, name)
+        self.records += 1
         hist = self.histograms.get(key)
         if hist is None:
             hist = self.histograms[key] = Histogram()
@@ -244,12 +299,21 @@ class Telemetry:
 
     def event(self, machine: str, layer: str, name: str,
               **attributes: Any) -> None:
-        """Record one timestamped structured event."""
-        record = {"ts": self.now(), "machine": machine,
+        """Record one timestamped structured event.
+
+        Listeners always see every event; the stored copy is subject to
+        ``event_sample_every`` and the ``max_events`` cap.
+        """
+        self.records += 1
+        self.events_seen += 1
+        record = {"ts": self._clock(), "machine": machine,
                   "layer": layer, "name": name,
                   "attributes": attributes}
         for listener in self._listeners:
             listener(record)
+        if self.event_sample_every > 1 \
+                and (self.events_seen - 1) % self.event_sample_every:
+            return
         if len(self.events) >= self.max_events:
             self.dropped_events += 1
             if not self.ring:
@@ -275,8 +339,13 @@ class Telemetry:
         belongs to (one tree per workflow invocation).  Returns the
         span's id so callers can parent children under it.
         """
+        self.records += 1
+        self.spans_seen += 1
         if span_id is None:
             span_id = self.new_span_id()
+        if self.span_sample_every > 1 \
+                and (self.spans_seen - 1) % self.span_sample_every:
+            return span_id
         if self.max_spans is not None \
                 and len(self.spans) >= self.max_spans:
             self.dropped_spans += 1
@@ -441,6 +510,8 @@ class Telemetry:
             "spans": list(self.spans),
             "dropped_events": self.dropped_events,
             "dropped_spans": self.dropped_spans,
+            "events_seen": self.events_seen,
+            "spans_seen": self.spans_seen,
         }
 
     def clear(self) -> None:
@@ -452,6 +523,9 @@ class Telemetry:
         self.series.clear()
         self.dropped_events = 0
         self.dropped_spans = 0
+        self.records = 0
+        self.events_seen = 0
+        self.spans_seen = 0
         self._ops.clear()
         self._next_span_id = 1
 
@@ -484,9 +558,14 @@ def uninstall() -> Optional[Telemetry]:
 def capture(hub: Optional[Telemetry] = None):
     """Install *hub* for the duration of a ``with`` block.
 
-    Nests safely: the previously installed hub (if any) is restored on
-    exit, so a façade run inside a CLI-wide capture reuses or shadows the
-    outer hub without clobbering it.
+    Re-entrant and exception-safe: the previously installed hub
+    (whatever it was — an outer ``capture``, an explicit :func:`install`,
+    or nothing) is restored in a ``finally``, so a façade run inside a
+    CLI-wide capture reuses or shadows the outer hub without clobbering
+    it, and no hub can leak past the block even when the body raises or
+    itself calls :func:`install` / :func:`uninstall`.  Nesting the *same*
+    hub is fine (fleet runs that drive chaos drills do exactly that);
+    each level restores its own predecessor on the way out.
     """
     global _current
     previous = _current
@@ -495,4 +574,6 @@ def capture(hub: Optional[Telemetry] = None):
     try:
         yield active
     finally:
+        # unconditional restore: even if the body installed a different
+        # hub (or uninstalled ours), the pre-capture state comes back
         _current = previous

@@ -75,9 +75,18 @@ class ManagedHeap:
 
     # ------------------------------------------------------------------ box
 
+    #: memo key pinning temporaries for the lifetime of one ``box()``.
+    #: The memo is keyed by ``id(value)``; any value constructed *during*
+    #: boxing (e.g. a column materialized as ``list(cells)``) must stay
+    #: referenced until the top-level ``box()`` returns, or a later
+    #: temporary can reuse the same ``id`` and take a stale memo hit —
+    #: silently aliasing one object's heap data to another's.  ``id()``
+    #: is always non-negative, so ``-1`` can never collide with a real key.
+    _KEEPALIVE = -1
+
     def box(self, value: Any) -> int:
         """Write *value* into the heap; returns the root object's address."""
-        memo: Dict[int, int] = {}
+        memo: Dict[int, Any] = {self._KEEPALIVE: []}
         return self._box(value, memo)
 
     def _alloc(self, nbytes: int) -> int:
@@ -199,9 +208,14 @@ class ManagedHeap:
     def _box_dataframe(self, value: DataFrameValue,
                        memo: Dict[int, int]) -> int:
         ptrs: List[int] = []
+        keepalive = memo[self._KEEPALIVE]
         for name, cells in value.columns.items():
+            column = list(cells)
+            # pin the materialized column: its id() is a memo key, so it
+            # must outlive the whole box() call (see _KEEPALIVE)
+            keepalive.append(column)
             ptrs.append(self._box(name, memo))
-            ptrs.append(self._box(list(cells), memo))
+            ptrs.append(self._box(column, memo))
         payload = (enc.pack_u64(value.nrows) + enc.pack_u64(value.ncols)
                    + enc.pack_pointers(ptrs))
         addr = self._alloc(HEADER_SIZE + len(payload))

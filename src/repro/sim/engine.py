@@ -1,14 +1,38 @@
-"""The discrete-event engine and generator-based processes."""
+"""The discrete-event engine and generator-based processes.
+
+Scheduling is *time-bucketed*: instead of one heap entry per event (the
+classic ``(at, seq, item)`` tuple scheme), the engine keeps a dict of
+``absolute_ns -> [item, ...]`` buckets plus a heap of the *distinct*
+timestamps.  Workloads dominated by near-future timers — open-loop fleet
+traffic, autoscaler ticks, service completions — schedule many events at
+few distinct instants, so the heap shrinks by the bucket fan-in factor
+and same-timestamp events dispatch as one batch without re-heapifying.
+
+Determinism is unchanged: within a bucket, items append (and dispatch)
+in insertion order, which is exactly the ``seq`` tie-break order of the
+old per-event heap; across buckets the timestamp heap pops in ascending
+time order.  ``tests/sim/test_engine_replay.py`` holds a reference
+implementation of the old heap loop and asserts both engines produce
+identical event timelines, final clocks and telemetry snapshots.
+"""
 
 from __future__ import annotations
 
-import heapq
 import time
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
 from repro.obs.telemetry import current as _telemetry
 from repro.sim.event import Event
+
+#: Queue-item dispatch kinds.  Ints, not strings: the inner loop compares
+#: them millions of times per run.
+_TRIGGER = 0
+_RESUME = 1
+_CALL = 2
+
+_KIND_NAMES = ("trigger", "resume", "call")
 
 
 class Timeout:
@@ -74,11 +98,21 @@ class Engine:
     code must use :mod:`repro.sim.rng` (seeded) for randomness.
     """
 
+    __slots__ = ("_now", "_buckets", "_times", "_size", "_active",
+                 "_spawned")
+
     def __init__(self):
         self._now = 0
-        self._seq = 0
-        self._queue: List[Tuple[int, int, Any]] = []
+        #: absolute ns -> list of queue items, appended in insertion order
+        self._buckets: Dict[int, List[Any]] = {}
+        #: heap of the distinct timestamps present in ``_buckets``
+        self._times: List[int] = []
+        #: scheduled-but-not-yet-dispatched item count (queue depth)
+        self._size = 0
         self._active = 0
+        #: spawns not yet flushed to the hub (batched: one counter update
+        #: per run() instead of one per spawn)
+        self._spawned = 0
         hub = _telemetry()
         if hub is not None:
             hub.attach_clock(self)
@@ -93,12 +127,17 @@ class Engine:
     # --- scheduling primitives ---------------------------------------------
 
     def _push(self, at: int, item: Any) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (at, self._seq, item))
+        bucket = self._buckets.get(at)
+        if bucket is None:
+            self._buckets[at] = [item]
+            heappush(self._times, at)
+        else:
+            bucket.append(item)
+        self._size += 1
 
     def schedule(self, delay: int, event: Event, value: Any = None) -> Event:
         """Trigger *event* with *value* after *delay* nanoseconds."""
-        self._push(self._now + int(delay), ("trigger", event, value))
+        self._push(self._now + int(delay), (_TRIGGER, event, value))
         return event
 
     def timeout_event(self, delay: int, value: Any = None,
@@ -117,23 +156,22 @@ class Engine:
         if at < self._now:
             raise SimulationError(
                 f"call_at({at}) is in the past (now={self._now})")
-        self._push(at, ("call", fn))
+        self._push(at, (_CALL, fn))
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new process; it runs from the current time."""
         proc = Process(self, gen, name)
         self._active += 1
-        self._push(self._now, ("resume", proc, None, None))
-        hub = _telemetry()
-        if hub is not None:
-            hub.count("sim", "sim.engine", "processes.spawned")
+        self._push(self._now, (_RESUME, proc, None, None))
+        if _telemetry() is not None:
+            self._spawned += 1
         return proc
 
     def _resume(self, proc: Process, value: Any = None) -> None:
-        self._push(self._now, ("resume", proc, value, None))
+        self._push(self._now, (_RESUME, proc, value, None))
 
     def _resume_throw(self, proc: Process, exc: BaseException) -> None:
-        self._push(self._now, ("resume", proc, None, exc))
+        self._push(self._now, (_RESUME, proc, None, exc))
 
     # --- process stepping ----------------------------------------------------
 
@@ -155,9 +193,9 @@ class Engine:
         self._dispatch(proc, cmd)
 
     def _dispatch(self, proc: Process, cmd: Any) -> None:
-        if isinstance(cmd, Timeout):
+        if type(cmd) is Timeout:
             ev = Event("timeout")
-            self._push(self._now + cmd.delay, ("trigger", ev, None))
+            self._push(self._now + cmd.delay, (_TRIGGER, ev, None))
             self._wait(proc, ev)
         elif isinstance(cmd, Event):  # includes Process
             self._wait(proc, cmd)
@@ -172,8 +210,8 @@ class Engine:
 
     def _wait(self, proc: Process, ev: Event) -> None:
         def on_fire(fired: Event) -> None:
-            if fired.failure is not None:
-                self._resume_throw(proc, fired.failure)
+            if fired._failed is not None:
+                self._resume_throw(proc, fired._failed)
             else:
                 self._resume(proc, fired._value)
 
@@ -229,29 +267,38 @@ class Engine:
 
     def _run_plain(self, until: Optional[int]) -> int:
         """The uninstrumented event loop (no hub installed)."""
-        while self._queue:
-            at, _seq, item = self._queue[0]
+        buckets = self._buckets
+        times = self._times
+        step = self._step_process
+        while times:
+            at = times[0]
             if until is not None and at > until:
                 self._now = until
-                return self._now
-            heapq.heappop(self._queue)
-            if at < self._now:
+                return until
+            if at < self._now:  # pragma: no cover - defensive
                 raise SimulationError("time went backwards")
+            heappop(times)
             self._now = at
-            kind = item[0]
-            if kind == "trigger":
-                _, event, value = item
-                if not event.triggered:
-                    event.succeed(value)
-            elif kind == "resume":
-                _, proc, value, exc = item
-                if not proc.triggered:
-                    self._step_process(proc, value, exc)
-            elif kind == "call":
-                _, fn = item
-                fn()
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown queue item {kind!r}")
+            bucket = buckets[at]
+            i = 0
+            # len() re-evaluates: same-instant scheduling appends to the
+            # live bucket and those items dispatch in this same batch
+            while i < len(bucket):
+                item = bucket[i]
+                i += 1
+                self._size -= 1
+                kind = item[0]
+                if kind == _RESUME:
+                    proc = item[1]
+                    if not proc._triggered:
+                        step(proc, item[2], item[3])
+                elif kind == _TRIGGER:
+                    event = item[1]
+                    if not event._triggered:
+                        event.succeed(item[2])
+                else:
+                    item[1]()
+            del buckets[at]
         return self._now
 
     def _run_observed(self, hub, until: Optional[int]) -> int:
@@ -262,42 +309,57 @@ class Engine:
         hub.attach_clock(self)
         sim0 = self._now
         wall0 = time.perf_counter_ns()
-        dispatched = {"trigger": 0, "resume": 0, "call": 0}
+        dispatched = [0, 0, 0]
         depth_hw = 0
+        buckets = self._buckets
+        times = self._times
+        step = self._step_process
         try:
-            while self._queue:
-                depth = len(self._queue)
-                if depth > depth_hw:
-                    depth_hw = depth
-                at, _seq, item = self._queue[0]
+            while times:
+                at = times[0]
                 if until is not None and at > until:
+                    # the reference loop measured queue depth once more
+                    # before aborting on *until*; keep the gauge identical
+                    if self._size > depth_hw:
+                        depth_hw = self._size
                     self._now = until
-                    return self._now
-                heapq.heappop(self._queue)
-                if at < self._now:
+                    return until
+                if at < self._now:  # pragma: no cover - defensive
                     raise SimulationError("time went backwards")
+                heappop(times)
                 self._now = at
-                kind = item[0]
-                dispatched[kind] = dispatched.get(kind, 0) + 1
-                if kind == "trigger":
-                    _, event, value = item
-                    if not event.triggered:
-                        event.succeed(value)
-                elif kind == "resume":
-                    _, proc, value, exc = item
-                    if not proc.triggered:
-                        self._step_process(proc, value, exc)
-                elif kind == "call":
-                    _, fn = item
-                    fn()
-                else:  # pragma: no cover - defensive
-                    raise SimulationError(f"unknown queue item {kind!r}")
+                bucket = buckets[at]
+                i = 0
+                while i < len(bucket):
+                    item = bucket[i]
+                    i += 1
+                    if self._size > depth_hw:
+                        depth_hw = self._size
+                    self._size -= 1
+                    kind = item[0]
+                    dispatched[kind] += 1
+                    if kind == _RESUME:
+                        proc = item[1]
+                        if not proc._triggered:
+                            step(proc, item[2], item[3])
+                    elif kind == _TRIGGER:
+                        event = item[1]
+                        if not event._triggered:
+                            event.succeed(item[2])
+                    else:
+                        item[1]()
+                del buckets[at]
             return self._now
         finally:
+            if self._spawned:
+                hub.count("sim", "sim.engine", "processes.spawned",
+                          self._spawned)
+                self._spawned = 0
             total = 0
-            for kind, n in dispatched.items():
+            for kind, n in enumerate(dispatched):
                 if n:
-                    hub.count("sim", "sim.engine", f"events.{kind}", n)
+                    hub.count("sim", "sim.engine",
+                              f"events.{_KIND_NAMES[kind]}", n)
                     total += n
             if total:
                 hub.count("sim", "sim.engine", "events.dispatched", total)

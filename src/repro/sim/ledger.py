@@ -10,16 +10,23 @@ labels feed the per-stage breakdowns reported by the paper's figures
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterator, Tuple
 
 
 class Ledger:
-    """Accumulates labeled nanosecond charges."""
+    """Accumulates labeled nanosecond charges.
+
+    ``charge`` sits on the critical path of every simulated substrate
+    effect (one call per page copy, verb, syscall...), so it is written
+    as plain dict arithmetic on a ``__slots__`` instance — no defaultdict
+    factory dispatch, no attribute dict.
+    """
+
+    __slots__ = ("_pending", "_by_category")
 
     def __init__(self):
         self._pending = 0
-        self._by_category: Dict[str, int] = defaultdict(int)
+        self._by_category: Dict[str, int] = {}
 
     def charge(self, ns: int, category: str = "misc") -> None:
         """Add *ns* nanoseconds of cost under *category*."""
@@ -27,7 +34,8 @@ class Ledger:
             return
         ns = int(ns)
         self._pending += ns
-        self._by_category[category] += ns
+        by_category = self._by_category
+        by_category[category] = by_category.get(category, 0) + ns
 
     @property
     def pending(self) -> int:
@@ -59,5 +67,6 @@ class Ledger:
 
     def merge(self, other: "Ledger") -> None:
         """Fold *other*'s lifetime totals into this ledger (no pending)."""
+        mine = self._by_category
         for cat, ns in other._by_category.items():
-            self._by_category[cat] += ns
+            mine[cat] = mine.get(cat, 0) + ns

@@ -71,6 +71,26 @@ class TestSnapshot:
         assert wall["invocations_per_sec"] == pytest.approx(
             wall["invocations"] / wall["elapsed_s"], rel=1e-3)
 
+    def test_wall_subsystem_sections(self, snap):
+        """v4: per-subsystem throughput.  Engine rate is measured against
+        time inside engine.run(), so it must exceed the whole-harness
+        rate; hub and fleet sections carry their own numerators."""
+        wall = snap["wall"]
+        engine = wall["engine"]
+        assert engine["events"] == wall["events"]
+        assert 0 < engine["run_ns"]
+        assert engine["events_per_sec"] == pytest.approx(
+            engine["events"] / (engine["run_ns"] / 1e9), rel=1e-3)
+        assert engine["events_per_sec"] > wall["events_per_sec"]
+        hub = wall["hub"]
+        assert hub["records"] > 0
+        assert hub["records_per_sec"] == pytest.approx(
+            hub["records"] / wall["elapsed_s"], rel=1e-3)
+        fleet = wall["fleet"]
+        assert fleet["invocations"] > 0
+        assert fleet["invocations_per_sec"] > 0
+        assert fleet["events_per_sec"] > 0
+
     def test_write_load_round_trip(self, snap, tmp_path):
         path = str(tmp_path / "BENCH_7.json")
         snapshot.write_snapshot(snap, path)
@@ -155,18 +175,46 @@ class TestRegressionGate:
         cand["environment"]["python"] = "9.9.9"
         assert regression.compare(snap, cand).ok
 
-    def test_wall_throughput_drift_ignored(self, snap):
+    def test_wall_nonrate_drift_ignored(self, snap):
+        """Elapsed seconds and raw counts are harness detail — a slower
+        run (same rates) passes."""
         cand = json.loads(json.dumps(snap))
         cand["wall"]["elapsed_s"] *= 100
-        cand["wall"]["events_per_sec"] /= 100
+        cand["wall"]["events"] *= 100
+        cand["wall"]["engine"]["run_ns"] *= 100
         assert regression.compare(snap, cand).ok
 
-    def test_v2_baseline_compares_against_v3_candidate(self, snap):
+    def test_wall_rate_jitter_tolerated(self, snap):
+        """Moderate throughput drift stays inside the generous band."""
+        cand = json.loads(json.dumps(snap))
+        cand["wall"]["events_per_sec"] *= 0.7
+        cand["wall"]["engine"]["events_per_sec"] *= 1.4
+        assert regression.compare(snap, cand).ok
+
+    def test_wall_rate_collapse_fails(self, snap):
+        """A wall-clock collapse (rate beyond WALL_TOLERANCE) is a
+        gate failure — perf regressions no longer hide in the
+        informational section."""
+        cand = json.loads(json.dumps(snap))
+        cand["wall"]["engine"]["events_per_sec"] /= 100
+        report = regression.compare(snap, cand)
+        assert not report.ok
+        assert any(f.metric == "wall.engine.events_per_sec"
+                   and f.direction == "down" for f in report.failures)
+        # faster never fails
+        better = json.loads(json.dumps(snap))
+        better["wall"]["engine"]["events_per_sec"] *= 100
+        assert regression.compare(snap, better).ok
+
+    def test_v2_baseline_compares_against_v4_candidate(self, snap):
         old = json.loads(json.dumps(snap))
         old["schema_version"] = 2
         del old["wall"]
         report = regression.compare(old, snap)
         assert report.ok and report.compared > 0
+        # the wall rates show up as new metrics, not failures
+        assert any(f.metric.startswith("wall.")
+                   for f in report.new_metrics)
 
     def test_mismatched_operating_point_refused(self, snap):
         cand = json.loads(json.dumps(snap))
@@ -194,6 +242,8 @@ class TestRegressionGate:
             "derived.w.t.speedup_over_messaging") == "down"
         assert regression.metric_direction(
             "workloads.w.t.critical_path.span_count") == "both"
+        assert regression.metric_direction(
+            "wall.engine.events_per_sec") == "down"
 
 
 class TestCommittedBaseline:

@@ -155,9 +155,9 @@ class TestRunResultDiff:
     def test_same_seed_runs_diff_to_zero(self):
         from repro.api import run
 
-        a = run("wordcount", "rmmap-prefetch", seed=0, scale=0.02,
+        a = run("wordcount", transport="rmmap-prefetch", seed=0, scale=0.02,
                 telemetry=True)
-        b = run("wordcount", "rmmap-prefetch", seed=0, scale=0.02,
+        b = run("wordcount", transport="rmmap-prefetch", seed=0, scale=0.02,
                 telemetry=True)
         report = a.diff(b)
         assert report["kind"] == "trace"

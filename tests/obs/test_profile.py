@@ -158,8 +158,8 @@ class TestBuildSpanTree:
 @pytest.fixture(scope="module", params=["messaging", "rmmap-prefetch"])
 def paired(request):
     """One WordCount run per transport, with and without the profiler."""
-    bare = run("wordcount", request.param, seed=0, scale=SCALE)
-    profiled = run("wordcount", request.param, seed=0, scale=SCALE,
+    bare = run("wordcount", transport=request.param, seed=0, scale=SCALE)
+    profiled = run("wordcount", transport=request.param, seed=0, scale=SCALE,
                    telemetry=True)
     return request.param, bare, profiled
 
@@ -211,7 +211,7 @@ class TestEndToEnd:
 
     def test_same_seed_runs_are_byte_identical(self, paired):
         transport, _, profiled = paired
-        again = run("wordcount", transport, seed=0, scale=SCALE,
+        again = run("wordcount", transport=transport, seed=0, scale=SCALE,
                     telemetry=True)
         assert again.flamegraph() == profiled.flamegraph()
         assert json.dumps(again.critical_path(), sort_keys=True) \
@@ -233,7 +233,7 @@ class TestEndToEnd:
 
 class TestDeterministicSnapshotAudit:
     def test_deterministic_snapshot_excludes_wall_metrics(self):
-        result = run("wordcount", "rmmap-prefetch", seed=0, scale=SCALE,
+        result = run("wordcount", transport="rmmap-prefetch", seed=0, scale=SCALE,
                      telemetry=True)
         hub = result.telemetry
         hub.count("host", "sim.engine", "wall.elapsed_ms", 42)

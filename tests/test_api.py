@@ -53,7 +53,7 @@ def test_workloads_lists_the_four_figures_workflows():
 
 def test_run_rejects_unknown_workload():
     with pytest.raises(ValueError, match="unknown workload"):
-        run("factorize-rsa", "messaging", scale=SCALE)
+        run("factorize-rsa", transport="messaging", scale=SCALE)
 
 
 @pytest.mark.parametrize("transport", ["messaging", "rmmap-prefetch"])
@@ -64,22 +64,22 @@ def test_facade_matches_bench_path(transport):
     builder, params = workflow_configs(SCALE)["wordcount"]
     bench_record = run_workflow_once(builder, params,
                                      get_transport(transport))
-    result = run("wordcount", transport, scale=SCALE)
+    result = run("wordcount", transport=transport, scale=SCALE)
     assert result.latency_ns == bench_record.latency_ns
     assert result.stage_totals() == bench_record.stage_totals()
 
 
 def test_telemetry_does_not_perturb_the_simulation():
     """Ledger totals are byte-identical with the observer on or off."""
-    plain = run("wordcount", "rmmap-prefetch", scale=SCALE)
-    observed = run("wordcount", "rmmap-prefetch", scale=SCALE,
+    plain = run("wordcount", transport="rmmap-prefetch", scale=SCALE)
+    observed = run("wordcount", transport="rmmap-prefetch", scale=SCALE,
                    telemetry=True)
     assert observed.latency_ns == plain.latency_ns
     assert observed.stage_totals() == plain.stage_totals()
 
 
 def test_telemetry_covers_the_stack():
-    result = run("wordcount", "rmmap-prefetch", scale=SCALE,
+    result = run("wordcount", transport="rmmap-prefetch", scale=SCALE,
                  telemetry=True)
     layers = set(result.telemetry.layers())
     assert {"sim.engine", "mem", "net.rdma", "net.rpc", "kernel",
@@ -95,9 +95,9 @@ def test_telemetry_covers_the_stack():
 
 def test_same_seed_same_telemetry():
     """Determinism: identical seeds produce identical exports."""
-    a = run("wordcount", "rmmap-prefetch", scale=SCALE, seed=3,
+    a = run("wordcount", transport="rmmap-prefetch", scale=SCALE, seed=3,
             telemetry=True)
-    b = run("wordcount", "rmmap-prefetch", scale=SCALE, seed=3,
+    b = run("wordcount", transport="rmmap-prefetch", scale=SCALE, seed=3,
             telemetry=True)
     assert (a.telemetry.snapshot(deterministic=True)
             == b.telemetry.snapshot(deterministic=True))
@@ -107,7 +107,7 @@ def test_same_seed_same_telemetry():
 
 def test_run_accepts_transport_instance_and_param_overrides():
     transport = get_transport("messaging")
-    result = run("wordcount", transport, scale=SCALE,
+    result = run("wordcount", transport=transport, scale=SCALE,
                  params={"n_bytes": 128 << 10})
     assert isinstance(result, RunResult)
     assert result.transport == "messaging"
@@ -115,7 +115,7 @@ def test_run_accepts_transport_instance_and_param_overrides():
 
 
 def test_run_chaos_delegates_to_chaos_runner():
-    result = run("wordcount", "rmmap-prefetch", scale=0.02, seed=1,
+    result = run("wordcount", transport="rmmap-prefetch", scale=0.02, seed=1,
                  chaos={"requests": 2, "n_machines": 4})
     report = result.chaos_report
     assert report is not None
@@ -126,13 +126,13 @@ def test_run_chaos_delegates_to_chaos_runner():
 
 
 def test_write_trace_requires_telemetry(tmp_path):
-    result = run("wordcount", "messaging", scale=SCALE)
+    result = run("wordcount", transport="messaging", scale=SCALE)
     with pytest.raises(ValueError, match="telemetry"):
         result.write_trace(str(tmp_path / "t.json"))
 
 
 def test_write_trace_produces_loadable_file(tmp_path):
-    result = run("wordcount", "rmmap-prefetch", scale=SCALE,
+    result = run("wordcount", transport="rmmap-prefetch", scale=SCALE,
                  telemetry=True)
     out = tmp_path / "trace.json"
     result.write_trace(str(out))
