@@ -139,9 +139,23 @@ class BaseRunResult:
             fh.write(self.flamegraph())
 
     def write_trace(self, path: str) -> None:
-        """Export the run's Chrome trace (requires telemetry)."""
+        """Export the run's Chrome trace (requires telemetry); monitor
+        alert transitions ride along as instant events."""
         obs.write_chrome_trace(self._require_telemetry(), path,
-                               tracer=getattr(self, "tracer", None))
+                               tracer=getattr(self, "tracer", None),
+                               monitor=getattr(self, "monitor", None))
+
+    def triage(self, specs=None) -> Dict[str, Any]:
+        """Auto-triage every monitor alert into a ranked root-cause
+        report (see :func:`repro.obs.triage.triage_report`); requires
+        both telemetry and a monitor on this result."""
+        hub = self._require_telemetry()
+        monitor = getattr(self, "monitor", None)
+        if monitor is None:
+            raise ValueError(
+                "no monitor observed this run; pass monitor=True (or "
+                "use run_fleet, which always attaches one)")
+        return obs.triage_report(hub, monitor, specs=specs)
 
 
 @dataclass

@@ -279,6 +279,8 @@ _COMMANDS = {
     "diff": "root-cause two snapshots: ranked per-location deltas",
     "fleet": "multi-tenant fleet simulation: open-loop traffic across "
              "sharded coordinators (--smoke for the CI config)",
+    "triage": "run a fleet and rank root-cause evidence for every SLO "
+              "alert (exemplar traces + saturation timelines)",
 }
 
 
@@ -359,33 +361,87 @@ def _monitor(args) -> int:
     return 0
 
 
+def _fleet_spec(args):
+    """Assemble the FleetSpec the fleet/triage commands share."""
+    from repro.fleet import FleetSpec, default_tenants, smoke_spec
+
+    seed = args.seed if args.seed is not None else 0
+    if args.smoke:
+        spec = smoke_spec(seed=seed)
+    else:
+        spec = FleetSpec(tenants=default_tenants(args.tenants),
+                         seed=seed, n_shards=args.shards,
+                         duration_s=args.duration)
+    for item in args.fail_shard or ():
+        sid, _, at_s = item.partition("@")
+        if not sid or not at_s:
+            raise SystemExit(
+                f"--fail-shard expects SHARD@SECONDS, got {item!r}")
+        spec.shard_failures.append((float(at_s), sid))
+    return spec
+
+
+def _write_triage(result, path: str) -> None:
+    """Write the triage report as JSON to *path* and text to
+    *path*.txt."""
+    import json
+
+    from repro.obs import render_triage
+
+    report = result.triage()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    with open(path + ".txt", "w", encoding="utf-8") as fh:
+        fh.write(render_triage(report))
+        fh.write("\n")
+    print(f"wrote {path} (+.txt)", file=sys.stderr)
+
+
 def _fleet(args) -> int:
     """Run a multi-tenant fleet: seeded open-loop arrivals per tenant,
     placed on sharded coordinators by consistent hashing, with token-
     bucket admission and per-shard autoscaling.  Deterministic: same
     seed + same flags → byte-identical JSON."""
-    import json
-
     from repro.api import run_fleet
 
-    seed = args.seed if args.seed is not None else 0
-    if args.smoke:
-        result = run_fleet(seed=seed, smoke=True)
-    else:
-        from repro.fleet import default_tenants
-        tenants = default_tenants(args.tenants)
-        result = run_fleet(seed=seed, tenants=tenants,
-                           n_shards=args.shards,
-                           duration_s=args.duration)
+    result = run_fleet(_fleet_spec(args))
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             fh.write(result.to_json(include_wall=args.include_wall))
             fh.write("\n")
         print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.triage_out:
+        _write_triage(result, args.triage_out)
     if args.format == "json":
         print(result.to_json(include_wall=args.include_wall))
     else:
         print(result.render())
+    return 0
+
+
+def _triage(args) -> int:
+    """Run a fleet and auto-triage its SLO alerts: exemplar traces,
+    saturation-timeline threshold crossings and injected faults fold
+    into one ranked root-cause report per alert."""
+    import json
+
+    from repro.api import run_fleet
+    from repro.obs import render_triage
+
+    result = run_fleet(_fleet_spec(args))
+    report = result.triage()
+    if args.triage_out:
+        _write_triage(result, args.triage_out)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(render_triage(report))
     return 0
 
 
@@ -444,6 +500,15 @@ def main(argv=None) -> int:
                              "arrival shapes and workloads)")
     parser.add_argument("--duration", type=float, default=10.0,
                         help="fleet: simulated seconds of traffic")
+    parser.add_argument("--fail-shard", action="append", default=None,
+                        metavar="SHARD@SECONDS",
+                        help="fleet/triage: kill SHARD at the given "
+                             "simulated second (repeatable), e.g. "
+                             "shard-1@3.0")
+    parser.add_argument("--triage-out", default=None, metavar="PATH",
+                        help="fleet/triage: write the triage report as "
+                             "JSON to PATH and rendered text to "
+                             "PATH.txt")
     args = parser.parse_args(argv)
 
     if args.scale is not None:
@@ -476,6 +541,8 @@ def main(argv=None) -> int:
         return _monitor(args)
     if args.experiment == "fleet":
         return _fleet(args)
+    if args.experiment == "triage":
+        return _triage(args)
 
     hub = None
     if args.trace_out is not None or args.profile_out is not None:

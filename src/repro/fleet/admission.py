@@ -18,6 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.telemetry import current as _telemetry
+
+#: Layer for admission-control utilization gauges (token levels,
+#: rejection rates) — the saturation-timeline feed for triage.
+ADMISSION_LAYER = "fleet.admission"
+
 #: The tenant's token bucket was empty — sustained over-rate traffic.
 REJECT_RATE_LIMIT = "rate-limit"
 #: The target shard's wait queue was at capacity.
@@ -104,6 +110,11 @@ class AdmissionController:
                   burst: float) -> TokenBucket:
         bucket = TokenBucket(rate_per_s, burst)
         self._buckets[tenant] = bucket
+        hub = _telemetry()
+        if hub is not None:
+            # milli-token fixed point: gauges are integers by contract
+            hub.gauge(tenant, ADMISSION_LAYER, "tokens.burst_milli",
+                      int(bucket.burst * 1000))
         return bucket
 
     def bucket(self, tenant: str) -> Optional[TokenBucket]:
@@ -117,9 +128,15 @@ class AdmissionController:
         :meth:`note_rejection`.
         """
         bucket = self._buckets.get(tenant)
-        if bucket is not None and not bucket.try_take(now_ns):
-            self.note_rejection(now_ns, tenant, REJECT_RATE_LIMIT)
-            return REJECT_RATE_LIMIT
+        if bucket is not None:
+            admitted = bucket.try_take(now_ns)
+            hub = _telemetry()
+            if hub is not None:
+                hub.gauge(tenant, ADMISSION_LAYER, "tokens.level_milli",
+                          int(bucket.tokens * 1000))
+            if not admitted:
+                self.note_rejection(now_ns, tenant, REJECT_RATE_LIMIT)
+                return REJECT_RATE_LIMIT
         self.admitted += 1
         return None
 
@@ -130,6 +147,9 @@ class AdmissionController:
             self.rejections.append(rejection)
         key = (tenant, reason)
         self.rejected_counts[key] = self.rejected_counts.get(key, 0) + 1
+        hub = _telemetry()
+        if hub is not None:
+            hub.count(tenant, ADMISSION_LAYER, "rejections.total")
         return rejection
 
     @property

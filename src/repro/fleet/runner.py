@@ -156,6 +156,17 @@ class FleetSpec:
     #: ``(at_s, shard_id)`` chaos points: kill that shard at that instant
     shard_failures: List[Tuple[float, str]] = field(default_factory=list)
     slos: Optional[Sequence[Any]] = None  # default: obs.slo.DEFAULT_SLOS
+    # -- observability knobs -------------------------------------------------
+    # Deliberately excluded from to_dict(): telemetry is a pure observer,
+    # so the serialized spec (and the whole FleetResult JSON) must stay
+    # byte-identical whether or not triage instrumentation is on.
+    #: keep only every Nth span (exemplar traces bypass the sampling)
+    span_sample_every: int = 1
+    #: retain worst-k / median-band exemplar trace ids per fleet key
+    exemplars: bool = True
+    exemplar_k: int = 3
+    #: record bounded resource-saturation timelines on the hub
+    timelines: bool = True
 
     def expected_invocations(self) -> int:
         """Rough offered load: sum of mean rates times the horizon."""
@@ -332,8 +343,13 @@ def run_fleet(spec: FleetSpec,
     if not spec.tenants:
         raise ValueError("a fleet needs at least one tenant")
     wall0 = time.perf_counter()
-    hub = hub if hub is not None else obs.Telemetry()
-    mon = monitor if monitor is not None else FleetMonitor(slos=spec.slos)
+    if hub is None:
+        hub = obs.Telemetry(span_sample_every=spec.span_sample_every)
+        if spec.timelines:
+            hub.enable_timelines()
+    mon = monitor if monitor is not None else FleetMonitor(
+        slos=spec.slos, exemplars=spec.exemplars,
+        exemplar_k=spec.exemplar_k)
     mon.attach(hub)
     try:
         with obs.capture(hub):

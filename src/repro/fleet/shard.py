@@ -43,6 +43,11 @@ from repro.sim.engine import Engine, Event, Process, Timeout
 #: both).
 PLATFORM_LAYER = "platform"
 
+#: Layer for shard-local utilization gauges and invocation spans — kept
+#: apart from ``platform`` so saturation triage can tell shard capacity
+#: pressure from coordinator-level aggregates.
+FLEET_LAYER = "fleet.shard"
+
 
 class CoordinatorShard:
     """One coordinator shard: pod slots, a FIFO wait queue, accounting.
@@ -108,6 +113,9 @@ class CoordinatorShard:
         self.pods = n
         if n > self.peak_pods:
             self.peak_pods = n
+        hub = _telemetry()
+        if hub is not None:
+            hub.gauge(self.shard_id, FLEET_LAYER, "pods.provisioned", n)
         self._wake(now_ns)
 
     # -- slot protocol ---------------------------------------------------------
@@ -412,6 +420,9 @@ class ShardedCoordinator:
         self.submitted += 1
         shard.submitted += 1
         self._tenant_count(tenant)[0] += 1
+        # deterministic per-invocation trace id ("f" marks fleet-minted
+        # ids apart from single-run RunResult.trace_id request numbers)
+        trace_id = f"{workload}#f{self.submitted}@{transport}"
         # claim the slot (or queue position) synchronously, before the
         # invocation process ever runs: capacity checks on the next
         # same-instant submit must see this request's occupancy
@@ -420,38 +431,48 @@ class ShardedCoordinator:
             slot_ev = None
         else:
             slot_ev = shard.enqueue(now)
+        self._gauge_shard(shard)
         proc = self.engine.spawn(
             self._invoke(shard, tenant, workload, transport,
-                         int(service_ns), now, slot_ev),
+                         int(service_ns), now, slot_ev, trace_id),
             name=f"invoke[{tenant}@{shard.shard_id}]")
         shard.register(proc)
         return proc
 
     def _invoke(self, shard: CoordinatorShard, tenant: str,
                 workload: str, transport: str, service_ns: int,
-                submit_ns: int,
-                slot_ev: Optional[Event]) -> Generator:
+                submit_ns: int, slot_ev: Optional[Event],
+                trace_id: str) -> Generator:
+        # simulated instant service began (None while still queued — a
+        # crash before the slot transfer leaves it None)
+        service_start = submit_ns if slot_ev is None else None
         try:
             if slot_ev is not None:
                 yield slot_ev
+                service_start = self.engine.now
             try:
                 yield Timeout(service_ns)
             finally:
                 if shard.alive:
                     shard.release(self.engine.now)
+                    self._gauge_shard(shard)
         except ShardUnavailable:
             shard.failed += 1
             self.failed += 1
             self._tenant_count(tenant)[2] += 1
             self._emit_done(shard, tenant, workload, transport,
-                            latency_ns=None, ok=False)
+                            latency_ns=None, ok=False,
+                            trace_id=trace_id, submit_ns=submit_ns,
+                            service_start_ns=service_start)
             return
         latency_ns = self.engine.now - submit_ns
         shard.completed += 1
         self.completed += 1
         self._tenant_count(tenant)[1] += 1
         self._emit_done(shard, tenant, workload, transport,
-                        latency_ns=latency_ns, ok=True)
+                        latency_ns=latency_ns, ok=True,
+                        trace_id=trace_id, submit_ns=submit_ns,
+                        service_start_ns=service_start)
 
     def _tenant_count(self, tenant: str) -> List[int]:
         counts = self.tenant_counts.get(tenant)
@@ -485,9 +506,23 @@ class ShardedCoordinator:
 
     # -- telemetry -------------------------------------------------------------
 
+    def _gauge_shard(self, shard: CoordinatorShard) -> None:
+        """Publish the shard's occupancy/queue gauges (saturation feed)."""
+        hub = _telemetry()
+        if hub is None:
+            return
+        sid = shard.shard_id
+        hub.gauge(sid, FLEET_LAYER, "pods.inflight", shard.inflight)
+        hub.gauge(sid, FLEET_LAYER, "queue.depth", len(shard.queue))
+        if (sid, FLEET_LAYER, "pods.provisioned") not in hub.gauges:
+            hub.gauge(sid, FLEET_LAYER, "pods.provisioned", shard.pods)
+            hub.gauge(sid, FLEET_LAYER, "queue.limit", shard.queue_limit)
+
     def _emit_done(self, shard: CoordinatorShard, tenant: str,
                    workload: str, transport: str,
-                   latency_ns: Optional[int], ok: bool) -> None:
+                   latency_ns: Optional[int], ok: bool,
+                   trace_id: str, submit_ns: int,
+                   service_start_ns: Optional[int]) -> None:
         hub = _telemetry()
         if hub is None:
             return
@@ -497,14 +532,31 @@ class ShardedCoordinator:
             hub.event(shard.shard_id, PLATFORM_LAYER, "invocation.done",
                       tenant=tenant, workflow=workload,
                       transport=transport, latency_ns=latency_ns,
-                      shard=shard.shard_id)
+                      shard=shard.shard_id, trace_id=trace_id)
         else:
             hub.count(shard.shard_id, PLATFORM_LAYER,
                       "invocations.failed")
             hub.event(shard.shard_id, PLATFORM_LAYER,
                       "invocation.failed", tenant=tenant,
                       workflow=workload, transport=transport,
-                      error="ShardUnavailable", shard=shard.shard_id)
+                      error="ShardUnavailable", shard=shard.shard_id,
+                      trace_id=trace_id)
+        # spans AFTER the event: the monitor pins exemplar trace ids
+        # synchronously inside the event dispatch, so pinned invocations
+        # keep their full span tree even under storage sampling
+        now = self.engine.now
+        root = hub.span(shard.shard_id, FLEET_LAYER, "invocation",
+                        submit_ns, now, trace_id=trace_id,
+                        tenant=tenant, workflow=workload,
+                        transport=transport, ok=ok)
+        if service_start_ns is not None and service_start_ns > submit_ns:
+            hub.span(shard.shard_id, FLEET_LAYER, "queue.wait",
+                     submit_ns, service_start_ns, parent_id=root,
+                     trace_id=trace_id)
+        if service_start_ns is not None:
+            hub.span(shard.shard_id, FLEET_LAYER, "service",
+                     service_start_ns, now, parent_id=root,
+                     trace_id=trace_id)
 
     def _emit_rejected(self, now_ns: int, tenant: str, workload: str,
                        transport: str, reason: str,

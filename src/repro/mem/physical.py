@@ -91,6 +91,15 @@ class PhysicalMemory:
             if hub is not None:
                 hub.gauge_max(self.owner, "mem", "frames.resident.hw",
                               self.peak_frames)
+        hub = _telemetry()
+        if hub is not None and hub.timelines is not None:
+            # saturation-timeline feed only (triage residency series);
+            # gated so the allocator hot path stays gauge-free otherwise
+            hub.gauge(self.owner, "mem", "frames.resident",
+                      self.used_frames)
+            if (self.owner, "mem", "frames.capacity") not in hub.gauges:
+                hub.gauge(self.owner, "mem", "frames.capacity",
+                          self.capacity_frames)
         return frame
 
     def live_pfns(self) -> List[int]:

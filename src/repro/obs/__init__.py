@@ -34,12 +34,17 @@ from repro.obs.profile import (PathSegment, SpanNode, attribute,
                                parse_folded, render_report, trace_ids)
 from repro.obs.rollup import (TRANSFER_LAYER, rollup_ledger,
                               rollup_record)
-from repro.obs.monitor import (Alert, FleetMonitor, MONITOR_LAYER,
-                               PercentileSketch, SKETCH_RELATIVE_ERROR,
-                               WindowedCounter, WindowedSketch)
+from repro.obs.monitor import (Alert, ExemplarReservoir, FleetMonitor,
+                               MONITOR_LAYER, PercentileSketch,
+                               SKETCH_RELATIVE_ERROR, WindowedCounter,
+                               WindowedSketch)
 from repro.obs.slo import DEFAULT_SLOS, SLO
 from repro.obs.diff import (diff_snapshot_paths, diff_snapshots,
                             diff_traces, render_diff)
+from repro.obs.timeline import Timeline, TimelineRecorder
+from repro.obs.triage import (AlertContext, DEFAULT_SATURATION_SPECS,
+                              SaturationSpec, render_triage,
+                              triage_alert, triage_report)
 
 __all__ = [
     "Histogram",
@@ -71,6 +76,7 @@ __all__ = [
     "render_report",
     "trace_ids",
     "Alert",
+    "ExemplarReservoir",
     "FleetMonitor",
     "MONITOR_LAYER",
     "PercentileSketch",
@@ -83,4 +89,12 @@ __all__ = [
     "diff_snapshots",
     "diff_traces",
     "render_diff",
+    "Timeline",
+    "TimelineRecorder",
+    "AlertContext",
+    "DEFAULT_SATURATION_SPECS",
+    "SaturationSpec",
+    "render_triage",
+    "triage_alert",
+    "triage_report",
 ]

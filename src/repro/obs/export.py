@@ -81,14 +81,18 @@ def _us(ns: int) -> float:
     return ns / 1000.0
 
 
-def to_chrome_trace(hub: Telemetry, tracer=None) -> Dict[str, Any]:
+def to_chrome_trace(hub: Telemetry, tracer=None,
+                    monitor=None) -> Dict[str, Any]:
     """The hub (plus an optional span Tracer) as a trace-event dict.
 
     ``tracer`` may be an :class:`~repro.analysis.tracing.Tracer` whose
     finished spans are merged in under the ``platform`` layer — the paper
     figures' existing span source rides along in the same timeline.
-    Events are sorted by timestamp (stable on insertion order), so ``ts``
-    is monotone across the whole file.
+    ``monitor`` (a :class:`~repro.obs.monitor.FleetMonitor`) adds its
+    alert transitions as process-scoped instant events on a ``cluster``
+    row, so SLO firings line up against spans in Perfetto.  Events are
+    sorted by timestamp (stable on insertion order), so ``ts`` is
+    monotone across the whole file.
     """
     pids: Dict[str, int] = {}
     tids: Dict[tuple, int] = {}
@@ -205,6 +209,22 @@ def to_chrome_trace(hub: Telemetry, tracer=None) -> Dict[str, Any]:
             "ts": _us(event["ts"]), "args": dict(event["attributes"]),
         })
 
+    if monitor is not None:
+        loc = {"pid": pid_of("cluster"),
+               "tid": tid_of("cluster", "obs.monitor")}
+        for alert in monitor.alerts:
+            args = alert.to_dict()
+            body.append({"ph": "i", "s": "p", "name": "alert.fired",
+                         "cat": "obs.monitor",
+                         "ts": _us(alert.fired_ns), "args": args,
+                         **loc})
+            if alert.cleared_ns is not None:
+                body.append({"ph": "i", "s": "p",
+                             "name": "alert.cleared",
+                             "cat": "obs.monitor",
+                             "ts": _us(alert.cleared_ns), "args": args,
+                             **loc})
+
     body.sort(key=lambda e: e["ts"])
     return {"traceEvents": meta + body,
             "displayTimeUnit": "ms",
@@ -212,11 +232,15 @@ def to_chrome_trace(hub: Telemetry, tracer=None) -> Dict[str, Any]:
                           "clock_domain": "simulated-ns"}}
 
 
-def to_chrome_trace_json(hub: Telemetry, tracer=None) -> str:
-    return json.dumps(to_chrome_trace(hub, tracer=tracer), sort_keys=True)
+def to_chrome_trace_json(hub: Telemetry, tracer=None,
+                         monitor=None) -> str:
+    return json.dumps(to_chrome_trace(hub, tracer=tracer,
+                                      monitor=monitor), sort_keys=True)
 
 
-def write_chrome_trace(hub: Telemetry, path: str, tracer=None) -> None:
+def write_chrome_trace(hub: Telemetry, path: str, tracer=None,
+                       monitor=None) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(to_chrome_trace_json(hub, tracer=tracer))
+        fh.write(to_chrome_trace_json(hub, tracer=tracer,
+                                      monitor=monitor))
         fh.write("\n")

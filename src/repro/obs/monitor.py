@@ -340,6 +340,143 @@ class WindowedCounter:
         return good, bad
 
 
+class ExemplarReservoir:
+    """Worst-k / median-band / failure exemplar trace ids, windowed.
+
+    The sliding window mirrors :class:`WindowedSketch`'s ring-slice
+    geometry; each live slice retains
+
+    * the ``k`` **worst** latencies seen in the slice (with their trace
+      ids and completion timestamps),
+    * one **median-band** sample — the completion whose latency landed
+      closest to the running lifetime p50, within ``band`` of it (the
+      healthy baseline a triage diff compares the tail against), and
+    * the last ``k`` **failed** invocations' trace ids.
+
+    :meth:`record` / :meth:`note_failure` return the trace ids that were
+    *newly retained* so the caller can pin them on the telemetry hub
+    (:meth:`~repro.obs.Telemetry.pin_trace`) before their spans arrive.
+    Retention is a pure function of the observation stream — same seed,
+    same exemplars.
+    """
+
+    __slots__ = ("window_ns", "slice_ns", "slices", "k", "band",
+                 "_ring", "_min_idx", "_p50", "_since_refresh")
+
+    #: Refresh the cached lifetime-p50 hint every N observations (a
+    #: sketch quantile walk per observation would dominate hot paths).
+    P50_REFRESH_EVERY = 16
+
+    def __init__(self, window_ns: int, slices: int = 8, k: int = 3,
+                 band: float = 0.25):
+        if window_ns <= 0 or slices <= 0 or k <= 0:
+            raise ValueError("window_ns, slices and k must be positive")
+        self.window_ns = int(window_ns)
+        self.slices = int(slices)
+        self.slice_ns = max(1, self.window_ns // self.slices)
+        self.k = int(k)
+        self.band = float(band)
+        # idx -> {"worst": [(latency, ts, trace_id) desc],
+        #         "median": (dist, ts, trace_id, latency) | None,
+        #         "failed": [(ts, trace_id)]}
+        self._ring: Dict[int, Dict[str, Any]] = {}
+        self._min_idx = -(1 << 62)
+        self._p50 = 0
+        self._since_refresh = 0
+
+    def _evict(self, now_ns: int) -> None:
+        floor = now_ns // self.slice_ns - self.slices
+        if floor < self._min_idx:
+            return
+        ring = self._ring
+        for idx in [i for i in ring if i <= floor]:
+            del ring[idx]
+        self._min_idx = floor + 1
+
+    def _slice(self, ts_ns: int) -> Dict[str, Any]:
+        self._evict(ts_ns)
+        idx = ts_ns // self.slice_ns
+        slot = self._ring.get(idx)
+        if slot is None:
+            slot = self._ring[idx] = {"worst": [], "median": None,
+                                      "failed": []}
+            if idx < self._min_idx:
+                self._min_idx = idx
+        return slot
+
+    def record(self, ts_ns: int, latency_ns: int, trace_id: str,
+               lifetime: PercentileSketch) -> List[str]:
+        """Offer one completion; returns trace ids newly retained."""
+        if self._since_refresh == 0 and lifetime.count:
+            self._p50 = lifetime.quantile(0.5)
+        self._since_refresh = (self._since_refresh + 1) \
+            % self.P50_REFRESH_EVERY
+        slot = self._slice(ts_ns)
+        pinned: List[str] = []
+        worst = slot["worst"]
+        if len(worst) < self.k or latency_ns > worst[-1][0]:
+            worst.append((latency_ns, ts_ns, trace_id))
+            worst.sort(key=lambda e: (-e[0], e[1], e[2]))
+            del worst[self.k:]
+            if any(e[2] == trace_id for e in worst):
+                pinned.append(trace_id)
+        p50 = self._p50
+        if p50 > 0 and abs(latency_ns - p50) <= self.band * p50:
+            dist = abs(latency_ns - p50)
+            median = slot["median"]
+            if median is None or dist < median[0]:
+                slot["median"] = (dist, ts_ns, trace_id, latency_ns)
+                pinned.append(trace_id)
+        return pinned
+
+    def note_failure(self, ts_ns: int, trace_id: str) -> List[str]:
+        """Offer one failed invocation; returns newly retained ids."""
+        slot = self._slice(ts_ns)
+        failed = slot["failed"]
+        failed.append((ts_ns, trace_id))
+        if len(failed) > self.k:
+            del failed[0]
+        return [trace_id]
+
+    # -- read-back -----------------------------------------------------------
+
+    def worst(self, now_ns: int) -> List[Dict[str, Any]]:
+        """The k worst live-window exemplars, slowest first."""
+        self._evict(now_ns)
+        merged = [e for idx in sorted(self._ring)
+                  for e in self._ring[idx]["worst"]]
+        merged.sort(key=lambda e: (-e[0], e[1], e[2]))
+        return [{"trace_id": tid, "latency_ns": lat, "ts_ns": ts}
+                for lat, ts, tid in merged[:self.k]]
+
+    def median(self, now_ns: int) -> Optional[Dict[str, Any]]:
+        """The live-window sample closest to the running p50."""
+        self._evict(now_ns)
+        best = None
+        for idx in sorted(self._ring):
+            cand = self._ring[idx]["median"]
+            if cand is not None and (best is None or cand[0] < best[0]):
+                best = cand
+        if best is None:
+            return None
+        dist, ts, tid, lat = best
+        return {"trace_id": tid, "latency_ns": lat, "ts_ns": ts}
+
+    def failed(self, now_ns: int) -> List[Dict[str, Any]]:
+        """The most recent failed-invocation exemplars, newest first."""
+        self._evict(now_ns)
+        merged = [e for idx in sorted(self._ring)
+                  for e in self._ring[idx]["failed"]]
+        merged.sort(key=lambda e: (-e[0], e[1]))
+        return [{"trace_id": tid, "ts_ns": ts}
+                for ts, tid in merged[:self.k]]
+
+    def snapshot(self, now_ns: int) -> Dict[str, Any]:
+        return {"worst": self.worst(now_ns),
+                "median": self.median(now_ns),
+                "failed": self.failed(now_ns)}
+
+
 class Alert:
     """One burn-rate alert instance: an SLO breached for one fleet key."""
 
@@ -404,7 +541,8 @@ class FleetMonitor:
     """
 
     def __init__(self, slos: Optional[Iterable[SLO]] = None,
-                 window_ns: Optional[int] = None, slices: int = 8):
+                 window_ns: Optional[int] = None, slices: int = 8,
+                 exemplars: bool = True, exemplar_k: int = 3):
         self.slos: List[SLO] = list(DEFAULT_SLOS if slos is None
                                     else slos)
         # default series window: the longest SLO window (so the series
@@ -412,8 +550,12 @@ class FleetMonitor:
         self.window_ns = int(window_ns) if window_ns is not None else max(
             [s.long_window_ns for s in self.slos] or [1_000_000_000])
         self.slices = slices
+        self.exemplars_enabled = bool(exemplars)
+        self.exemplar_k = int(exemplar_k)
         self.latency: Dict[FleetKey, WindowedSketch] = {}
         self.requests: Dict[FleetKey, WindowedCounter] = {}
+        #: per-key exemplar reservoirs (worst-k / median-band / failed)
+        self.exemplars: Dict[FleetKey, ExemplarReservoir] = {}
         #: lifetime admission rejections per key (also counted as *bad*
         #: in the windowed series, so availability folds them in)
         self.rejected_counts: Dict[FleetKey, int] = {}
@@ -453,19 +595,29 @@ class FleetMonitor:
         self.observe(event["ts"], key,
                      latency_ns=attrs.get("latency_ns"),
                      ok=event["name"] == "invocation.done",
-                     rejected=event["name"] == "invocation.rejected")
+                     rejected=event["name"] == "invocation.rejected",
+                     trace_id=attrs.get("trace_id"))
 
     # -- ingestion -----------------------------------------------------------
 
     def observe(self, ts_ns: int, key: FleetKey,
                 latency_ns: Optional[int], ok: bool,
-                rejected: bool = False) -> None:
+                rejected: bool = False,
+                trace_id: Optional[str] = None) -> None:
         """Feed one finished (or admission-rejected) invocation.
 
         Rejections count as *bad* in every window and SLO — a refused
         request burns availability budget exactly like a failed one — but
         are tallied separately so snapshots can tell refusals from
         failures.
+
+        When *trace_id* is supplied and exemplars are enabled, the
+        invocation is offered to the key's :class:`ExemplarReservoir`;
+        newly retained trace ids are pinned on the hub
+        (:meth:`Telemetry.pin_trace`) so their spans survive storage
+        sampling.  Because events dispatch listeners synchronously, an
+        emitter that fires its completion event *before* recording the
+        invocation's spans gets full span trees for every exemplar.
         """
         self.observed += 1
         if rejected:
@@ -484,6 +636,21 @@ class FleetMonitor:
         counter.record(ts_ns, ok)
         if ok and latency_ns is not None:
             sketch.record(ts_ns, int(latency_ns))
+        if self.exemplars_enabled and trace_id is not None:
+            reservoir = self.exemplars.get(key)
+            if reservoir is None:
+                reservoir = self.exemplars[key] = ExemplarReservoir(
+                    self.window_ns, self.slices, k=self.exemplar_k)
+            if ok and latency_ns is not None:
+                retained = reservoir.record(ts_ns, int(latency_ns),
+                                            trace_id, sketch.lifetime)
+            elif not rejected:
+                retained = reservoir.note_failure(ts_ns, trace_id)
+            else:
+                retained = ()
+            if retained and self._hub is not None:
+                for tid in retained:
+                    self._hub.pin_trace(tid)
         states = self._key_states.get(key)
         if states is None:
             states = self._key_states[key] = [
@@ -539,6 +706,17 @@ class FleetMonitor:
 
     def active_alerts(self) -> List[Alert]:
         return [a for a in self.alerts if a.active]
+
+    def exemplars_for(self, key: FleetKey,
+                      now_ns: Optional[int] = None
+                      ) -> Optional[Dict[str, Any]]:
+        """Live-window exemplars for *key* (worst / median / failed), or
+        ``None`` when exemplars are disabled or the key is unseen."""
+        reservoir = self.exemplars.get(key)
+        if reservoir is None:
+            return None
+        return reservoir.snapshot(self.last_ts if now_ns is None
+                                  else now_ns)
 
     def quantile(self, key: FleetKey, q: float, now_ns: int) -> int:
         sketch = self.latency.get(key)

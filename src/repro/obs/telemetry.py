@@ -170,8 +170,9 @@ class Telemetry:
                  "series", "max_events", "max_spans", "ring",
                  "dropped_events", "dropped_spans", "records",
                  "events_seen", "spans_seen", "event_sample_every",
-                 "span_sample_every", "_series_cap", "_clock",
-                 "_clock_owner", "_next_span_id", "_listeners", "_ops")
+                 "span_sample_every", "pinned_traces", "timelines",
+                 "_series_cap", "_clock", "_clock_owner",
+                 "_next_span_id", "_listeners", "_ops")
 
     def __init__(self, max_events: int = 20_000,
                  series_cap: int = 512,
@@ -206,6 +207,17 @@ class Telemetry:
             raise ValueError("sample_every must be >= 1")
         self.event_sample_every = event_sample_every
         self.span_sample_every = span_sample_every
+        #: trace ids with full span retention: spans carrying one of
+        #: these ids bypass ``span_sample_every`` and the (non-ring)
+        #: ``max_spans`` cap.  ``spans_seen`` stays exact either way.
+        #: Fed by the fleet monitor's exemplar capture (worst-k /
+        #: median-band invocations) via :meth:`pin_trace`.
+        self.pinned_traces: set = set()
+        #: optional bounded resource-saturation series recorder
+        #: (:class:`repro.obs.timeline.TimelineRecorder`); ``None`` until
+        #: :meth:`enable_timelines` — the counter/gauge hot paths pay one
+        #: attribute check when disabled.
+        self.timelines = None
         self._series_cap = series_cap
         self._clock: Callable[[], int] = lambda: 0
         self._clock_owner: Optional[object] = None
@@ -245,10 +257,13 @@ class Telemetry:
         total = counters.get(key, 0) + int(value)
         counters[key] = total
         self.records += 1
+        ts = self._clock()
         series = self.series.get(key)
         if series is None:
             series = self.series[key] = _Series(self._series_cap)
-        series.add(self._clock(), total)
+        series.add(ts, total)
+        if self.timelines is not None:
+            self.timelines.record(key, ts, total)
 
     def gauge(self, machine: str, layer: str, name: str,
               value: int) -> None:
@@ -257,10 +272,13 @@ class Telemetry:
         value = int(value)
         self.gauges[key] = value
         self.records += 1
+        ts = self._clock()
         series = self.series.get(key)
         if series is None:
             series = self.series[key] = _Series(self._series_cap)
-        series.add(self._clock(), value)
+        series.add(ts, value)
+        if self.timelines is not None:
+            self.timelines.record(key, ts, value)
 
     def gauge_max(self, machine: str, layer: str, name: str,
                   value: int) -> None:
@@ -271,6 +289,8 @@ class Telemetry:
         if value > self.gauges.get(key, -(1 << 62)):
             self.gauges[key] = value
             self._sample(key, value)
+            if self.timelines is not None:
+                self.timelines.record(key, self._clock(), value)
 
     def observe(self, machine: str, layer: str, name: str,
                 value: int) -> None:
@@ -343,21 +363,58 @@ class Telemetry:
         self.spans_seen += 1
         if span_id is None:
             span_id = self.new_span_id()
-        if self.span_sample_every > 1 \
+        pinned = trace_id is not None and trace_id in self.pinned_traces
+        if not pinned and self.span_sample_every > 1 \
                 and (self.spans_seen - 1) % self.span_sample_every:
             return span_id
         if self.max_spans is not None \
                 and len(self.spans) >= self.max_spans:
-            self.dropped_spans += 1
-            if not self.ring:
+            if self.ring:
+                self.dropped_spans += 1
+                del self.spans[0]
+            elif not pinned:
+                # pinned exemplar spans bypass the drop-newest cap so
+                # retained traces stay complete
+                self.dropped_spans += 1
                 return span_id
-            del self.spans[0]
         self.spans.append({"machine": machine, "layer": layer,
                            "name": name, "start_ns": int(start_ns),
                            "end_ns": int(end_ns), "span_id": span_id,
                            "parent_id": parent_id, "trace_id": trace_id,
                            "attributes": attributes})
         return span_id
+
+    # -- exemplar pinning & saturation timelines ------------------------------
+
+    def pin_trace(self, trace_id: str) -> None:
+        """Retain every *future* span of *trace_id* regardless of
+        ``span_sample_every`` and the (non-ring) ``max_spans`` cap.
+
+        Pinning is storage-only: ``spans_seen`` stays the exact total and
+        no simulated state is touched, so pinning preserves the
+        bit-identical run contract.  Emitters that want complete exemplar
+        trees must record the pin-triggering event *before* the spans it
+        should retain (the fleet shard layer emits ``invocation.done``
+        first, then the invocation's spans).
+        """
+        self.pinned_traces.add(trace_id)
+
+    def enable_timelines(self, bucket_ns: int = 1_000_000,
+                         max_buckets: int = 256,
+                         max_series: int = 1024):
+        """Attach (or return) the resource-saturation timeline recorder.
+
+        Every subsequent counter/gauge update also lands in a bounded
+        :class:`~repro.obs.timeline.Timeline` keyed by the metric key —
+        the input of :mod:`repro.obs.triage`'s saturation correlation.
+        Idempotent; returns the recorder.
+        """
+        if self.timelines is None:
+            from repro.obs.timeline import TimelineRecorder
+            self.timelines = TimelineRecorder(bucket_ns=bucket_ns,
+                                              max_buckets=max_buckets,
+                                              max_series=max_series)
+        return self.timelines
 
     # -- deferred ops (substrate layers) -------------------------------------
 
@@ -526,6 +583,9 @@ class Telemetry:
         self.records = 0
         self.events_seen = 0
         self.spans_seen = 0
+        self.pinned_traces.clear()
+        if self.timelines is not None:
+            self.timelines.clear()
         self._ops.clear()
         self._next_span_id = 1
 

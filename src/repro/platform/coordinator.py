@@ -393,7 +393,8 @@ class WorkflowCoordinator:
                           transport=self.transport.name,
                           request_id=record.request_id,
                           latency_ns=self.engine.now - record.start_ns,
-                          error=type(err).__name__)
+                          error=type(err).__name__,
+                          trace_id=inv.trace_id)
             raise
         return record
 
@@ -429,6 +430,15 @@ class WorkflowCoordinator:
             hub.count("coordinator", "platform", "invocations.completed")
             hub.gauge("coordinator", "platform", "invocations.inflight",
                       self._inflight)
+            # event first: a monitor pinning this trace as an exemplar
+            # does so synchronously inside the dispatch, so the two
+            # completion spans below see the pin
+            hub.event("coordinator", "platform", "invocation.done",
+                      tenant=self.tenant, workflow=wf.name,
+                      transport=self.transport.name,
+                      request_id=record.request_id,
+                      latency_ns=record.latency_ns,
+                      trace_id=inv.trace_id)
             hub.span("coordinator", "workflow", wf.name,
                      record.start_ns, record.end_ns, span_id=inv.root_id,
                      trace_id=inv.trace_id,
@@ -440,11 +450,6 @@ class WorkflowCoordinator:
                      parent_id=inv.root_id, trace_id=inv.trace_id,
                      request_id=record.request_id, tenant=self.tenant,
                      functions=len(record.functions))
-            hub.event("coordinator", "platform", "invocation.done",
-                      tenant=self.tenant, workflow=wf.name,
-                      transport=self.transport.name,
-                      request_id=record.request_id,
-                      latency_ns=record.latency_ns)
         if len(sink_values) == 1:
             values = next(iter(sink_values.values()))
             record.result = values[0] if len(values) == 1 else values
