@@ -85,6 +85,10 @@ class RunConfig:
     n_shards: int = 4
     duration_s: float = 10.0
     smoke: bool = False
+    #: scale-up mechanism for fleet shards: ``"cold"``, ``"prewarm"`` or
+    #: ``"fork"`` (see :mod:`repro.fork`); None keeps the legacy model
+    #: and byte-identical fleet JSON
+    scale_up: Optional[str] = None
 
     def replace(self, **changes) -> "RunConfig":
         """A copy with *changes* applied (frozen dataclasses are
@@ -399,7 +403,7 @@ def run(workload: Union[str, RunConfig], _transport: Any = _UNSET,
 
 def run_fleet(spec=None, *, seed: int = 0, tenants=None,
               n_shards: int = 4, duration_s: float = 10.0,
-              smoke: bool = False,
+              smoke: bool = False, scale_up: Optional[str] = None,
               telemetry: Union[None, bool, "obs.Telemetry"] = None,
               monitor: Union[None, bool, "obs.FleetMonitor"] = None,
               **kwargs):
@@ -421,7 +425,7 @@ def run_fleet(spec=None, *, seed: int = 0, tenants=None,
 
     if isinstance(spec, RunConfig):
         cfg = spec
-        if tenants is not None or kwargs or smoke:
+        if tenants is not None or kwargs or smoke or scale_up:
             raise ValueError("pass either a RunConfig or assembly "
                              "kwargs, not both")
         seed = cfg.seed
@@ -429,19 +433,25 @@ def run_fleet(spec=None, *, seed: int = 0, tenants=None,
         n_shards = cfg.n_shards
         duration_s = cfg.duration_s
         smoke = cfg.smoke
+        scale_up = cfg.scale_up
         telemetry = cfg.telemetry
         monitor = cfg.monitor
         spec = None
     if spec is None:
+        if scale_up is not None:
+            from repro.fork import ScaleUpConfig
+            kwargs["scale_up"] = ScaleUpConfig.from_kind(scale_up)
         if smoke:
             spec = smoke_spec(seed=seed)
+            if "scale_up" in kwargs:
+                spec.scale_up = kwargs["scale_up"]
         else:
             if tenants is None:
                 tenants = default_tenants(8)
             spec = FleetSpec(tenants=tenants, seed=seed,
                              n_shards=n_shards, duration_s=duration_s,
                              **kwargs)
-    elif tenants is not None or kwargs or smoke:
+    elif tenants is not None or kwargs or smoke or scale_up:
         raise ValueError("pass either a FleetSpec or assembly kwargs, "
                          "not both")
     hub = _resolve_hub(telemetry)

@@ -20,8 +20,9 @@ returns a :class:`~repro.analysis.chaos.ChaosReport` whose fingerprint is
 a pure function of ``(workload, seed, schedule)``.
 """
 
-from repro.chaos.faults import (CoordinatorCrash, Fault, LatencySpike,
-                                LinkFlap, MachineCrash, OomKill, QpBreak)
+from repro.chaos.faults import (CoordinatorCrash, Fault, ForkSourceCrash,
+                                LatencySpike, LinkFlap, MachineCrash,
+                                OomKill, QpBreak)
 from repro.chaos.injector import FaultInjector
 from repro.chaos.policies import (RECOVERABLE_FAULTS, CircuitBreaker,
                                   ResiliencePolicy, RetryPolicy)
@@ -35,6 +36,7 @@ __all__ = [
     "QpBreak",
     "LatencySpike",
     "OomKill",
+    "ForkSourceCrash",
     "CoordinatorCrash",
     "FaultSchedule",
     "random_schedule",

@@ -94,6 +94,27 @@ class OomKill(Fault):
 
 
 @dataclass(frozen=True)
+class ForkSourceCrash(Fault):
+    """Crash the machine currently serving remote forks for
+    ``workflow/function`` (the lowest-slot usable
+    :class:`~repro.fork.source.ForkSource`).  Resolved to a concrete
+    machine *at injection time*, so the schedule stays valid however
+    placement shifted; forks in flight fall back to cold starts and the
+    source's kernel registration is reclaimed by the lease scanner.
+    No-ops when no usable source exists at that instant."""
+
+    workflow: str = ""
+    function: str = ""
+    restart_after_ns: Optional[int] = None
+
+    def describe(self) -> str:
+        restart = (f" restart+{self.restart_after_ns}"
+                   if self.restart_after_ns is not None else "")
+        return (f"{self.at_ns} fork-source-crash "
+                f"{self.workflow}/{self.function}{restart}")
+
+
+@dataclass(frozen=True)
 class CoordinatorCrash(Fault):
     """The workflow coordinator dies; a standby resumes from the durable
     invocation log after ``failover_ns``.  Control-plane actions stall in

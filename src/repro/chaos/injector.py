@@ -13,8 +13,9 @@ from __future__ import annotations
 import re
 from typing import Dict, Iterable, List, Optional
 
-from repro.chaos.faults import (CoordinatorCrash, Fault, LatencySpike,
-                                LinkFlap, MachineCrash, OomKill, QpBreak)
+from repro.chaos.faults import (CoordinatorCrash, Fault, ForkSourceCrash,
+                                LatencySpike, LinkFlap, MachineCrash,
+                                OomKill, QpBreak)
 
 
 def _snake(name: str) -> str:
@@ -93,6 +94,8 @@ class FaultInjector:
             self._latency_spike(fault)
         elif isinstance(fault, OomKill):
             self._oom_kill(fault)
+        elif isinstance(fault, ForkSourceCrash):
+            self._fork_source_crash(fault)
         elif isinstance(fault, CoordinatorCrash):
             self._coordinator_crash(fault)
         else:  # pragma: no cover - future fault types
@@ -172,6 +175,25 @@ class FaultInjector:
         victim = victims[0]
         self.scheduler.kill_container(victim, reason="oom-kill")
         self._note(f"oom-killed {victim.name}")
+
+    def _fork_source_crash(self, fault: ForkSourceCrash) -> None:
+        """Crash whichever machine is serving forks for the fault's
+        workflow/function right now — the targeted version of
+        :class:`MachineCrash` for the remote-fork path."""
+        manager = getattr(self.scheduler, "fork_manager", None) \
+            if self.scheduler is not None else None
+        if manager is None:
+            self._note("fork-source-crash no-op (fork path off)")
+            return
+        machine = manager.source_machine(fault.workflow, fault.function)
+        if machine is None:
+            self._note("fork-source-crash no-op (no usable source)")
+            return
+        self._note(f"fork source for {fault.workflow}/{fault.function} "
+                   f"is {machine.mac_addr}")
+        self._crash_machine(MachineCrash(
+            at_ns=fault.at_ns, machine=machine.mac_addr,
+            restart_after_ns=fault.restart_after_ns))
 
     def _coordinator_crash(self, fault: CoordinatorCrash) -> None:
         for coordinator in self.coordinators:

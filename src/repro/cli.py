@@ -281,6 +281,8 @@ _COMMANDS = {
              "sharded coordinators (--smoke for the CI config)",
     "triage": "run a fleet and rank root-cause evidence for every SLO "
               "alert (exemplar traces + saturation timelines)",
+    "fork-bench": "bursty-traffic comparison of cold-start vs prewarm "
+                  "vs remote-fork scale-up (p99 + resident frames)",
 }
 
 
@@ -372,6 +374,9 @@ def _fleet_spec(args):
         spec = FleetSpec(tenants=default_tenants(args.tenants),
                          seed=seed, n_shards=args.shards,
                          duration_s=args.duration)
+    if args.scale_up is not None:
+        from repro.fork import ScaleUpConfig
+        spec.scale_up = ScaleUpConfig.from_kind(args.scale_up)
     for item in args.fail_shard or ():
         sid, _, at_s = item.partition("@")
         if not sid or not at_s:
@@ -379,6 +384,29 @@ def _fleet_spec(args):
                 f"--fail-shard expects SHARD@SECONDS, got {item!r}")
         spec.shard_failures.append((float(at_s), sid))
     return spec
+
+
+def _fork_bench(args) -> int:
+    """Serve the same seeded bursty fleet under each scale-up
+    mechanism (cold / prewarm / remote-fork) and compare worst-tenant
+    p99 latency and resident memory footprint.  Deterministic: same
+    seed → byte-identical JSON."""
+    import json
+
+    from repro.fork.bench import fork_bench, render_bench
+
+    seed = args.seed if args.seed is not None else 0
+    report = fork_bench(seed=seed, duration_s=args.duration)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(render_bench(report))
+    return 0
 
 
 def _write_triage(result, path: str) -> None:
@@ -500,6 +528,11 @@ def main(argv=None) -> int:
                              "arrival shapes and workloads)")
     parser.add_argument("--duration", type=float, default=10.0,
                         help="fleet: simulated seconds of traffic")
+    parser.add_argument("--scale-up", choices=("cold", "prewarm", "fork"),
+                        default=None, dest="scale_up",
+                        help="fleet/triage: pod scale-up mechanism "
+                             "(default: legacy cold-start model with "
+                             "unchanged JSON schema)")
     parser.add_argument("--fail-shard", action="append", default=None,
                         metavar="SHARD@SECONDS",
                         help="fleet/triage: kill SHARD at the given "
@@ -543,6 +576,8 @@ def main(argv=None) -> int:
         return _fleet(args)
     if args.experiment == "triage":
         return _triage(args)
+    if args.experiment == "fork-bench":
+        return _fork_bench(args)
 
     hub = None
     if args.trace_out is not None or args.profile_out is not None:

@@ -106,6 +106,11 @@ class PlanningError(PlatformError):
     """The virtual-memory address planner could not produce a valid plan."""
 
 
+class ForkFailed(PlatformError):
+    """A remote fork could not complete (source gone, auth failed, or the
+    pull path died); the caller falls back to a cold start."""
+
+
 class WorkflowError(PlatformError):
     """Invalid workflow DAG or failed workflow execution."""
 

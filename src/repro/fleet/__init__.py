@@ -26,6 +26,7 @@ from repro.fleet.admission import (AdmissionController, REJECT_QUEUE_FULL,
                                    REJECT_RATE_LIMIT, REJECT_SHARD_DOWN,
                                    Rejection, TokenBucket)
 from repro.fleet.placement import HashRing
+from repro.fork.policy import ScaleUpConfig
 from repro.fleet.shard import (CoordinatorShard, ShardAutoscaler,
                                ShardedCoordinator)
 from repro.fleet.traffic import (ArrivalProcess, BurstyArrivals,
@@ -48,6 +49,7 @@ __all__ = [
     "REJECT_RATE_LIMIT",
     "REJECT_SHARD_DOWN",
     "Rejection",
+    "ScaleUpConfig",
     "ServiceProfile",
     "ShardAutoscaler",
     "ShardedCoordinator",

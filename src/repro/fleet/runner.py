@@ -35,6 +35,7 @@ from repro import obs
 from repro.api import BaseRunResult as _BaseRunResult
 from repro.fleet.admission import AdmissionController
 from repro.fleet.shard import ShardedCoordinator
+from repro.fork.policy import ScaleUpConfig
 from repro.fleet.traffic import TenantSpec, default_tenants
 from repro.obs.monitor import FleetMonitor, PercentileSketch
 from repro.sim.engine import Engine, Timeout
@@ -153,6 +154,11 @@ class FleetSpec:
     cold_start_ms: float = 50.0
     autoscale_interval_ms: float = 100.0
     profile: ServiceProfile = field(default_factory=ServiceProfile)
+    #: how shards add pods on scale-up (see :mod:`repro.fork`):
+    #: ``None`` keeps the legacy cold-start-only model AND the legacy
+    #: result JSON byte-for-byte — every scale-up key below is emitted
+    #: only when this knob is set
+    scale_up: Optional[ScaleUpConfig] = None
     #: ``(at_s, shard_id)`` chaos points: kill that shard at that instant
     shard_failures: List[Tuple[float, str]] = field(default_factory=list)
     slos: Optional[Sequence[Any]] = None  # default: obs.slo.DEFAULT_SLOS
@@ -174,7 +180,7 @@ class FleetSpec:
                    * self.duration_s)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "seed": self.seed,
             "duration_s": self.duration_s,
             "drain_s": self.drain_s,
@@ -191,6 +197,9 @@ class FleetSpec:
                                for at_s, sid in self.shard_failures],
             "tenants": [t.to_dict() for t in self.tenants],
         }
+        if self.scale_up is not None:
+            out["scale_up"] = self.scale_up.to_dict()
+        return out
 
 
 def smoke_spec(seed: int = 0, n_tenants: int = 3, n_shards: int = 2,
@@ -371,7 +380,8 @@ def run_fleet(spec: FleetSpec,
                 max_pods=spec.max_pods,
                 cold_start_ns=int(spec.cold_start_ms * 1e6),
                 autoscale_interval_ns=int(
-                    spec.autoscale_interval_ms * 1e6)).start()
+                    spec.autoscale_interval_ms * 1e6),
+                scale_up=spec.scale_up).start()
             end_ns = int(spec.duration_s * _SECOND_NS)
             for tenant in spec.tenants:
                 engine.spawn(
@@ -436,6 +446,19 @@ def _collect_result(spec: FleetSpec, coord: ShardedCoordinator,
                             - coord.failed),
         "observed": mon.observed,
     }
+    if spec.scale_up is not None:
+        shards = list(coord.shards.values())
+        starts: Dict[str, int] = {}
+        for shard in shards:
+            for mode, n in shard.starts.items():
+                starts[mode] = starts.get(mode, 0) + n
+        totals["starts"] = dict(sorted(starts.items()))
+        totals["frames"] = {
+            "resident": sum(s.resident_frames() for s in shards),
+            "peak": sum(s.peak_frames for s in shards),
+            "mean": round(sum(s.mean_frames(sim_end_ns)
+                              for s in shards), 2),
+        }
     events = hub.counter("sim", "sim.engine", "events.dispatched")
     invocations = coord.completed + coord.failed
     records = hub.records

@@ -35,6 +35,8 @@ from repro.errors import ShardUnavailable
 from repro.fleet.admission import (AdmissionController, REJECT_QUEUE_FULL,
                                    REJECT_SHARD_DOWN)
 from repro.fleet.placement import HashRing
+from repro.fork.policy import (SCALE_UP_COLD, SCALE_UP_FORK,
+                               SCALE_UP_PREWARM, ScaleUpConfig)
 from repro.obs.telemetry import current as _telemetry
 from repro.sim.engine import Engine, Event, Process, Timeout
 
@@ -60,7 +62,8 @@ class CoordinatorShard:
     """
 
     def __init__(self, engine: Engine, shard_id: str, pods: int = 2,
-                 queue_limit: int = 64):
+                 queue_limit: int = 64,
+                 scale_up: Optional[ScaleUpConfig] = None):
         if pods < 1:
             raise ValueError("a shard needs at least one pod")
         if queue_limit < 0:
@@ -69,6 +72,10 @@ class CoordinatorShard:
         self.shard_id = str(shard_id)
         self.pods = int(pods)
         self.queue_limit = int(queue_limit)
+        #: the scale-up mechanism model (see :mod:`repro.fork`);
+        #: ``None`` keeps the legacy cold-start-only accounting and
+        #: leaves every stats/JSON schema byte-identical
+        self.scale_up = scale_up
         self.alive = True
         self.inflight = 0
         self.queue: List[Event] = []
@@ -84,6 +91,18 @@ class CoordinatorShard:
         self._busy_ns = 0
         self._pods_ns = 0
         self._last_ns = engine.now
+        self._created_ns = engine.now
+        # how each live pod was started, LIFO (scale-down removes the
+        # newest pod first, so fork-backed surge pods leave first); the
+        # initial allocation is treated as cold-booted
+        self.pod_modes: List[str] = [SCALE_UP_COLD] * int(pods)
+        self.starts: Dict[str, int] = {SCALE_UP_COLD: 0,
+                                       SCALE_UP_PREWARM: 0,
+                                       SCALE_UP_FORK: 0}
+        # resident-frame integral (ns * frames) — only meaningful (and
+        # only accumulated) when a scale_up model prices pods
+        self._frames_ns = 0
+        self.peak_frames = self.resident_frames()
         # inflight invocation processes, interrupted on shard failure
         self._procs: List[Process] = []
 
@@ -94,7 +113,24 @@ class CoordinatorShard:
         if dt > 0:
             self._busy_ns += min(self.inflight, self.pods) * dt
             self._pods_ns += self.pods * dt
+            if self.scale_up is not None:
+                self._frames_ns += self.resident_frames() * dt
             self._last_ns = now_ns
+
+    def resident_frames(self) -> int:
+        """Frames currently pinned by this shard's pods: full footprint
+        for cold/prewarmed pods, the pulled working set for fork-backed
+        ones (they demand-page the rest from their source)."""
+        if self.scale_up is None:
+            return 0
+        return sum(self.scale_up.frames_for(m) for m in self.pod_modes)
+
+    def mean_frames(self, now_ns: int) -> float:
+        """Time-averaged resident frames since the shard was created."""
+        self._account(now_ns)
+        lifetime = now_ns - self._created_ns
+        return self._frames_ns / lifetime if lifetime > 0 else \
+            float(self.resident_frames())
 
     def utilization(self, now_ns: Optional[int] = None) -> float:
         """Busy pod-time over provisioned pod-time, exact in sim time."""
@@ -104,18 +140,41 @@ class CoordinatorShard:
 
     # -- capacity --------------------------------------------------------------
 
-    def set_pods(self, n: int, now_ns: int) -> None:
-        """Resize the pod pool (autoscaler hook); wakes waiters on grow."""
+    def set_pods(self, n: int, now_ns: int,
+                 mode: str = SCALE_UP_COLD) -> None:
+        """Resize the pod pool (autoscaler hook); wakes waiters on grow.
+
+        *mode* records how the added pods materialized (``cold``,
+        ``prewarm`` or ``fork``) for the start-split counters and the
+        resident-frame model; shrink always removes the newest pods
+        first, so transient fork-backed capacity is reclaimed before
+        long-lived cold-booted pods.
+        """
         n = max(1, int(n))
         if n == self.pods:
             return
         self._account(now_ns)
+        grew = n - self.pods
+        if grew > 0:
+            self.pod_modes.extend([mode] * grew)
+            self.starts[mode] = self.starts.get(mode, 0) + grew
+        else:
+            del self.pod_modes[n:]
         self.pods = n
         if n > self.peak_pods:
             self.peak_pods = n
+        frames = self.resident_frames()
+        if frames > self.peak_frames:
+            self.peak_frames = frames
         hub = _telemetry()
         if hub is not None:
             hub.gauge(self.shard_id, FLEET_LAYER, "pods.provisioned", n)
+            if self.scale_up is not None:
+                hub.gauge(self.shard_id, FLEET_LAYER,
+                          "frames.resident", frames)
+                if grew > 0 and mode == SCALE_UP_FORK:
+                    hub.count(self.shard_id, FLEET_LAYER,
+                              "pods.fork_starts", grew)
         self._wake(now_ns)
 
     # -- slot protocol ---------------------------------------------------------
@@ -198,7 +257,7 @@ class CoordinatorShard:
     # -- read-back -------------------------------------------------------------
 
     def stats(self, now_ns: Optional[int] = None) -> Dict[str, Any]:
-        return {
+        out = {
             "shard": self.shard_id,
             "alive": self.alive,
             "pods": self.pods,
@@ -213,6 +272,17 @@ class CoordinatorShard:
             "utilization": round(self.utilization(now_ns), 6),
             "died_ns": self.died_ns,
         }
+        if self.scale_up is not None:
+            # only under an explicit scale-up model: the legacy schema
+            # must stay byte-identical when the knob is off
+            at = self.engine.now if now_ns is None else now_ns
+            out["starts"] = dict(self.starts)
+            out["frames"] = {
+                "resident": self.resident_frames(),
+                "peak": self.peak_frames,
+                "mean": round(self.mean_frames(at), 2),
+            }
+        return out
 
 
 class ShardAutoscaler:
@@ -235,7 +305,8 @@ class ShardAutoscaler:
                  target_concurrency: float = 1.0, headroom: float = 1.2,
                  cold_start_ns: int = 50_000_000,
                  interval_ns: int = 100_000_000,
-                 idle_intervals: int = 3):
+                 idle_intervals: int = 3,
+                 scale_up: Optional[ScaleUpConfig] = None):
         if min_pods < 1 or max_pods < min_pods:
             raise ValueError("need 1 <= min_pods <= max_pods")
         if target_concurrency <= 0 or headroom <= 0:
@@ -250,6 +321,7 @@ class ShardAutoscaler:
         self.cold_start_ns = int(cold_start_ns)
         self.interval_ns = int(interval_ns)
         self.idle_intervals = int(idle_intervals)
+        self.scale_up = scale_up
         self.scale_ups = 0
         self.scale_downs = 0
         self.decisions = 0
@@ -257,7 +329,28 @@ class ShardAutoscaler:
         self._pending_up = 0  # highest target already booting
         self._proc: Optional[Process] = None
 
+    @property
+    def _static_pool(self) -> bool:
+        """Provisioned concurrency: the prewarm mechanism holds
+        ``max_pods`` from the start and never scales."""
+        return self.scale_up is not None \
+            and self.scale_up.kind == SCALE_UP_PREWARM
+
+    def _scale_up_delay_ns(self) -> int:
+        if self.scale_up is None:
+            return self.cold_start_ns
+        return self.scale_up.scale_up_delay_ns(self.cold_start_ns)
+
+    def _scale_up_mode(self) -> str:
+        if self.scale_up is None:
+            return SCALE_UP_COLD
+        return SCALE_UP_FORK if self.scale_up.kind == SCALE_UP_FORK \
+            else SCALE_UP_COLD
+
     def start(self) -> Process:
+        if self._static_pool and self.shard.pods < self.max_pods:
+            self.shard.set_pods(self.max_pods, self.engine.now,
+                                mode=SCALE_UP_PREWARM)
         self._proc = self.engine.spawn(
             self._loop(), name=f"autoscaler[{self.shard.shard_id}]")
         return self._proc
@@ -272,13 +365,15 @@ class ShardAutoscaler:
         if not self.shard.alive:
             return
         self.decisions += 1
+        if self._static_pool:
+            return  # provisioned concurrency: nothing to decide
         now = self.engine.now
         desired = self.desired_pods()
         if desired > self.shard.pods:
             self._want_down = 0
             if desired > self._pending_up:
                 self._pending_up = desired
-                self.engine.call_at(now + self.cold_start_ns,
+                self.engine.call_at(now + self._scale_up_delay_ns(),
                                     self._booted(desired))
         elif desired < self.shard.pods:
             self._want_down += 1
@@ -296,7 +391,8 @@ class ShardAutoscaler:
             if not self.shard.alive or target <= self.shard.pods:
                 return
             self.shard.set_pods(min(target, self.max_pods),
-                                self.engine.now)
+                                self.engine.now,
+                                mode=self._scale_up_mode())
             self.scale_ups += 1
             if self._pending_up <= self.shard.pods:
                 self._pending_up = 0
@@ -333,7 +429,8 @@ class ShardedCoordinator:
                  cold_start_ns: int = 50_000_000,
                  autoscale_interval_ns: int = 100_000_000,
                  vnodes: int = 64,
-                 shard_ids: Optional[Iterable[str]] = None):
+                 shard_ids: Optional[Iterable[str]] = None,
+                 scale_up: Optional[ScaleUpConfig] = None):
         if shard_ids is None:
             if n_shards < 1:
                 raise ValueError("need at least one shard")
@@ -343,11 +440,13 @@ class ShardedCoordinator:
         self.engine = engine
         self.ring = HashRing(shard_ids, vnodes=vnodes)
         self.queue_limit = int(queue_limit)
+        self.scale_up = scale_up
         self.admission = admission if admission is not None \
             else AdmissionController()
         self.shards: Dict[str, CoordinatorShard] = {
             sid: CoordinatorShard(engine, sid, pods=pods_per_shard,
-                                  queue_limit=queue_limit)
+                                  queue_limit=queue_limit,
+                                  scale_up=scale_up)
             for sid in shard_ids}
         self.autoscalers: Dict[str, ShardAutoscaler] = {}
         if autoscale:
@@ -355,7 +454,8 @@ class ShardedCoordinator:
                 self.autoscalers[sid] = ShardAutoscaler(
                     engine, shard, min_pods=min_pods, max_pods=max_pods,
                     cold_start_ns=cold_start_ns,
-                    interval_ns=autoscale_interval_ns)
+                    interval_ns=autoscale_interval_ns,
+                    scale_up=scale_up)
         self._started = False
         self.submitted = 0
         self.completed = 0

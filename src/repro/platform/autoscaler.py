@@ -32,13 +32,20 @@ class Autoscaler:
     def __init__(self, engine: Engine, scheduler: Scheduler,
                  workflow: Workflow, plan: VmPlan,
                  headroom: float = 1.1,
-                 idle_ttl_ns: int = seconds(5)):
+                 idle_ttl_ns: int = seconds(5),
+                 mechanism: str = "prewarm"):
+        if mechanism not in ("prewarm", "fork"):
+            raise ValueError(f"unknown scale-up mechanism {mechanism!r}")
         self.engine = engine
         self.scheduler = scheduler
         self.workflow = workflow
         self.plan = plan
         self.headroom = headroom
         self.idle_ttl_ns = idle_ttl_ns
+        #: how new capacity materializes: ``prewarm`` boots a full
+        #: container; ``fork`` remote-forks a running one when the
+        #: scheduler has a usable source (falling back to a boot)
+        self.mechanism = mechanism
         self._last_busy: Dict[str, int] = defaultdict(int)
         self.provisioned = 0
         self.scaled_down = 0
@@ -72,6 +79,7 @@ class Autoscaler:
             }
         return {
             "workflow": self.workflow.name,
+            "mechanism": self.mechanism,
             "headroom": self.headroom,
             "idle_ttl_ns": self.idle_ttl_ns,
             "provisioned": self.provisioned,
@@ -144,10 +152,30 @@ class Autoscaler:
             return False
         key = (self.workflow.name, spec.name, index)
         self.scheduler._per_machine_count[machine.mac_addr] += 1
-        container = Container(machine, spec,
-                              self.plan.slot(spec.name, index))
+        container = self._materialize(key, machine, spec, index)
         container.cached_since = self.engine.now
         self.scheduler._pool[key].append(container)
         self.scheduler._signal_capacity()
         self.provisioned += 1
         return True
+
+    def _materialize(self, key, machine, spec, index) -> Container:
+        """Build the new pod: a remote-forked child when the fork
+        mechanism is on and a same-slot source exists, else a full boot."""
+        slot = self.plan.slot(spec.name, index)
+        manager = self.scheduler.fork_manager
+        if self.mechanism == "fork" and manager is not None \
+                and manager.policy.allows_fork():
+            source = manager.source_for(key, self.scheduler._pool[key])
+            if source is not None:
+                from repro.errors import ForkFailed
+                from repro.fork.remote import remote_fork
+                try:
+                    child = remote_fork(source, machine, spec, slot,
+                                        policy=manager.policy)
+                except ForkFailed:
+                    pass
+                else:
+                    manager.prewarm_forks += 1
+                    return child
+        return Container(machine, spec, slot)

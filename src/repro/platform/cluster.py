@@ -119,8 +119,17 @@ class ServerlessPlatform:
         """Run one throwaway invocation so containers are warm (the paper
         pre-warms all functions to rule out cold-start interference)."""
         self.run_once(workflow_name, params)
-        self.scheduler.cold_starts = 0
-        self.scheduler.warm_starts = 0
+        self.scheduler.reset_starts()
+
+    def enable_fork(self, policy=None):
+        """Turn on remote-fork scale-up for the whole cluster (see
+        :mod:`repro.fork`); returns the scheduler's fork manager."""
+        return self.scheduler.enable_fork(policy)
+
+    def reset(self) -> None:
+        """Zero measurement state (start counters) without touching pods,
+        so an experiment can prewarm, reset, then measure."""
+        self.scheduler.reset_starts()
 
     # -- load generation (Fig 12) -----------------------------------------------------
 

@@ -39,8 +39,7 @@ class Container(Endpoint):
                              cost=cost)
         space.extra_resident_pages = spec.lib_bytes // PAGE_SIZE
         layout = SegmentLayout.within(slot.range)
-        for seg_name, rng in layout.all_segments():
-            space.map_vma(AnonymousVMA(rng, name=seg_name))
+        self._map_segments(machine, space, layout)
         machine.kernel.set_segment(space, layout)
         if spec.runtime == "java":
             from repro.runtime.java import JavaHeap
@@ -56,6 +55,14 @@ class Container(Endpoint):
         self.cached_since: Optional[int] = None
         self.invocations_served = 0
         self.failed_event = Event(f"{self.name}.failed")
+
+    def _map_segments(self, machine: Machine, space, layout) -> None:
+        """Back the planned segments with memory.  The base container
+        maps demand-zero anonymous VMAs; a forked child
+        (:class:`repro.fork.remote.ForkedContainer`) overrides this to
+        rmap its parent's registration at the same addresses instead."""
+        for seg_name, rng in layout.all_segments():
+            space.map_vma(AnonymousVMA(rng, name=seg_name))
 
     @property
     def name(self) -> str:

@@ -44,6 +44,22 @@ class Scheduler:
         self.listeners: List = []
         self.cold_starts = 0
         self.warm_starts = 0
+        self.fork_starts = 0
+        self.fork_fallbacks = 0
+        #: set by :meth:`enable_fork`; None means the fork path is off
+        self.fork_manager = None
+
+    def enable_fork(self, policy=None):
+        """Turn on the remote-fork scale-up path (see :mod:`repro.fork`).
+
+        With a manager installed, ``acquire`` tries to fork a running
+        same-slot container onto the placement machine before paying a
+        cold start.  Returns the :class:`~repro.fork.source.ForkManager`.
+        """
+        from repro.fork.source import ForkManager
+        if self.fork_manager is None or policy is not None:
+            self.fork_manager = ForkManager(policy)
+        return self.fork_manager
 
     def _notify(self, container: Container) -> None:
         for listener in self.listeners:
@@ -55,6 +71,10 @@ class Scheduler:
         hub.gauge_max("cluster", "platform", "pods.in_use.hw", in_use)
         hub.gauge("cluster", "platform", "pods.alive",
                   self.containers_alive())
+        if self.fork_manager is not None:
+            hub.gauge("cluster", "platform", "pods.fork_backed",
+                      self.fork_manager.fork_backed(
+                          self.pooled_containers()))
 
     # -- capacity accounting -----------------------------------------------------
 
@@ -96,8 +116,17 @@ class Scheduler:
             "utilization": round(self.utilization(), 6),
             "cold_starts": self.cold_starts,
             "warm_starts": self.warm_starts,
+            "fork_starts": self.fork_starts,
+            "fork_fallbacks": self.fork_fallbacks,
             "capacity_waiters": len(self._capacity_waiters),
         }
+
+    def reset_starts(self) -> None:
+        """Zero every start-mode counter (post-prewarm measurement reset)."""
+        self.cold_starts = 0
+        self.warm_starts = 0
+        self.fork_starts = 0
+        self.fork_fallbacks = 0
 
     def _least_loaded_machine(self) -> Optional[Machine]:
         best, best_count = None, None
@@ -138,12 +167,20 @@ class Scheduler:
             if machine is None:
                 self._evict_one_idle()
                 machine = self._least_loaded_machine()
-            if machine is not None:
-                break
-            # cluster full and busy: block until a release/destroy signals
-            waiter = Event("capacity-wait")
-            self._capacity_waiters.append(waiter)
-            yield waiter
+            if machine is None:
+                # cluster full and busy: block until a release signals
+                waiter = Event("capacity-wait")
+                self._capacity_waiters.append(waiter)
+                yield waiter
+                continue
+            if self.fork_manager is not None:
+                container = yield from self._fork_acquire(key, machine,
+                                                          spec, index, plan)
+                if container is not None:
+                    return container
+                if not machine.alive:
+                    continue  # placement target died mid-fork; re-place
+            break
         self.cold_starts += 1
         self._per_machine_count[machine.mac_addr] += 1
         yield Timeout(self.cost.container_coldstart_ns)
@@ -156,6 +193,70 @@ class Scheduler:
             hub.count("cluster", "platform", "pods.cold_starts")
             self._observe_pods(hub)
         return container
+
+    def _fork_acquire(self, key, machine: Machine, spec: FunctionSpec,
+                      index: int, plan: VmPlan):
+        """Sub-coroutine: try to remote-fork a same-slot child onto
+        *machine*; returns the ready container, or ``None`` to fall back
+        to a cold start (no usable source, policy off, or a machine died
+        inside the fork window).  Fallbacks are exactly-once: each failed
+        attempt bumps ``fork_fallbacks`` a single time and leaves no
+        partial pool/count state behind.
+        """
+        from repro.errors import ForkFailed
+        from repro.fork.remote import remote_fork
+        manager = self.fork_manager
+        if not manager.policy.allows_fork():
+            return None
+        source = manager.source_for(key, self._pool[key])
+        if source is None:
+            return None
+        # reserve the placement slot before yielding, like the cold path
+        self._per_machine_count[machine.mac_addr] += 1
+        incarnation = machine.incarnation
+        try:
+            child = remote_fork(source, machine, spec,
+                                plan.slot(spec.name, index),
+                                policy=manager.policy)
+        except ForkFailed:
+            self._per_machine_count[machine.mac_addr] -= 1
+            self.fork_fallbacks += 1
+            hub = _telemetry()
+            if hub is not None:
+                hub.count("cluster", "platform", "pods.fork_fallbacks")
+            return None
+        # the fork's exact cost (auth RPC + QP connect + PTE fetch +
+        # working-set pull) was charged to the child's ledger; make it
+        # the readiness latency
+        yield Timeout(child.space.ledger.total())
+        if not machine.alive or machine.incarnation != incarnation:
+            # target machine died mid-fork; machine_failed already zeroed
+            # its per-machine count, so don't decrement
+            child.mark_dead()
+            self.fork_fallbacks += 1
+            hub = _telemetry()
+            if hub is not None:
+                hub.count("cluster", "platform", "pods.fork_fallbacks")
+            return None
+        if not source.usable():
+            # source machine died mid-pull: the pages never arrived
+            child.destroy()
+            self._per_machine_count[machine.mac_addr] -= 1
+            self.fork_fallbacks += 1
+            hub = _telemetry()
+            if hub is not None:
+                hub.count("cluster", "platform", "pods.fork_fallbacks")
+            return None
+        self.fork_starts += 1
+        manager.forks += 1
+        self._pool[key].append(child)
+        child.acquire(self.engine.now)
+        self._notify(child)
+        hub = _telemetry()
+        if hub is not None:
+            hub.count("cluster", "platform", "pods.fork_starts")
+            self._observe_pods(hub)
+        return child
 
     def _signal_capacity(self) -> None:
         if self._capacity_waiters:
@@ -207,6 +308,8 @@ class Scheduler:
             if not self._pool[key]:
                 del self._pool[key]
         self._per_machine_count[machine.mac_addr] = 0
+        if self.fork_manager is not None:
+            self.fork_manager.machine_failed(machine)
         for _ in range(lost):
             self._signal_capacity()
         if lost:

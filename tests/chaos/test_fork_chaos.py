@@ -1,0 +1,172 @@
+"""Fork-path chaos: a fork-source crash mid-pull falls back to a cold
+start with exactly-once accounting, and the whole scenario replays
+byte-identically at a fixed schedule."""
+
+import json
+
+from repro.chaos.faults import ForkSourceCrash, MachineCrash
+from repro.chaos.injector import FaultInjector
+from repro.chaos.schedule import FaultSchedule
+from repro.fork import ForkedContainer
+from repro.kernel.machine import make_cluster
+from repro.platform.dag import FunctionSpec, Workflow
+from repro.platform.planner import plan_workflow
+from repro.platform.scheduler import Scheduler
+from repro.sim import Engine
+from repro.units import DEFAULT_COST_MODEL, MB, ms, seconds, us
+
+COLDSTART_NS = DEFAULT_COST_MODEL.container_coldstart_ns
+
+
+def noop(ctx):
+    return None
+
+
+def setup(n_machines=2):
+    engine = Engine()
+    _fabric, machines = make_cluster(engine, n_machines)
+    scheduler = Scheduler(engine, machines, DEFAULT_COST_MODEL,
+                          containers_per_machine=4,
+                          cache_ttl_ns=seconds(600))
+    scheduler.enable_fork()
+    wf = Workflow("wf")
+    wf.add_function(FunctionSpec("f", noop, width=8,
+                                 memory_budget=64 * MB))
+    plan = plan_workflow(wf)
+    injector = FaultInjector(engine, machines, scheduler=scheduler)
+    return engine, machines, scheduler, wf, plan, injector
+
+
+def crash_scenario(schedule):
+    """Cold-start one pod, then acquire the same slot again while it is
+    busy — a fork attempt whose pull window the schedule crashes into.
+    Returns everything a replay needs to compare byte-for-byte."""
+    engine, machines, scheduler, wf, plan, injector = setup()
+    injector.arm(schedule)
+    got = {}
+
+    def proc():
+        got["c1"] = yield from scheduler.acquire("wf", wf.spec("f"),
+                                                 0, plan)
+        got["c2"] = yield from scheduler.acquire("wf", wf.spec("f"),
+                                                 0, plan)
+
+    engine.run_process(proc())
+    return engine, machines, scheduler, injector, got
+
+
+# the second acquire begins the instant the cold boot finishes, so its
+# fork window is [COLDSTART_NS, COLDSTART_NS + fork ledger); a fault a
+# microsecond in lands mid-pull
+MID_PULL_NS = COLDSTART_NS + us(1)
+
+
+class TestForkSourceCrash:
+    def test_mid_pull_crash_falls_back_to_cold_start_exactly_once(self):
+        schedule = FaultSchedule([
+            ForkSourceCrash(at_ns=MID_PULL_NS, workflow="wf",
+                            function="f")])
+        engine, machines, scheduler, injector, got = \
+            crash_scenario(schedule)
+        # the source machine (which hosted c1) is down; the fork was
+        # abandoned and the acquire paid a fresh cold start instead
+        assert not got["c1"].machine.alive
+        assert not isinstance(got["c2"], ForkedContainer)
+        assert got["c2"].machine.alive
+        assert scheduler.fork_starts == 0
+        assert scheduler.fork_fallbacks == 1  # exactly once
+        assert scheduler.cold_starts == 2
+        assert engine.now >= 2 * COLDSTART_NS
+        # the dead child's frames were torn down on the survivor
+        survivor = got["c2"].machine
+        assert scheduler._per_machine_count[survivor.mac_addr] == 1
+        assert any("fork source for wf/f" in line
+                   for line in injector.trace)
+        del machines
+
+    def test_target_machine_crash_mid_fork_replaces_cleanly(self):
+        engine, machines, scheduler, wf, plan, injector = setup()
+        # crash the *fork target* (the least-loaded peer of the source)
+        injector.arm(FaultSchedule([
+            MachineCrash(at_ns=MID_PULL_NS, machine="mac1")]))
+        got = {}
+
+        def proc():
+            got["c1"] = yield from scheduler.acquire("wf", wf.spec("f"),
+                                                     0, plan)
+            got["c2"] = yield from scheduler.acquire("wf", wf.spec("f"),
+                                                     0, plan)
+
+        engine.run_process(proc())
+        assert scheduler.fork_fallbacks == 1
+        assert got["c2"].machine.mac_addr == "mac0"  # re-placed
+        # the dead target's slot accounting was wiped, not decremented
+        assert scheduler._per_machine_count["mac1"] == 0
+
+    def test_crash_then_restart_restores_the_fork_path(self):
+        schedule = FaultSchedule([
+            ForkSourceCrash(at_ns=MID_PULL_NS, workflow="wf",
+                            function="f", restart_after_ns=ms(1))])
+        engine, machines, scheduler, _injector, got = \
+            crash_scenario(schedule)
+        assert scheduler.fork_fallbacks == 1
+
+        # with the fallback pod live again, a third acquire re-adopts a
+        # source from the pool and forks as usual
+        wf = Workflow("wf")
+        wf.add_function(FunctionSpec("f", noop, width=8,
+                                     memory_budget=64 * MB))
+        plan = plan_workflow(wf)
+
+        def proc():
+            got["c3"] = yield from scheduler.acquire("wf", wf.spec("f"),
+                                                     0, plan)
+
+        engine.run_process(proc())
+        assert isinstance(got["c3"], ForkedContainer)
+        assert scheduler.fork_starts == 1
+        del machines
+
+    def test_noop_when_fork_path_off_or_no_source(self):
+        engine = Engine()
+        _fabric, machines = make_cluster(engine, 2)
+        scheduler = Scheduler(engine, machines, DEFAULT_COST_MODEL)
+        injector = FaultInjector(engine, machines, scheduler=scheduler)
+        injector.arm(FaultSchedule([
+            ForkSourceCrash(at_ns=us(1), workflow="wf", function="f")]))
+        engine.run(until=us(10))
+        assert any("fork path off" in line for line in injector.trace)
+        assert all(m.alive for m in machines)
+
+        scheduler.enable_fork()
+        injector.arm(FaultSchedule([
+            ForkSourceCrash(at_ns=us(20), workflow="wf", function="f")]))
+        engine.run(until=us(30))
+        assert any("no usable source" in line for line in injector.trace)
+        assert all(m.alive for m in machines)
+
+    def test_describe_is_canonical(self):
+        fault = ForkSourceCrash(at_ns=7, workflow="wf", function="f",
+                                restart_after_ns=3)
+        assert fault.describe() == "7 fork-source-crash wf/f restart+3"
+        assert "restart" not in ForkSourceCrash(
+            at_ns=7, workflow="wf", function="f").describe()
+
+
+class TestForkChaosReplay:
+    def test_crash_scenario_replays_byte_identically(self):
+        def run_once():
+            schedule = FaultSchedule([
+                ForkSourceCrash(at_ns=MID_PULL_NS, workflow="wf",
+                                function="f")])
+            engine, _machines, scheduler, injector, got = \
+                crash_scenario(schedule)
+            return json.dumps({
+                "now": engine.now,
+                "stats": scheduler.stats(),
+                "injected": injector.injected,
+                "trace": injector.trace,
+                "pods": sorted(c.name for c in got.values()),
+            }, sort_keys=True)
+
+        assert run_once() == run_once()

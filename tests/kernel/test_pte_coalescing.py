@@ -1,0 +1,72 @@
+"""PteSource coalescing: a sequential fault burst batches adjacent
+region fetches into one RPC; random access still pays one region each."""
+
+
+from repro.bench.microbench import make_pair
+from repro.kernel.kernel import PT_ONDEMAND
+from repro.kernel.remote_pager import REGION_PAGES
+from repro.units import PAGE_SIZE
+
+REGION_BYTES = REGION_PAGES * PAGE_SIZE
+
+
+def ondemand_pair(fid="co", key=7):
+    engine, producer, consumer = make_pair()
+    producer.heap.box(1)  # one resident page; the rest zero-fills
+    meta = producer.kernel.register_mem(producer.space, fid, key)
+    handle = consumer.kernel.rmap(consumer.space, meta.mac_addr, fid, key,
+                                  page_table_mode=PT_ONDEMAND)
+    base = producer.heap.range.start
+
+    def touch(region):  # fault one page in the region-th region past base
+        consumer.space.read(base + region * REGION_BYTES, 1)
+
+    return engine, handle.vma.pte_source, touch
+
+
+def test_sequential_burst_coalesces_into_one_rpc():
+    _e, src, touch = ondemand_pair()
+    touch(0)
+    assert (src.fetches, src.regions_fetched) == (1, 1)
+    # the second consecutive-region miss speculates a whole span ahead
+    touch(1)
+    assert src.fetches == 2
+    assert src.regions_fetched == 1 + src.span_regions
+    # ...so walking the rest of the span costs zero further RPCs
+    for region in range(2, 1 + src.span_regions):
+        touch(region)
+    assert src.fetches == 2
+
+
+def test_random_access_still_one_region_per_fault():
+    _e, src, touch = ondemand_pair()
+    for region in (0, 5, 2):  # never two adjacent regions in a row
+        touch(region)
+    assert src.fetches == 3
+    assert src.regions_fetched == 3
+
+
+def test_speculative_span_clips_at_fetched_regions():
+    _e, src, touch = ondemand_pair()
+    touch(0)   # span 1
+    touch(4)   # non-adjacent: span 1
+    touch(1)   # non-adjacent (last was 4): span 1
+    touch(2)   # adjacent to 1: speculate, but region 4 is already here
+    assert src.fetches == 4
+    assert src.regions_fetched == 5  # 0, 4, 1, then the {2, 3} span
+    touch(3)   # covered by the clipped span
+    assert src.fetches == 4
+
+
+def test_coalescing_charges_less_than_per_region_rpcs():
+    """The satellite's point: a burst over N adjacent regions costs far
+    fewer RPC round-trips than N, so the on-demand mode stays cheap even
+    when a fork child walks its parent's heap."""
+    _e1, batched, touch1 = ondemand_pair(fid="seq")
+    for region in range(10):
+        touch1(region)
+    _e2, scattered, touch2 = ondemand_pair(fid="rnd")
+    for region in (0, 2, 4, 6, 8, 10, 12, 14, 16, 18):
+        touch2(region)
+    assert batched.fetches < scattered.fetches
+    assert batched.regions_fetched >= 10  # everything still arrived
