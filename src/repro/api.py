@@ -76,6 +76,9 @@ class RunConfig:
     monitor: Union[None, bool, "obs.FleetMonitor"] = None
     #: collect the causal span profile (implies a telemetry hub)
     profile: bool = False
+    #: track page-provenance lineage (implies a telemetry hub); the
+    #: report comes back via ``RunResult.lineage()``
+    lineage: bool = False
     params: Optional[Dict[str, Any]] = None
     n_machines: int = 10
     prewarm: bool = True
@@ -128,8 +131,15 @@ class BaseRunResult:
         loadable by inferno / flamegraph.pl / speedscope).  Merges every
         causal trace the hub holds."""
         hub = self._require_telemetry()
+        tids = obs.trace_ids(hub)
+        if not tids:
+            # don't write an empty flamegraph silently when span
+            # sampling (not absence of telemetry) dropped the traces
+            hint = obs.sampling_diagnostic(hub)
+            if hint is not None:
+                raise ValueError(hint)
         merged: Dict[Tuple[str, ...], int] = {}
-        for tid in obs.trace_ids(hub):
+        for tid in tids:
             folded = obs.folded_stacks(obs.build_span_tree(hub,
                                                            trace_id=tid))
             for stack, ns in obs.parse_folded(folded).items():
@@ -160,6 +170,20 @@ class BaseRunResult:
                 "no monitor observed this run; pass monitor=True (or "
                 "use run_fleet, which always attaches one)")
         return obs.triage_report(hub, monitor, specs=specs)
+
+    def lineage(self) -> Dict[str, Any]:
+        """The run's page-provenance lineage report (see
+        :meth:`repro.obs.lineage.LineageTracker.report`): per-edge byte
+        movement, transfer amplification, prefetch waste, duplicate
+        pulls and per-object attribution.  Requires the run to have
+        tracked lineage (``lineage=True`` on the façade)."""
+        hub = self._require_telemetry()
+        if hub.lineage is None:
+            raise ValueError(
+                "lineage was not tracked for this run; pass lineage=True "
+                "to the façade (or call hub.enable_lineage() before the "
+                "run)")
+        return hub.lineage.report()
 
 
 @dataclass
@@ -280,7 +304,7 @@ def run(workload: Union[str, RunConfig], _transport: Any = _UNSET,
         chaos: Optional[Dict[str, Any]] = None,
         telemetry: Union[None, bool, "obs.Telemetry"] = None,
         monitor: Union[None, bool, "obs.FleetMonitor"] = None,
-        profile: bool = False,
+        profile: bool = False, lineage: bool = False,
         params: Optional[Dict[str, Any]] = None,
         n_machines: int = 10, prewarm: bool = True,
         transport_opts: Optional[Dict[str, Any]] = None) -> RunResult:
@@ -317,6 +341,12 @@ def run(workload: Union[str, RunConfig], _transport: Any = _UNSET,
     burn-rate alerts come back on ``RunResult.monitor``.  The monitor is
     a listener on the hub — like the hub itself it never perturbs
     simulated time.
+
+    ``lineage=True`` tracks page-provenance lineage for every state
+    transfer (implies telemetry): which bytes moved, over which
+    transport, for which object, and how many were wasted.  The report
+    comes back via ``RunResult.lineage()``.  Lineage is a pure observer
+    like the hub: the run is bit-identical with it on or off.
     """
     from repro.bench.figures_workflow import (_light_params,
                                               workflow_configs)
@@ -337,11 +367,12 @@ def run(workload: Union[str, RunConfig], _transport: Any = _UNSET,
         telemetry = cfg.telemetry
         monitor = cfg.monitor
         profile = cfg.profile
+        lineage = cfg.lineage
         params = cfg.params
         n_machines = cfg.n_machines
         prewarm = cfg.prewarm
         transport_opts = cfg.transport_opts
-    if profile and (telemetry is None or telemetry is False):
+    if (profile or lineage) and (telemetry is None or telemetry is False):
         telemetry = True
 
     configs = workflow_configs(scale)
@@ -357,6 +388,8 @@ def run(workload: Union[str, RunConfig], _transport: Any = _UNSET,
     mon = _resolve_monitor(monitor)
     if mon is not None and hub is None:
         hub = obs.Telemetry()
+    if lineage:
+        hub.enable_lineage()
     if mon is not None:
         mon.attach(hub)
     try:
@@ -406,7 +439,7 @@ def run_fleet(spec=None, *, seed: int = 0, tenants=None,
               smoke: bool = False, scale_up: Optional[str] = None,
               telemetry: Union[None, bool, "obs.Telemetry"] = None,
               monitor: Union[None, bool, "obs.FleetMonitor"] = None,
-              **kwargs):
+              lineage: bool = False, **kwargs):
     """Run a multi-tenant fleet simulation and return a
     :class:`~repro.fleet.runner.FleetResult`.
 
@@ -436,6 +469,7 @@ def run_fleet(spec=None, *, seed: int = 0, tenants=None,
         scale_up = cfg.scale_up
         telemetry = cfg.telemetry
         monitor = cfg.monitor
+        lineage = cfg.lineage
         spec = None
     if spec is None:
         if scale_up is not None:
@@ -456,6 +490,13 @@ def run_fleet(spec=None, *, seed: int = 0, tenants=None,
                          "not both")
     hub = _resolve_hub(telemetry)
     mon = _resolve_monitor(monitor)
+    if lineage:
+        if hub is None:
+            # let the runner build the hub with the spec's sampling /
+            # timeline knobs and enable lineage on it
+            spec = dataclasses.replace(spec, lineage=True)
+        else:
+            hub.enable_lineage()
     return _run_fleet(spec, hub=hub, monitor=mon)
 
 

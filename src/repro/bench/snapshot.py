@@ -39,13 +39,20 @@ from typing import Any, Dict, List, Optional, Sequence
 #: holding the ``*_per_sec`` rate leaves inside a generous band
 #: (:data:`repro.bench.regression.WALL_TOLERANCE`), so a wall-clock
 #: collapse fails CI instead of hiding in an "informational" section.
-SCHEMA_VERSION = 4
+#: v5 adds per-cell ``lineage`` leaves from the page-provenance tracker
+#: (:mod:`repro.obs.lineage`): bytes moved / touched, transfer
+#: amplification, prefetch waste and duplicate pulls — all byte-exact
+#: functions of ``(code, seed, scale)``, held by the gate in both
+#: directions (a silent change in how many bytes a transport moves is a
+#: regression even when the nanoseconds stay put).
+SCHEMA_VERSION = 5
 
 #: Versions :func:`load_snapshot` accepts; v2 snapshots lack the
-#: ``wall`` section and v3 lacks its per-subsystem subsections — absent
-#: leaves surface as "new" findings (not failures), so older baselines
-#: stay comparable against v4 candidates.
-SUPPORTED_VERSIONS = (2, 3, 4)
+#: ``wall`` section, v3 lacks its per-subsystem subsections and v4
+#: lacks the ``lineage`` cells — absent leaves surface as "new"
+#: findings (not failures), so older baselines stay comparable against
+#: v5 candidates.
+SUPPORTED_VERSIONS = (2, 3, 4, 5)
 
 #: The fixed operating point snapshots are taken at (CI uses exactly this).
 DEFAULT_SEED = 0
@@ -105,6 +112,18 @@ def _span_percentiles(root) -> Dict[str, int]:
             "p99_ns": sketch.quantile(0.99)}
 
 
+def _lineage_summary(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The comparable totals of a lineage report (v5 cell leaves)."""
+    totals = report["totals"]
+    return {
+        "bytes_moved": totals["bytes_moved"],
+        "bytes_touched": totals["bytes_touched"],
+        "amplification": totals["amplification"],
+        "prefetch_waste_bytes": totals["prefetch_waste_bytes"],
+        "duplicate_pulls": totals["duplicate_pulls"],
+    }
+
+
 def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
             workloads: Optional[Sequence[str]] = None,
             transports: Optional[Sequence[str]] = None) -> Dict[str, Any]:
@@ -125,7 +144,7 @@ def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
         row: Dict[str, Any] = {}
         for transport in transports:
             result = run(workload, transport=transport, seed=seed, scale=scale,
-                         telemetry=True)
+                         telemetry=True, lineage=True)
             hub = result.telemetry
             wall_events += hub.counter("sim", "sim.engine",
                                        "events.dispatched")
@@ -143,6 +162,7 @@ def collect(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
                     result.critical_path()),
                 "span_percentiles": _span_percentiles(
                     result.span_tree()),
+                "lineage": _lineage_summary(result.lineage()),
             }
         matrix[workload] = row
 

@@ -283,6 +283,10 @@ _COMMANDS = {
               "alert (exemplar traces + saturation timelines)",
     "fork-bench": "bursty-traffic comparison of cold-start vs prewarm "
                   "vs remote-fork scale-up (p99 + resident frames)",
+    "lineage": "page-provenance lineage report per transport: bytes "
+               "moved vs touched, amplification, prefetch waste",
+    "export": "run one invocation with telemetry and export the hub "
+              "(--prom for OpenMetrics text)",
 }
 
 
@@ -473,6 +477,85 @@ def _triage(args) -> int:
     return 0
 
 
+#: transports the ``lineage`` command compares when none are given —
+#: the paper's hero (rmmap) against the serializing baselines.
+_LINEAGE_TRANSPORTS = ("rmmap", "messaging", "storage-rdma")
+
+
+def _lineage(args) -> int:
+    """Run one workload per transport with page-provenance lineage and
+    report bytes moved vs touched, transfer amplification, prefetch
+    waste and duplicate pulls.  Deterministic: same seed + scale →
+    byte-identical JSON."""
+    import json
+
+    from repro.api import run
+
+    workload = args.workload[0] if args.workload else "wordcount"
+    transports = list(args.transport or _LINEAGE_TRANSPORTS)
+    seed = args.seed if args.seed is not None else 0
+    scale = args.scale if args.scale is not None else \
+        float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    reports = {}
+    for name in transports:
+        result = run(workload, transport=name, seed=seed, scale=scale,
+                     lineage=True)
+        reports[name] = result.lineage()
+    payload = {"workload": workload, "seed": seed, "scale": scale,
+               "transports": reports}
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        from repro.analysis.report import Table
+
+        table = Table(
+            f"lineage: {workload} seed={seed} scale={scale:g}",
+            ["transport", "moved", "touched", "amplification",
+             "prefetch waste", "dup pulls"])
+        for name in transports:
+            totals = reports[name]["totals"]
+            amp = totals["amplification"]
+            table.add_row(
+                name, totals["bytes_moved"], totals["bytes_touched"],
+                "n/a" if amp is None else f"{amp:.4f}",
+                totals["prefetch_waste_bytes"],
+                totals["duplicate_pulls"])
+        print(table.render())
+    return 0
+
+
+def _export(args) -> int:
+    """Run one invocation with telemetry and export the hub's metrics.
+
+    ``--prom`` writes the counters / gauges / log-binned histograms as
+    OpenMetrics (Prometheus) text to ``--out`` (or stdout)."""
+    from repro import obs
+    from repro.api import run
+
+    if not args.prom:
+        raise SystemExit("export: pass --prom (the only export format "
+                         "so far); Chrome traces come from --trace-out "
+                         "on any experiment")
+    workload = args.workload[0] if args.workload else "wordcount"
+    transport = (args.transport[0] if args.transport else "rmmap")
+    seed = args.seed if args.seed is not None else 0
+    result = run(workload, transport=transport, seed=seed,
+                 telemetry=True)
+    text = obs.to_prom_text(result.telemetry)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -542,6 +625,15 @@ def main(argv=None) -> int:
                         help="fleet/triage: write the triage report as "
                              "JSON to PATH and rendered text to "
                              "PATH.txt")
+    parser.add_argument("--transport", action="append", default=None,
+                        help="lineage/export: transport name "
+                             "(repeatable for lineage; default compares "
+                             "rmmap, messaging, storage-rdma)")
+    parser.add_argument("--prom", action="store_true",
+                        help="export: emit OpenMetrics (Prometheus) "
+                             "text")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="export: output path (default: stdout)")
     args = parser.parse_args(argv)
 
     if args.scale is not None:
@@ -578,6 +670,10 @@ def main(argv=None) -> int:
         return _triage(args)
     if args.experiment == "fork-bench":
         return _fork_bench(args)
+    if args.experiment == "lineage":
+        return _lineage(args)
+    if args.experiment == "export":
+        return _export(args)
 
     hub = None
     if args.trace_out is not None or args.profile_out is not None:

@@ -173,6 +173,8 @@ class FleetSpec:
     exemplar_k: int = 3
     #: record bounded resource-saturation timelines on the hub
     timelines: bool = True
+    #: track page-provenance lineage (repro.obs.lineage) on the hub
+    lineage: bool = False
 
     def expected_invocations(self) -> int:
         """Rough offered load: sum of mean rates times the horizon."""
@@ -356,6 +358,8 @@ def run_fleet(spec: FleetSpec,
         hub = obs.Telemetry(span_sample_every=spec.span_sample_every)
         if spec.timelines:
             hub.enable_timelines()
+    if spec.lineage and hub.lineage is None:
+        hub.enable_lineage()
     mon = monitor if monitor is not None else FleetMonitor(
         slos=spec.slos, exemplars=spec.exemplars,
         exemplar_k=spec.exemplar_k)

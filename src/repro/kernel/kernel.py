@@ -160,6 +160,9 @@ class Kernel:
                 self._observe_registry(hub)
                 hub.count(self.machine.mac_addr, "kernel",
                           "pages.registered", len(snapshot))
+                if hub.lineage is not None:
+                    hub.lineage.registered(fid, space.name, len(snapshot),
+                                           rng.start, rng.end)
             return VmMeta(mac_addr=self.machine.mac_addr, fid=fid, key=key,
                           vm_start=rng.start, vm_end=rng.end,
                           pages_registered=len(snapshot))
@@ -254,6 +257,8 @@ class Kernel:
                           pages_registered=len(snapshot))
             if hub is not None:
                 self._observe_syscall(hub, "rmap", space.ledger, before_ns)
+                if hub.lineage is not None:
+                    hub.lineage.bound(fid, space.name, rng.start, rng.end)
             return RmapHandle(self, space, vma, meta)
         finally:
             if frame is not None:

@@ -21,6 +21,7 @@ from repro.mem.layout import AddressRange, page_number
 from repro.mem.pagetable import PTE, PTE_COW, PTE_PRESENT
 from repro.mem.vma import VMA
 from repro.net.rdma import QueuePair, ReadRequest
+from repro.obs.lineage import current_lineage as _lineage
 from repro.units import PAGE_SIZE, transfer_time_ns
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -137,22 +138,53 @@ class RemoteVMA(VMA):
     def handle_fault(self, space: "AddressSpace", vpn: int,
                      write: bool) -> PTE:
         space.ledger.charge(space.cost.page_fault_ns, "remote-fault")
+        lin = _lineage()
+        pte0, regions0 = self._pte_marks(lin)
+        fallback0 = self.fallback_faults
         remote_pfn = self._ensure_pte(vpn)
         if remote_pfn is None:
             # never materialized at the producer: demand-zero locally
             self.zero_fill_faults += 1
             frame = space.physical.allocate()
+            if lin is not None:
+                lin.page_pulled(self.name, space.name, vpn, "zero_fill", 0)
         elif self.qp is None:
             # same machine: share the producer's frame directly (CoW)
             self.remote_faults += 1
             frame = space.physical.get(remote_pfn)
+            if lin is not None:
+                lin.page_pulled(self.name, space.name, vpn, "shared", 0)
         else:
             self.remote_faults += 1
             self.pages_fetched += 1
             data = self._fetch_page(space, remote_pfn)
             frame = space.physical.allocate()
             frame.data[:] = data
+            if lin is not None:
+                lin.page_pulled(self.name, space.name, vpn, "demand",
+                                PAGE_SIZE,
+                                rpc=self._went_rpc(fallback0))
+        self._pte_delta(lin, space, pte0, regions0)
         return space.page_table.map(vpn, frame.pfn, PTE_PRESENT | PTE_COW)
+
+    # --- lineage helpers (pure observers; no ledger charges) ------------------
+
+    def _pte_marks(self, lin) -> tuple:
+        if lin is None or self.pte_source is None:
+            return 0, 0
+        return self.pte_source.fetches, self.pte_source.regions_fetched
+
+    def _pte_delta(self, lin, space: "AddressSpace", pte0: int,
+                   regions0: int) -> None:
+        if lin is None or self.pte_source is None:
+            return
+        lin.pte_fetched(self.name, space.name,
+                        self.pte_source.fetches - pte0,
+                        self.pte_source.regions_fetched - regions0)
+
+    def _went_rpc(self, fallback0: int) -> bool:
+        return (self.fetch_mode != FETCH_RDMA
+                or self.fallback_faults > fallback0)
 
     def _fetch_page(self, space: "AddressSpace", remote_pfn: int) -> bytes:
         if self.fetch_mode == FETCH_RDMA:
@@ -203,6 +235,9 @@ class RemoteVMA(VMA):
         skipped; addresses outside the mapping raise
         :class:`SegmentationFault` (the producer sent a bogus page list).
         """
+        lin = _lineage()
+        pte0, regions0 = self._pte_marks(lin)
+        fallback0 = self.fallback_faults
         wanted: List[int] = []
         seen = set()
         for vaddr in vaddrs:
@@ -216,6 +251,7 @@ class RemoteVMA(VMA):
                 continue
             if self._ensure_pte(vpn) is not None:
                 wanted.append(vpn)
+        self._pte_delta(lin, space, pte0, regions0)
         if not wanted:
             return 0
         if self.qp is None:
@@ -224,6 +260,8 @@ class RemoteVMA(VMA):
                 frame = space.physical.get(self.snapshot[vpn])
                 space.page_table.map(vpn, frame.pfn,
                                      PTE_PRESENT | PTE_COW)
+                if lin is not None:
+                    lin.page_pulled(self.name, space.name, vpn, "shared", 0)
             return len(wanted)
         try:
             if self.fetch_mode == FETCH_RDMA and doorbell:
@@ -250,6 +288,11 @@ class RemoteVMA(VMA):
             frame.data[:] = data
             space.page_table.map(vpn, frame.pfn, PTE_PRESENT | PTE_COW)
         self.pages_fetched += len(wanted)
+        if lin is not None:
+            rpc = self._went_rpc(fallback0)
+            for vpn in wanted:
+                lin.page_pulled(self.name, space.name, vpn, "prefetch",
+                                PAGE_SIZE, rpc=rpc)
         return len(wanted)
 
     def prefetch_all(self, space: "AddressSpace") -> int:

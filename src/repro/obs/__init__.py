@@ -26,12 +26,16 @@ from repro.obs.telemetry import (Histogram, MetricKey, Telemetry,
                                  WALL_PREFIX, capture, current, install,
                                  uninstall)
 from repro.obs.export import (to_chrome_trace, to_chrome_trace_json,
-                              to_csv, to_json, write_chrome_trace,
-                              write_csv, write_json)
+                              to_csv, to_json, to_prom_text,
+                              write_chrome_trace, write_csv, write_json,
+                              write_prom)
+from repro.obs.lineage import (LINEAGE_SCHEMA, LineageTracker,
+                               current_lineage)
 from repro.obs.profile import (PathSegment, SpanNode, attribute,
                                build_span_tree, critical_path,
                                critical_path_report, folded_stacks,
-                               parse_folded, render_report, trace_ids)
+                               parse_folded, render_report,
+                               sampling_diagnostic, trace_ids)
 from repro.obs.rollup import (TRANSFER_LAYER, rollup_ledger,
                               rollup_record)
 from repro.obs.monitor import (Alert, ExemplarReservoir, FleetMonitor,
@@ -59,9 +63,14 @@ __all__ = [
     "to_chrome_trace_json",
     "to_csv",
     "to_json",
+    "to_prom_text",
     "write_chrome_trace",
     "write_csv",
     "write_json",
+    "write_prom",
+    "LINEAGE_SCHEMA",
+    "LineageTracker",
+    "current_lineage",
     "TRANSFER_LAYER",
     "rollup_ledger",
     "rollup_record",
@@ -74,6 +83,7 @@ __all__ = [
     "folded_stacks",
     "parse_folded",
     "render_report",
+    "sampling_diagnostic",
     "trace_ids",
     "Alert",
     "ExemplarReservoir",

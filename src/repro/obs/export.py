@@ -1,4 +1,4 @@
-"""Telemetry exporters: JSON, CSV and Chrome trace-event format.
+"""Telemetry exporters: JSON, CSV, Prometheus text and Chrome traces.
 
 The Chrome export targets the `trace-event format
 <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
@@ -20,6 +20,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import re
 from typing import Any, Dict, List, Optional
 
 from repro.obs.telemetry import Telemetry, WALL_PREFIX
@@ -72,6 +73,80 @@ def write_csv(hub: Telemetry, path: str,
               deterministic: bool = False) -> None:
     with open(path, "w", encoding="utf-8", newline="") as fh:
         fh.write(to_csv(hub, deterministic=deterministic))
+
+
+# -- Prometheus / OpenMetrics text ---------------------------------------------
+
+#: Prometheus metric names allow ``[a-zA-Z0-9_:]`` only.
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(layer: str, name: str, suffix: str = "") -> str:
+    """``repro_<layer>_<name><suffix>`` with invalid characters folded
+    to ``_`` (dots and dashes in hub names become underscores)."""
+    metric = _PROM_INVALID.sub("_", f"repro_{layer}_{name}{suffix}")
+    if metric[0].isdigit():
+        metric = "_" + metric
+    return metric
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def to_prom_text(hub: Telemetry, deterministic: bool = True) -> str:
+    """The hub's counters, gauges and histograms in the Prometheus /
+    OpenMetrics text exposition format.
+
+    Hub counters become ``<name>_total`` counter samples, gauges map
+    one-to-one, and log2-binned histograms become cumulative
+    ``_bucket{le=...}`` series (bucket bounds are the histogram's bin
+    upper bounds) plus ``_sum``/``_count``.  Machines become a
+    ``machine`` label and the hub layer a ``layer`` label, so one scrape
+    carries the whole simulated cluster.  ``deterministic=True``
+    (default) drops host wall-clock (``wall.``) metrics, making the text
+    a pure function of the seeded run.  Ends with the OpenMetrics
+    ``# EOF`` terminator.
+    """
+    groups: Dict[tuple, List[tuple]] = {}
+    for kind, (machine, layer, name), value in hub.iter_metrics():
+        if deterministic and name.startswith(WALL_PREFIX):
+            continue
+        groups.setdefault((layer, name, kind), []).append((machine, value))
+    lines: List[str] = []
+    for layer, name, kind in sorted(groups):
+        rows = sorted(groups[(layer, name, kind)], key=lambda r: r[0])
+        family = _prom_name(layer, name)
+        lines.append(f"# TYPE {family} {kind}")
+        for machine, value in rows:
+            labels = (f'machine="{_prom_label_value(machine)}",'
+                      f'layer="{_prom_label_value(layer)}"')
+            if kind == "counter":
+                lines.append(f"{family}_total{{{labels}}} {value}")
+            elif kind == "gauge":
+                lines.append(f"{family}{{{labels}}} {value}")
+            else:
+                cumulative = 0
+                for b in sorted(value.bins):
+                    cumulative += value.bins[b]
+                    le = value.bin_bounds(b)[1]
+                    lines.append(
+                        f'{family}_bucket{{{labels},le="{le}"}} '
+                        f"{cumulative}")
+                lines.append(f'{family}_bucket{{{labels},le="+Inf"}} '
+                             f"{value.count}")
+                lines.append(f"{family}_sum{{{labels}}} {value.sum}")
+                lines.append(f"{family}_count{{{labels}}} {value.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_prom(hub: Telemetry, path: str,
+               deterministic: bool = True) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_prom_text(hub, deterministic=deterministic))
 
 
 # -- Chrome trace-event format -------------------------------------------------

@@ -171,7 +171,7 @@ class Telemetry:
                  "dropped_events", "dropped_spans", "records",
                  "events_seen", "spans_seen", "event_sample_every",
                  "span_sample_every", "pinned_traces", "timelines",
-                 "_series_cap", "_clock", "_clock_owner",
+                 "lineage", "_series_cap", "_clock", "_clock_owner",
                  "_next_span_id", "_listeners", "_ops")
 
     def __init__(self, max_events: int = 20_000,
@@ -218,6 +218,11 @@ class Telemetry:
         #: :meth:`enable_timelines` — the counter/gauge hot paths pay one
         #: attribute check when disabled.
         self.timelines = None
+        #: optional page-provenance tracker
+        #: (:class:`repro.obs.lineage.LineageTracker`); ``None`` until
+        #: :meth:`enable_lineage` — instrumentation sites pay one
+        #: attribute check when disabled.
+        self.lineage = None
         self._series_cap = series_cap
         self._clock: Callable[[], int] = lambda: 0
         self._clock_owner: Optional[object] = None
@@ -416,6 +421,20 @@ class Telemetry:
                                               max_series=max_series)
         return self.timelines
 
+    def enable_lineage(self):
+        """Attach (or return) the page-provenance lineage tracker.
+
+        Every subsequent state transfer is tracked page by page —
+        registration, remote mapping, pulls, CoW divergence, consumer
+        access — feeding :meth:`repro.obs.lineage.LineageTracker.report`.
+        Idempotent; returns the tracker.  Pure observer: enabling lineage
+        never perturbs the simulation.
+        """
+        if self.lineage is None:
+            from repro.obs.lineage import LineageTracker
+            self.lineage = LineageTracker(hub=self)
+        return self.lineage
+
     # -- deferred ops (substrate layers) -------------------------------------
 
     def _op_state(self, ledger) -> Dict[str, Any]:
@@ -586,6 +605,8 @@ class Telemetry:
         self.pinned_traces.clear()
         if self.timelines is not None:
             self.timelines.clear()
+        if self.lineage is not None:
+            self.lineage.clear()
         self._ops.clear()
         self._next_span_id = 1
 

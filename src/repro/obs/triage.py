@@ -13,6 +13,10 @@ an :class:`AlertContext` over the alert window:
 * **saturation** — which resource timelines
   (:mod:`repro.obs.timeline`) crossed their saturation threshold inside
   the window, per :class:`SaturationSpec`;
+* **lineage** — when the run tracked page provenance
+  (:mod:`repro.obs.lineage`), transfer edges active inside the window
+  whose moved bytes were partly prefetch waste, ranked by waste
+  fraction;
 * **critical path & diff** — the slowest exemplar's bottleneck ranking
   (:func:`repro.obs.profile.critical_path_report`) and its span-tree
   diff against the median exemplar
@@ -32,7 +36,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.diff import diff_traces
 from repro.obs.monitor import Alert, FleetMonitor
-from repro.obs.profile import build_span_tree, critical_path_report
+from repro.obs.profile import (build_span_tree, critical_path_report,
+                               sampling_diagnostic)
 from repro.obs.telemetry import Telemetry
 
 TRIAGE_SCHEMA_VERSION = 1
@@ -110,6 +115,7 @@ class AlertContext:
     exemplars: Optional[Dict[str, Any]] = None
     faults: List[Dict[str, Any]] = field(default_factory=list)
     saturation: List[Dict[str, Any]] = field(default_factory=list)
+    lineage: List[Dict[str, Any]] = field(default_factory=list)
     critical_path: Optional[Dict[str, Any]] = None
     diff: Optional[Dict[str, Any]] = None
     #: the unified ranking: every fault / saturation / exemplar signal
@@ -124,6 +130,7 @@ class AlertContext:
             "exemplars": self.exemplars,
             "faults": self.faults,
             "saturation": self.saturation,
+            "lineage": self.lineage,
             "critical_path": self.critical_path,
             "diff": self.diff,
             "evidence": self.evidence,
@@ -242,6 +249,45 @@ def _saturation_scan(hub: Telemetry, specs: Sequence[SaturationSpec],
     return findings
 
 
+# -- lineage correlation -------------------------------------------------------
+
+
+def _lineage_scan(hub: Telemetry, t0_ns: int,
+                  t1_ns: int) -> List[Dict[str, Any]]:
+    """Transfer edges active inside the alert window whose moved bytes
+    were partly prefetch waste, worst waste fraction first.
+
+    Only available when the run tracked lineage
+    (:meth:`~repro.obs.telemetry.Telemetry.enable_lineage`); returns
+    ``[]`` otherwise — triage never *requires* lineage.
+    """
+    if hub.lineage is None:
+        return []
+    findings: List[Dict[str, Any]] = []
+    report = hub.lineage.report()
+    for key, edge in report["edges"].items():
+        window = edge.get("window") or {}
+        first, last = window.get("first_ns"), window.get("last_ns")
+        if first is None or last is None:
+            continue
+        if last < t0_ns or first > t1_ns:
+            continue
+        moved = edge.get("bytes_moved", 0)
+        waste = edge.get("prefetch_waste", {}).get("bytes", 0)
+        if moved <= 0 or waste <= 0:
+            continue
+        findings.append({
+            "edge": key,
+            "transport": edge["transport"],
+            "bytes_moved": moved,
+            "prefetch_waste_bytes": waste,
+            "waste_fraction": round(waste / moved, 6),
+            "amplification": edge.get("amplification"),
+        })
+    findings.sort(key=lambda f: (-f["waste_fraction"], f["edge"]))
+    return findings
+
+
 # -- per-alert assembly --------------------------------------------------------
 
 
@@ -255,8 +301,15 @@ def _exemplar_analysis(hub: Telemetry,
     worst_tid = exemplars["worst"][0]["trace_id"]
     try:
         report = critical_path_report(hub, worst_tid)
-    except ValueError:  # trace not retained (e.g. pinned too late)
-        return None, None
+    except ValueError:
+        # if span sampling dropped the exemplar's tree, say so instead
+        # of silently producing a report with no exemplar evidence
+        hint = sampling_diagnostic(hub, worst_tid)
+        if hint is not None:
+            raise ValueError(
+                f"triage cannot analyze the worst exemplar: {hint}"
+            ) from None
+        return None, None  # trace genuinely absent (pinned too late)
     diff = None
     median = exemplars.get("median")
     if median is not None and median["trace_id"] != worst_tid:
@@ -285,6 +338,16 @@ def _rank_evidence(ctx: AlertContext) -> List[Dict[str, Any]]:
             "machine": finding["machine"],
             "name": f"{finding['layer']}/{finding['name']}",
             "label": finding["label"], "detail": finding,
+        })
+    for finding in ctx.lineage:
+        evidence.append({
+            "kind": "lineage", "severity": finding["waste_fraction"],
+            "machine": finding["transport"],
+            "name": finding["edge"],
+            "label": (f"{finding['waste_fraction'] * 100:.1f}% of "
+                      f"transferred bytes were prefetch waste on edge "
+                      f"{finding['edge'].split('@', 1)[0]}"),
+            "detail": finding,
         })
     if ctx.critical_path and ctx.critical_path["bottlenecks"]:
         top = ctx.critical_path["bottlenecks"][0]
@@ -328,6 +391,7 @@ def triage_alert(hub: Telemetry, monitor: FleetMonitor, alert: Alert,
     ctx.exemplars = monitor.exemplars_for(alert.key, now_ns=t1)
     ctx.faults = _fault_scan(hub, t0, t1)
     ctx.saturation = _saturation_scan(hub, specs, t0, t1)
+    ctx.lineage = _lineage_scan(hub, t0, t1)
     ctx.critical_path, ctx.diff = _exemplar_analysis(hub, ctx.exemplars)
     ctx.evidence = _rank_evidence(ctx)
     return ctx

@@ -22,6 +22,7 @@ from repro.errors import (AuthenticationFailed, ContainerKilled,
                           ReproError, WorkflowError)
 from repro.kernel.remote_pager import FETCH_RPC
 from repro.net.rpc import RpcError
+from repro.obs.lineage import current_lineage as _lineage
 from repro.obs.telemetry import current as _telemetry
 from repro.platform.container import STATE_DEAD, Container
 from repro.platform.dag import Edge, FunctionSpec, Workflow
@@ -683,10 +684,21 @@ class WorkflowCoordinator:
                                      f"{token.transport}.receive",
                                      container.ledger,
                                      producer=edge.producer)
+            lin = _lineage()
+            prev_edge = None
+            if lin is not None:
+                # ambient DAG-edge context: every page pull / logical
+                # transfer inside this receive attributes to this edge
+                prev_edge = lin.set_edge(
+                    f"{edge.producer}->{edge.consumer}", token.transport)
             try:
                 handle = transport.receive(container, token)
                 value = handle.load()
             except Exception as err:
+                if lin is not None:
+                    # restore before any yield: other coroutines may run
+                    # their own receives while this retry sleeps
+                    lin.restore_edge(prev_edge)
                 if frame is not None:
                     # the failed attempt's ops die with it; the ledger is
                     # drained below without a commit
@@ -734,6 +746,8 @@ class WorkflowCoordinator:
                     container, policy.retry.delay_ns(attempt, policy.rng))
                 yield from self._control_barrier()
                 continue
+            if lin is not None:
+                lin.restore_edge(prev_edge)
             if frame is not None:
                 hub.op_end(frame, container.ledger)
             if policy is not None and producer_mac is not None:

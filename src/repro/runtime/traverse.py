@@ -15,7 +15,7 @@ dataframe column blocks are covered at per-block cost (the paper's
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -27,11 +27,20 @@ from repro.units import PAGE_SIZE
 
 
 class TraversalResult:
-    """Pages (and traversal-step count) covering one state."""
+    """Pages (and traversal-step count) covering one state.
 
-    def __init__(self, page_addrs: List[int], object_count: int):
+    ``objects`` maps lower-cased TypeTag names to ``[count, bytes]`` for
+    the objects the walk visited; element runs a block iterator covered
+    without visiting appear under the pseudo-tag ``"packed"``.  The map
+    is a free by-product of the walk (no extra reads, no extra charges)
+    and feeds lineage's per-object byte attribution.
+    """
+
+    def __init__(self, page_addrs: List[int], object_count: int,
+                 objects: Optional[Dict[str, List[int]]] = None):
         self.page_addrs = page_addrs
         self.object_count = object_count
+        self.objects = objects if objects is not None else {}
 
     @property
     def page_count(self) -> int:
@@ -96,6 +105,7 @@ class ObjectTraverser:
         cost = heap.cost
         pages: Set[int] = set()
         seen: Set[int] = set()
+        objects: Dict[str, List[int]] = {}
         steps = 0
         charge = 0
         stack = [(root, False)]
@@ -112,6 +122,9 @@ class ObjectTraverser:
                     return None
                 tag, _flags, size = heap.header_of(addr)
                 self._add_span(pages, addr, HEADER_SIZE + size)
+                slot = objects.setdefault(tag.name.lower(), [0, 0])
+                slot[0] += 1
+                slot[1] += HEADER_SIZE + size
                 if is_column and tag == TypeTag.LIST:
                     # typed column: internal block iterator covers the
                     # whole element run at per-block cost
@@ -121,6 +134,9 @@ class ObjectTraverser:
                     if block is not None:
                         base, nbytes = block
                         self._add_span(pages, base, nbytes)
+                        run = objects.setdefault("packed", [0, 0])
+                        run[0] += len(ptrs)
+                        run[1] += nbytes
                         charge += cost.traverse_per_block_ns
                         continue
                     stack.extend((p, False) for p in ptrs)
@@ -139,7 +155,7 @@ class ObjectTraverser:
             heap.ledger.charge(charge, "traverse")
             return None
         heap.ledger.charge(charge, "traverse")
-        return TraversalResult(sorted(pages), steps)
+        return TraversalResult(sorted(pages), steps, objects)
 
 
 def pages_of_state(heap: ManagedHeap, root: int,

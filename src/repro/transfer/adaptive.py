@@ -6,6 +6,11 @@ int.  Because RMMAP coexists with messaging, the runtime can pick per state:
 small/simple objects go through messaging, everything else through RMMAP.
 The decision uses runtime semantics (type tag + payload size) — no
 developer involvement.
+
+Lineage attribution needs no hooks here: the delegated transports report
+under their own names (tokens carry the inner transport), so an adaptive
+run's lineage report splits its bytes between ``messaging`` and
+``rmmap``/``rmmap-prefetch`` edges.
 """
 
 from __future__ import annotations

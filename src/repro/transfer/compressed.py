@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import zlib
 
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime.serializer import SerializedState, Serializer
 from repro.transfer.base import (Endpoint, StateHandle, StateTransport,
                                  TransferToken, TransportError)
@@ -50,10 +51,22 @@ class CompressedMessagingTransport(StateTransport):
         cost = consumer.heap.cost
         inflated = int(token.wire_bytes
                        * (1.0 + cost.messaging_per_byte_overhead))
-        consumer.ledger.charge(
-            cost.messaging_hops * cost.messaging_hop_ns
-            + transfer_time_ns(inflated, cost.messaging_bandwidth_gbps),
-            "messaging")
+        deliver_ns = (cost.messaging_hops * cost.messaging_hop_ns
+                      + transfer_time_ns(inflated,
+                                         cost.messaging_bandwidth_gbps))
+        consumer.ledger.charge(deliver_ns, "messaging")
+        hub = _telemetry()
+        if hub is not None:
+            hub.op(consumer.machine.mac_addr, "net.msg",
+                   "messaging-compressed.deliver", consumer.ledger,
+                   deliver_ns, bytes=inflated, hops=cost.messaging_hops)
+            hub.count(consumer.machine.mac_addr, "net.msg", "bytes",
+                      inflated)
+            if hub.lineage is not None:
+                hub.lineage.logical_transfer(
+                    token.transport, moved=inflated,
+                    payload=token.extra.get("raw_bytes", token.wire_bytes),
+                    objects=token.object_count)
         try:
             raw = zlib.decompress(token.payload)
         except zlib.error as err:

@@ -57,5 +57,12 @@ class MessagingTransport(StateTransport):
                 hub.op(consumer.machine.mac_addr, "net.msg",
                        "messaging.deliver", consumer.ledger, hops + wire,
                        bytes=inflated, hops=cost.messaging_hops)
+                hub.count(consumer.machine.mac_addr, "net.msg", "bytes",
+                          inflated)
+                if hub.lineage is not None:
+                    hub.lineage.logical_transfer(
+                        token.transport, moved=inflated,
+                        payload=token.wire_bytes,
+                        objects=token.object_count)
         root = self._serializer.deserialize(consumer.heap, token.payload)
         return StateHandle(consumer.heap, root)

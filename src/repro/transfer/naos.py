@@ -15,6 +15,7 @@ differs from pickle-style transports.
 
 from __future__ import annotations
 
+from repro.obs.telemetry import current as _telemetry
 from repro.runtime.serializer import Serializer
 from repro.transfer.base import (Endpoint, StateHandle, StateTransport,
                                  TransferToken)
@@ -23,7 +24,11 @@ from repro.units import transfer_time_ns
 
 class _CostlessLedger:
     """Absorbs the serializer's pickle-profile charges; Naos charges its
-    own fix-up profile instead."""
+    own fix-up profile instead.  Looks enough like a ledger for the
+    telemetry hub's deferred-op bookkeeping (``pending``); the ops it
+    accumulates are discarded by the caller."""
+
+    pending = 0
 
     def charge(self, _ns: int, _category: str = "") -> None:
         return
@@ -37,14 +42,25 @@ class NaosTransport(StateTransport):
     def __init__(self):
         self._serializer = Serializer()
 
+    @staticmethod
+    def _discard_costless_ops(costless: _CostlessLedger) -> None:
+        """Drop hub ops recorded against the throwaway ledger before it
+        is garbage collected (an ``id()``-keyed leak would let a later
+        real ledger inherit its frames)."""
+        hub = _telemetry()
+        if hub is not None:
+            hub.discard_ops(costless)
+
     def send(self, producer: Endpoint, root_addr: int) -> TransferToken:
         heap = producer.heap
         real_ledger = heap.space.ledger
-        heap.space.ledger = _CostlessLedger()  # suppress pickle-profile cost
+        costless = _CostlessLedger()
+        heap.space.ledger = costless  # suppress pickle-profile cost
         try:
             state = self._serializer.serialize(heap, root_addr)
         finally:
             heap.space.ledger = real_ledger
+            self._discard_costless_ops(costless)
         cost = heap.cost
         # sender-side traversal + reference rewriting, one per sub-object
         producer.ledger.charge(
@@ -60,16 +76,29 @@ class NaosTransport(StateTransport):
         cost = heap.cost
         state = token.payload
         # one-sided RDMA of the object segments: base latency + wire time
-        consumer.ledger.charge(
-            cost.rdma_base_latency_ns
-            + transfer_time_ns(state.nbytes, cost.rdma_bandwidth_gbps),
-            "rdma-write")
+        write_ns = (cost.rdma_base_latency_ns
+                    + transfer_time_ns(state.nbytes,
+                                       cost.rdma_bandwidth_gbps))
+        consumer.ledger.charge(write_ns, "rdma-write")
+        hub = _telemetry()
+        if hub is not None:
+            hub.op(consumer.machine.mac_addr, "net.rdma", "naos.write",
+                   consumer.ledger, write_ns, bytes=state.nbytes,
+                   objects=state.object_count)
+            hub.count(consumer.machine.mac_addr, "net.rdma", "bytes",
+                      state.nbytes)
+            if hub.lineage is not None:
+                hub.lineage.logical_transfer(
+                    token.transport, moved=state.nbytes,
+                    payload=state.nbytes, objects=state.object_count)
         real_ledger = heap.space.ledger
-        heap.space.ledger = _CostlessLedger()
+        costless = _CostlessLedger()
+        heap.space.ledger = costless
         try:
             root = self._serializer.deserialize(heap, state)
         finally:
             heap.space.ledger = real_ledger
+            self._discard_costless_ops(costless)
         # receiver-side allocation + pointer patching, one per sub-object
         consumer.ledger.charge(
             state.object_count * (cost.naos_fixup_per_object_ns

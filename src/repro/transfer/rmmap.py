@@ -14,6 +14,7 @@ import itertools
 from typing import Optional
 
 from repro.kernel.remote_pager import FETCH_RDMA
+from repro.obs.lineage import current_lineage as _lineage
 from repro.runtime.proxy import RemoteRoot
 from repro.runtime.traverse import ObjectTraverser
 from repro.sim.ledger import Ledger
@@ -63,6 +64,7 @@ class RmmapTransport(StateTransport):
     def send(self, producer: Endpoint, root_addr: int) -> TransferToken:
         fid = f"rmmap-{next(self._fid_counter)}"
         key = (hash(fid) ^ 0x5EED) & 0xFFFFFFFF
+        lin = _lineage()
         page_addrs = None
         object_count = 0
         if self.prefetch:
@@ -72,14 +74,19 @@ class RmmapTransport(StateTransport):
             if result is not None:
                 page_addrs = result.page_addrs
                 object_count = result.object_count
+                if lin is not None:
+                    lin.attach_objects(fid, result.objects)
         meta = producer.kernel.register_mem(
             producer.space, fid, key, mode=self.registration_mode)
+        # only metadata travels: meta + root ptr (+ page list)
+        wire_bytes = 64 + (8 * len(page_addrs) if page_addrs else 0)
+        if lin is not None:
+            lin.sent(fid, self.name, wire_bytes)
         return TransferToken(
             transport=self.name,
             payload=meta,
             root_addr=root_addr,
-            # only metadata travels: meta + root ptr (+ page list)
-            wire_bytes=64 + (8 * len(page_addrs) if page_addrs else 0),
+            wire_bytes=wire_bytes,
             object_count=object_count,
             extra={"page_addrs": page_addrs, "fid": fid, "key": key},
         )

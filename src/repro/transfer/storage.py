@@ -59,6 +59,10 @@ class StorageTransport(StateTransport):
                 hub.op(producer.machine.mac_addr, "net.storage",
                        f"{self.name}.put", producer.ledger, ns,
                        bytes=state.nbytes, key=key)
+                hub.count(producer.machine.mac_addr, "net.storage",
+                          "bytes", state.nbytes)
+                if hub.lineage is not None:
+                    hub.lineage.storage_put(self.name, key, state.nbytes)
         return TransferToken(transport=self.name, payload=key,
                              wire_bytes=state.nbytes,
                              object_count=state.object_count)
@@ -80,6 +84,11 @@ class StorageTransport(StateTransport):
                 hub.op(consumer.machine.mac_addr, "net.storage",
                        f"{self.name}.get", consumer.ledger, ns,
                        bytes=state.nbytes, key=token.payload)
+                hub.count(consumer.machine.mac_addr, "net.storage",
+                          "bytes", state.nbytes)
+                if hub.lineage is not None:
+                    hub.lineage.storage_get(self.name, token.payload,
+                                            state.nbytes)
         root = self._serializer.deserialize(consumer.heap, state)
         return StateHandle(consumer.heap, root)
 

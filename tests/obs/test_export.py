@@ -3,13 +3,15 @@
 import csv
 import io
 import json
+import re
 
 import pytest
 
 from repro.analysis.tracing import Tracer
 from repro.bench.microbench import make_pair, measure_transfer
-from repro.obs import (Telemetry, capture, to_chrome_trace,
-                       to_chrome_trace_json, to_csv, to_json)
+from repro.obs import (Telemetry, WALL_PREFIX, capture, to_chrome_trace,
+                       to_chrome_trace_json, to_csv, to_json,
+                       to_prom_text, write_prom)
 from repro.transfer import get_transport
 from repro.workloads.data import make_trades
 
@@ -95,3 +97,78 @@ def test_chrome_trace_has_process_metadata(instrumented_transfer):
     proc_names = {e["args"]["name"] for e in trace["traceEvents"]
                   if e["ph"] == "M" and e["name"] == "process_name"}
     assert any(name.startswith("mac") for name in proc_names)
+
+
+# -- Prometheus / OpenMetrics text ---------------------------------------------
+
+
+_PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def test_prom_text_well_formed(instrumented_transfer):
+    hub, _ = instrumented_transfer
+    text = to_prom_text(hub)
+    assert text.endswith("# EOF\n")
+    families = set()
+    for line in text.splitlines():
+        if line.startswith("# TYPE"):
+            _, _, family, kind = line.split()
+            assert kind in ("counter", "gauge", "histogram")
+            assert family not in families  # one TYPE line per family
+            assert _PROM_NAME.match(family)
+            families.add(family)
+        elif line and not line.startswith("#"):
+            assert _PROM_NAME.match(line.split("{", 1)[0])
+    assert any(f.startswith("repro_kernel") for f in families)
+
+
+def test_prom_counter_samples_carry_total_suffix_and_labels(
+        instrumented_transfer):
+    hub, _ = instrumented_transfer
+    text = to_prom_text(hub)
+    samples = [ln for ln in text.splitlines()
+               if ln.startswith("repro_net_rdma_bytes_total{")]
+    assert samples
+    for line in samples:
+        assert 'layer="net.rdma"' in line
+        assert 'machine="' in line
+
+
+def test_prom_name_and_label_sanitization():
+    hub = Telemetry()
+    hub.count('shard "a"\nb\\c', "net.rdma", "bytes-sent.9total", 5)
+    text = to_prom_text(hub)
+    # dots / dashes fold to underscores, digits survive mid-name
+    assert "repro_net_rdma_bytes_sent_9total_total{" in text
+    # quote, newline and backslash escaped per the exposition format
+    assert r'machine="shard \"a\"\nb\\c"' in text
+
+
+def test_prom_histogram_buckets_are_cumulative():
+    hub = Telemetry()
+    for value in (1, 2, 3, 100, 5000):
+        hub.observe("m0", "net.rdma", "lat", value)
+    text = to_prom_text(hub)
+    buckets = [ln for ln in text.splitlines()
+               if ln.startswith("repro_net_rdma_lat_bucket")]
+    counts = [int(ln.rsplit(" ", 1)[1]) for ln in buckets]
+    assert counts == sorted(counts)
+    assert counts[-1] == 5
+    assert 'le="+Inf"' in buckets[-1]
+    assert "repro_net_rdma_lat_sum" in text
+    assert "repro_net_rdma_lat_count" in text
+
+
+def test_prom_deterministic_drops_wall_metrics():
+    hub = Telemetry()
+    hub.count("m0", "sim.engine", WALL_PREFIX + "run.ns", 1)
+    hub.count("m0", "sim.engine", "events", 1)
+    assert "wall" not in to_prom_text(hub)
+    assert "wall" in to_prom_text(hub, deterministic=False)
+
+
+def test_write_prom_round_trips(tmp_path, instrumented_transfer):
+    hub, _ = instrumented_transfer
+    path = tmp_path / "metrics.prom"
+    write_prom(hub, str(path))
+    assert path.read_text(encoding="utf-8") == to_prom_text(hub)

@@ -247,3 +247,57 @@ class TestDeterministicSnapshotAudit:
 
         assert any(n.startswith("wall.") for n in names(full))
         assert not any(n.startswith("wall.") for n in names(clean))
+
+
+# -- sampling diagnostics ------------------------------------------------------
+
+
+class TestSamplingDiagnostic:
+    def test_empty_hub_keeps_the_plain_no_spans_message(self):
+        with pytest.raises(ValueError, match="no causal spans"):
+            build_span_tree(Telemetry())
+
+    def test_sampled_out_trace_names_the_knobs(self):
+        hub = Telemetry(span_sample_every=2)
+        hub.span("m0", "platform", "warm", 0, 10)  # kept, no trace id
+        hub.span("m0", "platform", "invocation", 0, 100, trace_id="t")
+        with pytest.raises(ValueError) as err:
+            build_span_tree(hub, "t")
+        assert "span_sample_every" in str(err.value)
+        assert "pin_trace" in str(err.value)
+
+    def test_sampled_out_hub_without_trace_id_also_diagnoses(self):
+        hub = Telemetry(span_sample_every=2)
+        hub.span("m0", "platform", "warm", 0, 10)  # kept, no trace id
+        hub.span("m0", "platform", "invocation", 0, 100, trace_id="t")
+        with pytest.raises(ValueError, match="span_sample_every"):
+            build_span_tree(hub)
+
+    def test_pinned_trace_survives_sampling_and_builds(self):
+        hub = Telemetry(span_sample_every=2)
+        hub.pin_trace("t")
+        hub.span("m0", "platform", "warm", 0, 10)
+        hub.span("m0", "platform", "invocation", 0, 100, trace_id="t")
+        assert build_span_tree(hub, "t").name == "invocation"
+
+    def test_run_result_flamegraph_diagnoses_dropped_trace(self):
+        hub = Telemetry(max_spans=0)
+        profiled = run("wordcount", transport="rmmap", seed=0,
+                       scale=SCALE, telemetry=hub)
+        with pytest.raises(ValueError, match="pin_trace"):
+            profiled.flamegraph()
+
+    def test_base_flamegraph_raises_instead_of_writing_empty(self):
+        from repro.api import BaseRunResult
+
+        class _Result(BaseRunResult):
+            def __init__(self, hub):
+                self.telemetry = hub
+
+        dropped = Telemetry(max_spans=0)
+        dropped.span("m0", "platform", "invocation", 0, 10,
+                     trace_id="t")
+        with pytest.raises(ValueError, match="span_sample_every"):
+            _Result(dropped).flamegraph()
+        # a hub that truly saw no spans still yields the empty string
+        assert _Result(Telemetry()).flamegraph() == ""
